@@ -1,0 +1,9 @@
+//! CAL vs rebuild-CSR comparison (the paper's "no pre-processing" claim).
+fn main() {
+    let args = gtinker_bench::Args::parse();
+    let table = gtinker_bench::experiments::cal_vs_csr::run(&args);
+    table.print();
+    if let Err(e) = table.write_tsv(&args.out_dir) {
+        eprintln!("warning: could not write TSV: {e}");
+    }
+}

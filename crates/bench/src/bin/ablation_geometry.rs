@@ -1,0 +1,9 @@
+//! Subblock/workblock geometry ablation (PAGEWIDTH fixed at 64).
+fn main() {
+    let args = gtinker_bench::Args::parse();
+    let table = gtinker_bench::experiments::geometry::run(&args);
+    table.print();
+    if let Err(e) = table.write_tsv(&args.out_dir) {
+        eprintln!("warning: could not write TSV: {e}");
+    }
+}

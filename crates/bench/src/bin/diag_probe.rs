@@ -1,0 +1,47 @@
+//! Probe-distance diagnostics: the measurable mechanism behind every
+//! speedup figure. Prints per-operation inspection counts, the tree-depth
+//! histogram (GraphTinker's O(log degree) bound) and the Robin Hood probe
+//! distribution, next to STINGER's O(degree) chain-walk counts.
+
+use gtinker_bench::experiments::common::{dataset_batches, fresh_stinger, fresh_tinker, hollywood};
+use gtinker_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let spec = hollywood(args.scale_factor);
+    let batches = dataset_batches(&spec, args.batches, false);
+    let mut gt = fresh_tinker();
+    let mut st = fresh_stinger();
+    for b in &batches {
+        gt.apply_batch(b);
+        st.apply_batch(b);
+    }
+
+    let gs = gt.stats();
+    let ss = st.stats();
+    println!("dataset: {} ({} edges inserted)\n", spec.name, gs.operations);
+    println!(
+        "GraphTinker: {:.2} cells/op, {:.2} workblocks/op, {} branch-outs, max depth {}",
+        gs.mean_probe(),
+        gs.workblocks_fetched as f64 / gs.operations as f64,
+        gs.branches_created,
+        gs.max_depth
+    );
+    println!(
+        "STINGER    : {:.2} slots/op, {:.2} blocks/op\n",
+        ss.mean_probe(),
+        ss.blocks_traversed as f64 / ss.operations as f64
+    );
+
+    println!("GraphTinker tree-depth histogram (live edges per generation):");
+    for (d, n) in gt.depth_histogram().iter().enumerate() {
+        println!("  depth {d}: {n}");
+    }
+    println!("mean depth: {:.3}\n", gt.mean_depth());
+
+    println!("Robin Hood probe-distance histogram:");
+    for (p, n) in gt.probe_histogram().iter().enumerate() {
+        println!("  probe {p}: {n}");
+    }
+    println!("\nstructure: {:?}", gt.structure_stats());
+}

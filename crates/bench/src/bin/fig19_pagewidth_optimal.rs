@@ -1,0 +1,9 @@
+//! Fig. 19: optimal PAGEWIDTH under mixed update/analytics ratios.
+fn main() {
+    let args = gtinker_bench::Args::parse();
+    let table = gtinker_bench::experiments::fig19::run(&args);
+    table.print();
+    if let Err(e) = table.write_tsv(&args.out_dir) {
+        eprintln!("warning: could not write TSV: {e}");
+    }
+}

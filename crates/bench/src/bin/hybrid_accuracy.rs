@@ -1,0 +1,9 @@
+//! Hybrid inference-box prediction accuracy (section V.B text).
+fn main() {
+    let args = gtinker_bench::Args::parse();
+    let table = gtinker_bench::experiments::hybrid_accuracy::run(&args);
+    table.print();
+    if let Err(e) = table.write_tsv(&args.out_dir) {
+        eprintln!("warning: could not write TSV: {e}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Renders experiment TSVs (from `results/`) as ASCII charts.
+//!
+//! ```text
+//! plot results/fig08_insert_load.tsv [more.tsv ...]
+//! plot            # plots every TSV in ./results
+//! ```
+
+use gtinker_bench::plot::{filter_series, parse_tsv, render_chart};
+
+fn plot_file(path: &str) {
+    match std::fs::read_to_string(path) {
+        Ok(content) => match parse_tsv(&content) {
+            Ok((caption, xs, series)) => {
+                let series = filter_series(series);
+                println!("== {path}");
+                println!("{}", render_chart(&caption, &xs, &series, 64, 16));
+            }
+            Err(e) => eprintln!("{path}: {e}"),
+        },
+        Err(e) => eprintln!("{path}: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        let mut entries: Vec<_> = std::fs::read_dir("results")
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "tsv"))
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default();
+        entries.sort();
+        if entries.is_empty() {
+            eprintln!("no TSVs found; run an experiment first or pass paths");
+            std::process::exit(1);
+        }
+        for p in entries {
+            plot_file(p.to_str().unwrap());
+        }
+    } else {
+        for p in &args {
+            plot_file(p);
+        }
+    }
+}

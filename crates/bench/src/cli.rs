@@ -1,0 +1,96 @@
+//! Minimal argument handling shared by all experiment binaries.
+
+/// Common experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Dataset shrink factor (1 = paper-reported sizes).
+    pub scale_factor: u32,
+    /// Number of update batches per stream.
+    pub batches: usize,
+    /// Thread counts for the multicore experiment.
+    pub threads: Vec<usize>,
+    /// Directory results are written to.
+    pub out_dir: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale_factor: 64,
+            batches: 10,
+            threads: vec![1, 2, 4, 8],
+            out_dir: "results".to_string(),
+        }
+    }
+}
+
+impl Args {
+    /// Builds arguments from the environment (`GT_SCALE_FACTOR`,
+    /// `GT_BATCHES`, `GT_THREADS`, `GT_OUT_DIR`) and then the process
+    /// command line (`--scale-factor N`, `--batches N`, `--threads a,b,c`,
+    /// `--out-dir PATH`), with the command line winning.
+    pub fn parse() -> Self {
+        let mut args = Args::default();
+        if let Ok(v) = std::env::var("GT_SCALE_FACTOR") {
+            if let Ok(n) = v.parse() {
+                args.scale_factor = n;
+            }
+        }
+        if let Ok(v) = std::env::var("GT_BATCHES") {
+            if let Ok(n) = v.parse() {
+                args.batches = n;
+            }
+        }
+        if let Ok(v) = std::env::var("GT_THREADS") {
+            args.threads = parse_list(&v);
+        }
+        if let Ok(v) = std::env::var("GT_OUT_DIR") {
+            args.out_dir = v;
+        }
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < argv.len() {
+            match argv[i].as_str() {
+                "--scale-factor" => args.scale_factor = argv[i + 1].parse().unwrap_or(args.scale_factor),
+                "--batches" => args.batches = argv[i + 1].parse().unwrap_or(args.batches),
+                "--threads" => args.threads = parse_list(&argv[i + 1]),
+                "--out-dir" => args.out_dir = argv[i + 1].clone(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            }
+            i += 2;
+        }
+        args.scale_factor = args.scale_factor.max(1);
+        args.batches = args.batches.max(1);
+        if args.threads.is_empty() {
+            args.threads = vec![1];
+        }
+        args
+    }
+}
+
+fn parse_list(s: &str) -> Vec<usize> {
+    s.split(',').filter_map(|t| t.trim().parse().ok()).filter(|&n| n > 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = Args::default();
+        assert_eq!(a.scale_factor, 64);
+        assert_eq!(a.batches, 10);
+        assert_eq!(a.threads, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn list_parsing() {
+        assert_eq!(parse_list("1,2, 4"), vec![1, 2, 4]);
+        assert_eq!(parse_list("x,0,3"), vec![3]);
+        assert!(parse_list("").is_empty());
+    }
+}

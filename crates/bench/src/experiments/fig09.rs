@@ -1,0 +1,42 @@
+//! Fig. 9: insertion throughput across all six datasets, GraphTinker vs
+//! STINGER (batched inserts, single thread).
+
+use crate::cli::Args;
+use crate::experiments::common::{dataset_batches, fresh_stinger, fresh_tinker, timed_inserts};
+use crate::report::{f3, meps, speedup, Table};
+use gtinker_datasets::scaled_datasets;
+
+/// Runs the per-dataset insertion comparison.
+pub fn run(args: &Args) -> Table {
+    let mut t = Table::new(
+        "fig09_insert_datasets",
+        &format!(
+            "Insertion throughput (Medges/s) per dataset, scale factor {}",
+            args.scale_factor
+        ),
+        &["dataset", "edges", "GraphTinker", "STINGER", "GT_speedup"],
+    );
+    for spec in scaled_datasets(args.scale_factor) {
+        let batches = dataset_batches(&spec, args.batches, false);
+        let total_ops: u64 = batches.iter().map(|b| b.len() as u64).sum();
+
+        let mut gt = fresh_tinker();
+        let gt_time: std::time::Duration =
+            timed_inserts(&mut gt, &batches).iter().map(|x| x.1).sum();
+
+        let mut st = fresh_stinger();
+        let st_time: std::time::Duration =
+            timed_inserts(&mut st, &batches).iter().map(|x| x.1).sum();
+
+        let gt_meps = meps(total_ops, gt_time);
+        let st_meps = meps(total_ops, st_time);
+        t.push_row(vec![
+            spec.name.to_string(),
+            total_ops.to_string(),
+            f3(gt_meps),
+            f3(st_meps),
+            speedup(gt_meps / st_meps),
+        ]);
+    }
+    t
+}

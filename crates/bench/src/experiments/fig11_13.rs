@@ -1,0 +1,67 @@
+//! Figs. 11-13: processing throughput of BFS / SSSP / CC per dataset —
+//! GraphTinker under the hybrid engine, under fixed FP and fixed IP, and
+//! STINGER (full-processing, the paper's comparison configuration).
+//!
+//! After every insertion batch the analysis is re-run on the current state
+//! of the graph; throughput is Σ(live edges at each analysis point) divided
+//! by total analytics time, so all series share the numerator and differ
+//! only in how fast their engine/store combination converges.
+
+use crate::cli::Args;
+use crate::experiments::common::{
+    dataset_batches, fresh_stinger, fresh_tinker, pick_root, run_analytics, Algo, Series,
+};
+use crate::report::{f3, speedup, Table};
+use gtinker_datasets::scaled_datasets;
+
+/// Runs one algorithm's figure across all datasets.
+pub fn run(args: &Args, algo: Algo) -> Table {
+    let fig = match algo {
+        Algo::Bfs => "fig11_bfs",
+        Algo::Sssp => "fig12_sssp",
+        Algo::Cc => "fig13_cc",
+    };
+    let mut t = Table::new(
+        fig,
+        &format!(
+            "{} processing throughput (Medges/s) per dataset, scale factor {}",
+            algo.name(),
+            args.scale_factor
+        ),
+        &[
+            "dataset",
+            "GT_hybrid",
+            "GT_hybridDA",
+            "GT_FP",
+            "GT_IP",
+            "STINGER_FP",
+            "best_hyb_vs_FP",
+            "best_hyb_vs_IP",
+            "best_hyb_vs_STINGER",
+        ],
+    );
+    for spec in scaled_datasets(args.scale_factor) {
+        let batches = dataset_batches(&spec, args.batches, algo.needs_symmetry());
+        let root = pick_root(&batches);
+
+        let hybrid = run_analytics(fresh_tinker(), &batches, algo, Series::Hybrid, root);
+        let da = run_analytics(fresh_tinker(), &batches, algo, Series::DegreeAware, root);
+        let fp = run_analytics(fresh_tinker(), &batches, algo, Series::FullProcessing, root);
+        let ip = run_analytics(fresh_tinker(), &batches, algo, Series::Incremental, root);
+        let st = run_analytics(fresh_stinger(), &batches, algo, Series::FullProcessing, root);
+
+        let h = hybrid.throughput_meps().max(da.throughput_meps());
+        t.push_row(vec![
+            spec.name.to_string(),
+            f3(hybrid.throughput_meps()),
+            f3(da.throughput_meps()),
+            f3(fp.throughput_meps()),
+            f3(ip.throughput_meps()),
+            f3(st.throughput_meps()),
+            speedup(h / fp.throughput_meps()),
+            speedup(h / ip.throughput_meps()),
+            speedup(h / st.throughput_meps()),
+        ]);
+    }
+    t
+}

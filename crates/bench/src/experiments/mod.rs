@@ -1,0 +1,21 @@
+//! One module per paper table/figure. Each exposes
+//! `pub fn run(args: &Args) -> Table` (Fig. 19 returns one table too); the
+//! binaries print the table and persist it as TSV, and `run_all` chains
+//! them.
+
+pub mod ablation;
+pub mod cal_vs_csr;
+pub mod common;
+pub mod fig08;
+pub mod geometry;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11_13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod hybrid_accuracy;
+pub mod table1;

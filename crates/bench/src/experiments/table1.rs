@@ -1,0 +1,29 @@
+//! Table 1: the datasets under evaluation.
+
+use crate::cli::Args;
+use crate::report::Table;
+use gtinker_datasets::scaled_datasets;
+
+/// Prints the dataset catalog at the active scale factor alongside the
+/// paper-reported sizes.
+pub fn run(args: &Args) -> Table {
+    let scaled = scaled_datasets(args.scale_factor);
+    let paper = scaled_datasets(1);
+    let mut t = Table::new(
+        "table1_datasets",
+        &format!("Graph datasets under evaluation (scale factor {})", args.scale_factor),
+        &["dataset", "type", "paper_V", "paper_E", "scaled_V", "scaled_E", "avg_degree"],
+    );
+    for (s, p) in scaled.iter().zip(&paper) {
+        t.push_row(vec![
+            s.name.to_string(),
+            format!("{:?}", s.kind),
+            p.vertices.to_string(),
+            p.edges.to_string(),
+            s.vertices.to_string(),
+            s.edges.to_string(),
+            format!("{:.1}", s.avg_degree()),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,27 @@
+//! Benchmark harness for the GraphTinker reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§V) has a
+//! corresponding experiment module under [`experiments`] and a thin binary
+//! under `src/bin/`; `run_all` executes the full suite and appends the
+//! results to `results/*.tsv`.
+//!
+//! All experiments honor two environment knobs (also settable as CLI
+//! flags on each binary):
+//!
+//! * `GT_SCALE_FACTOR` (default 64) — divides every dataset's vertex and
+//!   edge counts; 1 reproduces the paper-reported sizes (needs tens of GB
+//!   and hours).
+//! * `GT_BATCHES` (default 10) — number of update batches each stream is
+//!   split into (the paper uses fixed 1 M-edge batches; at reduced scale a
+//!   fixed batch count keeps every figure's x-axis shape).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;
+pub mod plot;
+pub mod report;
+
+pub use cli::Args;
+pub use report::Table;

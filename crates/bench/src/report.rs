@@ -1,0 +1,143 @@
+//! Result tables: aligned console output plus TSV persistence.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
+
+/// Million edges per second.
+pub fn meps(edges: u64, dur: Duration) -> f64 {
+    let secs = dur.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        edges as f64 / secs / 1e6
+    }
+}
+
+/// A simple result table: header row plus data rows of equal arity.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment identifier (used as the TSV file stem).
+    pub name: String,
+    /// One-line description printed above the table.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: &str, caption: &str, headers: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            caption: caption.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the arity does not match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch in table {}", self.name);
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n", self.name, self.caption));
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes the table as `<out_dir>/<name>.tsv`.
+    pub fn write_tsv(&self, out_dir: &str) -> std::io::Result<()> {
+        fs::create_dir_all(out_dir)?;
+        let path = Path::new(out_dir).join(format!("{}.tsv", self.name));
+        let mut f = fs::File::create(path)?;
+        writeln!(f, "# {}", self.caption)?;
+        writeln!(f, "{}", self.headers.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meps_math() {
+        assert!((meps(2_000_000, Duration::from_secs(1)) - 2.0).abs() < 1e-9);
+        assert_eq!(meps(5, Duration::from_secs(0)), 0.0);
+    }
+
+    #[test]
+    fn table_renders_and_persists() {
+        let mut t = Table::new("unit_test_table", "caption", &["a", "bb"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("caption"));
+        assert!(s.contains("bb"));
+        let dir = std::env::temp_dir().join("gtinker_bench_test");
+        t.write_tsv(dir.to_str().unwrap()).unwrap();
+        let tsv = std::fs::read_to_string(dir.join("unit_test_table.tsv")).unwrap();
+        assert!(tsv.contains("a\tbb"));
+        assert!(tsv.contains("1\t2"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", "y", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(speedup(2.5), "2.50x");
+    }
+}

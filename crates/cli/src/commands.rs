@@ -1,0 +1,331 @@
+//! Implementation of the `gtinker` subcommands.
+
+use std::time::Instant;
+
+use gtinker_core::GraphTinker;
+use gtinker_datasets::{dataset_by_name, io, RmatConfig};
+use gtinker_engine::{
+    algorithms::{Bfs, Cc, PageRank, Sssp, TriangleCount},
+    dynamic::symmetrize,
+    Engine, ModePolicy,
+};
+use gtinker_stinger::Stinger;
+use gtinker_types::{DeleteMode, Edge, EdgeBatch, TinkerConfig};
+
+use crate::args::Parsed;
+
+/// Top-level help text.
+pub const USAGE: &str = "\
+gtinker — the GraphTinker dynamic-graph store (IPDPS 2019 reproduction)
+
+USAGE:
+  gtinker generate (--dataset NAME | --rmat-scale N --edges M) [--seed S]
+                   [--scale-factor F] --out FILE
+  gtinker stats FILE [--pagewidth N] [--no-sgh] [--no-cal] [--compact]
+  gtinker bfs FILE --root R [--mode hybrid|da|fp|ip]
+  gtinker sssp FILE --root R [--mode hybrid|da|fp|ip]
+  gtinker cc FILE [--mode hybrid|da|fp|ip]
+  gtinker pagerank FILE [--iterations N] [--top K]
+  gtinker triangles FILE
+  gtinker bench-insert FILE [--batch N] [--baseline]
+  gtinker help
+
+Datasets for --dataset: RMAT_1M_10M, RMAT_500K_8M, RMAT_1M_16M,
+RMAT_2M_32M, Hollywood-2009, Kron_g500-logn21 (paper Table 1; scaled by
+--scale-factor, default 64).
+
+FILE is a plain edge list: 'src dst [weight]' per line, '#' comments.
+";
+
+/// Runs a parsed command; returns an error message on failure.
+pub fn run(parsed: &Parsed) -> Result<(), String> {
+    match parsed.command.as_str() {
+        "generate" => generate(parsed),
+        "stats" => stats(parsed),
+        "bfs" => bfs(parsed),
+        "sssp" => sssp(parsed),
+        "cc" => cc(parsed),
+        "pagerank" => pagerank(parsed),
+        "triangles" => triangles(parsed),
+        "bench-insert" => bench_insert(parsed),
+        "help" | "" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'gtinker help')")),
+    }
+}
+
+fn mode_policy(parsed: &Parsed) -> Result<ModePolicy, String> {
+    match parsed.get("mode").unwrap_or("hybrid") {
+        "hybrid" => Ok(ModePolicy::hybrid()),
+        "da" | "degree-aware" => Ok(ModePolicy::degree_aware()),
+        "fp" | "full" => Ok(ModePolicy::AlwaysFull),
+        "ip" | "incremental" => Ok(ModePolicy::AlwaysIncremental),
+        other => Err(format!("unknown mode '{other}' (hybrid|da|fp|ip)")),
+    }
+}
+
+fn config(parsed: &Parsed) -> Result<TinkerConfig, String> {
+    let mut cfg = TinkerConfig::with_pagewidth(parsed.num("pagewidth", 64usize)?);
+    cfg.enable_sgh = !parsed.flag("no-sgh");
+    cfg.enable_cal = !parsed.flag("no-cal");
+    if parsed.flag("compact") {
+        cfg.delete_mode = DeleteMode::DeleteAndCompact;
+    }
+    cfg.validate().map_err(|e| format!("invalid configuration: {e}"))?;
+    Ok(cfg)
+}
+
+fn load_graph(parsed: &Parsed) -> Result<(GraphTinker, Vec<Edge>), String> {
+    let path = parsed.input()?;
+    let edges = io::read_edge_list(path).map_err(|e| e.to_string())?;
+    let mut g = GraphTinker::new(config(parsed)?).map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    g.apply_batch(&EdgeBatch::inserts(&edges));
+    eprintln!(
+        "loaded {} edges ({} live) from {path} in {:.2?}",
+        edges.len(),
+        g.num_edges(),
+        t0.elapsed()
+    );
+    Ok((g, edges))
+}
+
+fn generate(parsed: &Parsed) -> Result<(), String> {
+    let out = parsed.get("out").ok_or("generate requires --out FILE")?;
+    let seed = parsed.num("seed", 42u64)?;
+    let edges = if let Some(name) = parsed.get("dataset") {
+        let sf = parsed.num("scale-factor", 64u32)?;
+        let spec = dataset_by_name(name, sf)
+            .ok_or_else(|| format!("unknown dataset '{name}' (see 'gtinker help')"))?;
+        eprintln!("generating {} at scale factor {sf}: {} vertices, {} edges",
+            spec.name, spec.vertices, spec.edges);
+        spec.generate()
+    } else {
+        let scale = parsed.num("rmat-scale", 0u32)?;
+        if scale == 0 {
+            return Err("generate requires --dataset NAME or --rmat-scale N".into());
+        }
+        let m = parsed.num("edges", 1u64 << (scale + 4))?;
+        eprintln!("generating RMAT scale {scale} with {m} edges");
+        RmatConfig::graph500(scale, m, seed).generate()
+    };
+    io::write_edge_list(out, &edges).map_err(|e| e.to_string())?;
+    eprintln!("wrote {} edges to {out}", edges.len());
+    Ok(())
+}
+
+fn stats(parsed: &Parsed) -> Result<(), String> {
+    let (g, _) = load_graph(parsed)?;
+    let st = g.structure_stats();
+    let ps = g.stats();
+    println!("vertices (sources): {}", st.num_sources);
+    println!("vertex space      : {}", g.vertex_space());
+    println!("live edges        : {}", st.live_edges);
+    println!("main blocks       : {}", st.main_blocks);
+    println!("overflow blocks   : {}", st.overflow_blocks);
+    println!("free blocks       : {}", st.free_blocks);
+    println!("tombstones        : {}", st.tombstones);
+    println!("CAL blocks        : {} ({} invalid records)", st.cal_blocks, st.cal_invalid);
+    println!("occupancy         : {:.3}", st.occupancy);
+    println!("memory            : {:.1} MiB", st.memory_bytes as f64 / (1024.0 * 1024.0));
+    println!("mean probe        : {:.2} cells/op", ps.mean_probe());
+    println!("mean tree depth   : {:.3}", g.mean_depth());
+    let hist = g.depth_histogram();
+    for (d, n) in hist.iter().enumerate() {
+        println!("  depth {d}: {n} edges");
+    }
+    Ok(())
+}
+
+fn bfs(parsed: &Parsed) -> Result<(), String> {
+    let (g, _) = load_graph(parsed)?;
+    let root = parsed.num("root", 0u32)?;
+    let mut e = Engine::new(Bfs::new(root), mode_policy(parsed)?);
+    let t0 = Instant::now();
+    let r = e.run_from_roots(&g);
+    let reached = e.values().iter().filter(|&&v| v != u32::MAX).count();
+    let max_level = e.values().iter().filter(|&&v| v != u32::MAX).max().copied().unwrap_or(0);
+    let (fp, ip) = r.mode_counts();
+    println!(
+        "BFS from {root}: {reached} reached, eccentricity {max_level}, \
+         {} iterations ({fp} FP / {ip} IP) in {:.2?}",
+        r.num_iterations(),
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn sssp(parsed: &Parsed) -> Result<(), String> {
+    let (g, _) = load_graph(parsed)?;
+    let root = parsed.num("root", 0u32)?;
+    let mut e = Engine::new(Sssp::new(root), mode_policy(parsed)?);
+    let t0 = Instant::now();
+    let r = e.run_from_roots(&g);
+    let reached: Vec<u32> =
+        e.values().iter().copied().filter(|&v| v != u32::MAX).collect();
+    let max = reached.iter().max().copied().unwrap_or(0);
+    println!(
+        "SSSP from {root}: {} reached, max distance {max}, {} iterations in {:.2?}",
+        reached.len(),
+        r.num_iterations(),
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn cc(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.input()?;
+    let edges = io::read_edge_list(path).map_err(|e| e.to_string())?;
+    let mut g = GraphTinker::new(config(parsed)?).map_err(|e| e.to_string())?;
+    g.apply_batch(&symmetrize(&EdgeBatch::inserts(&edges)));
+    let mut e = Engine::new(Cc::new(), mode_policy(parsed)?);
+    let t0 = Instant::now();
+    let r = e.run_from_roots(&g);
+    let mut labels: Vec<u32> = e.values().to_vec();
+    labels.sort_unstable();
+    labels.dedup();
+    println!(
+        "CC: {} components over {} vertices, {} iterations in {:.2?}",
+        labels.len(),
+        e.values().len(),
+        r.num_iterations(),
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn pagerank(parsed: &Parsed) -> Result<(), String> {
+    let (g, _) = load_graph(parsed)?;
+    let iterations = parsed.num("iterations", 20usize)?;
+    let k = parsed.num("top", 10usize)?;
+    let pr = PageRank::new(0.85, iterations);
+    let t0 = Instant::now();
+    let top = pr.top_k(&g, k);
+    println!("PageRank ({iterations} iterations) in {:.2?}; top {k}:", t0.elapsed());
+    for (v, rank) in top {
+        println!("  vertex {v:>10}  {rank:.6}");
+    }
+    Ok(())
+}
+
+fn triangles(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.input()?;
+    let edges = io::read_edge_list(path).map_err(|e| e.to_string())?;
+    let mut g = GraphTinker::new(config(parsed)?).map_err(|e| e.to_string())?;
+    g.apply_batch(&symmetrize(&EdgeBatch::inserts(&edges)));
+    let t0 = Instant::now();
+    let n = TriangleCount::new().count(&g);
+    println!("{n} triangles ({} edges, symmetrized) in {:.2?}", g.num_edges(), t0.elapsed());
+    Ok(())
+}
+
+fn bench_insert(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.input()?;
+    let edges = io::read_edge_list(path).map_err(|e| e.to_string())?;
+    let batch_size = parsed.num("batch", 1_000_000usize)?;
+    let batches: Vec<EdgeBatch> =
+        edges.chunks(batch_size.max(1)).map(EdgeBatch::inserts).collect();
+
+    let mut g = GraphTinker::new(config(parsed)?).map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    for b in &batches {
+        g.apply_batch(b);
+    }
+    let gt_dur = t0.elapsed();
+    println!(
+        "GraphTinker: {} edges in {:.2?} ({:.3} Medges/s), mean probe {:.2}",
+        edges.len(),
+        gt_dur,
+        edges.len() as f64 / gt_dur.as_secs_f64() / 1e6,
+        g.stats().mean_probe()
+    );
+    if parsed.flag("baseline") {
+        let mut s = Stinger::with_defaults();
+        let t0 = Instant::now();
+        for b in &batches {
+            s.apply_batch(b);
+        }
+        let st_dur = t0.elapsed();
+        println!(
+            "STINGER    : {} edges in {:.2?} ({:.3} Medges/s), mean probe {:.2}",
+            edges.len(),
+            st_dur,
+            edges.len() as f64 / st_dur.as_secs_f64() / 1e6,
+            s.stats().mean_probe()
+        );
+        println!("speedup    : {:.2}x", st_dur.as_secs_f64() / gt_dur.as_secs_f64());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn parsed(args: &[&str]) -> Parsed {
+        parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let e = run(&parsed(&["frobnicate"])).unwrap_err();
+        assert!(e.contains("unknown command"));
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert!(run(&parsed(&["help"])).is_ok());
+        assert!(run(&parsed(&[])).is_ok());
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(mode_policy(&parsed(&["bfs", "f"])).unwrap(), ModePolicy::hybrid());
+        assert_eq!(
+            mode_policy(&parsed(&["bfs", "f", "--mode", "fp"])).unwrap(),
+            ModePolicy::AlwaysFull
+        );
+        assert!(mode_policy(&parsed(&["bfs", "f", "--mode", "x"])).is_err());
+    }
+
+    #[test]
+    fn config_flags() {
+        let c = config(&parsed(&["stats", "f", "--no-cal", "--compact", "--pagewidth", "32"]))
+            .unwrap();
+        assert!(!c.enable_cal);
+        assert!(c.enable_sgh);
+        assert_eq!(c.pagewidth, 32);
+        assert_eq!(c.delete_mode, DeleteMode::DeleteAndCompact);
+        assert!(config(&parsed(&["stats", "f", "--pagewidth", "33"])).is_err());
+    }
+
+    #[test]
+    fn generate_requires_out_and_source() {
+        assert!(run(&parsed(&["generate"])).unwrap_err().contains("--out"));
+        assert!(run(&parsed(&["generate", "--out", "/tmp/x"]))
+            .unwrap_err()
+            .contains("--dataset"));
+    }
+
+    #[test]
+    fn end_to_end_generate_stats_bfs() {
+        let dir = std::env::temp_dir().join("gtinker_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("g.txt");
+        let file_s = file.to_str().unwrap();
+        run(&parsed(&[
+            "generate", "--rmat-scale", "8", "--edges", "2000", "--seed", "7", "--out", file_s,
+        ]))
+        .unwrap();
+        run(&parsed(&["stats", file_s])).unwrap();
+        run(&parsed(&["bfs", file_s, "--root", "0"])).unwrap();
+        run(&parsed(&["cc", file_s])).unwrap();
+        run(&parsed(&["pagerank", file_s, "--iterations", "5", "--top", "3"])).unwrap();
+        run(&parsed(&["triangles", file_s])).unwrap();
+        run(&parsed(&["bench-insert", file_s, "--baseline", "--batch", "500"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

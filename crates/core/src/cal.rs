@@ -1,0 +1,312 @@
+//! The Coarse Adjacency List (CAL) EdgeblockArray.
+//!
+//! GraphTinker's second level of compaction (§III.B): a separate,
+//! append-only copy of the live edges, organized like STINGER's adjacency
+//! list *except* that several source vertices share an entry — source
+//! vertices are partitioned into groups of `group_size` consecutive (dense)
+//! ids, and each group owns a chain of fixed-size CAL blocks. Because
+//! edges from different vertices of a group pack into the same blocks, the
+//! representation stays dense even when individual degrees are small, and
+//! full-processing analytics can stream it sequentially.
+//!
+//! Every edge in the main EdgeblockArray carries a [`CalPtr`] to its copy
+//! here, so insert/update/delete reach the copy in O(1) — "this process of
+//! updating the CAL EdgeblockArray does not involve traversing edges".
+//! Deletion flags the copy invalid; slots are not reused (the paper's
+//! semantics). [`GraphTinker::rebuild_cal`](crate::GraphTinker) can be used
+//! to re-compact a CAL that has accumulated many invalid slots.
+
+use gtinker_types::{VertexId, Weight, NIL_U32};
+
+/// Packed pointer to a CAL record: block index in the high bits, slot within
+/// the block in the low bits.
+pub type CalPtr = u32;
+
+/// One edge copy in the CAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalRecord {
+    /// Original source vertex id (kept per-record because edges of several
+    /// vertices share a block).
+    pub src: VertexId,
+    /// Destination vertex id.
+    pub dst: VertexId,
+    /// Edge weight.
+    pub weight: Weight,
+    /// Whether this copy is live; deletion flips it to `false`.
+    pub valid: bool,
+}
+
+const DEAD: CalRecord = CalRecord { src: 0, dst: 0, weight: 0, valid: false };
+
+/// The CAL EdgeblockArray: per-group chains of fixed-size record blocks.
+#[derive(Debug, Clone)]
+pub struct CalArray {
+    /// Record arena; block `b` occupies `[b*block_size, (b+1)*block_size)`.
+    records: Vec<CalRecord>,
+    /// Next block in a group's chain, per block.
+    next_block: Vec<u32>,
+    /// Occupied slots per block (records written, valid or not).
+    fill: Vec<u32>,
+    /// First block of each group's chain (the paper's Logical Vertex Array,
+    /// at group granularity).
+    group_head: Vec<u32>,
+    /// Last block of each group's chain, where appends go.
+    group_tail: Vec<u32>,
+    block_size: usize,
+    group_size: usize,
+    slot_bits: u32,
+    live: u64,
+}
+
+impl CalArray {
+    /// Creates an empty CAL with the given group size (source vertices per
+    /// group) and block size (records per block).
+    pub fn new(group_size: usize, block_size: usize) -> Self {
+        assert!(group_size > 0 && block_size > 0);
+        let slot_bits = usize::BITS - (block_size - 1).leading_zeros().min(usize::BITS - 1);
+        let slot_bits = slot_bits.max(1);
+        CalArray {
+            records: Vec::new(),
+            next_block: Vec::new(),
+            fill: Vec::new(),
+            group_head: Vec::new(),
+            group_tail: Vec::new(),
+            block_size,
+            group_size,
+            slot_bits,
+            live: 0,
+        }
+    }
+
+    /// Number of live (valid) edge copies.
+    #[inline]
+    pub fn num_live(&self) -> u64 {
+        self.live
+    }
+
+    /// Number of allocated CAL blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.fill.len()
+    }
+
+    /// Number of records written but flagged invalid.
+    pub fn num_invalid(&self) -> u64 {
+        let written: u64 = self.fill.iter().map(|&f| f as u64).sum();
+        written - self.live
+    }
+
+    /// The group a dense source id belongs to.
+    #[inline]
+    pub fn group_of(&self, dense_src: u32) -> usize {
+        dense_src as usize / self.group_size
+    }
+
+    #[inline]
+    fn pack(&self, block: u32, slot: u32) -> CalPtr {
+        (block << self.slot_bits) | slot
+    }
+
+    #[inline]
+    fn unpack(&self, ptr: CalPtr) -> (u32, u32) {
+        (ptr >> self.slot_bits, ptr & ((1 << self.slot_bits) - 1))
+    }
+
+    fn alloc_block(&mut self) -> u32 {
+        let id = self.fill.len() as u32;
+        self.records.resize(self.records.len() + self.block_size, DEAD);
+        self.next_block.push(NIL_U32);
+        self.fill.push(0);
+        id
+    }
+
+    /// Appends an edge copy for `dense_src` and returns its CAL pointer.
+    ///
+    /// This is the "look up the last assigned edgeblock of the group and the
+    /// last unoccupied slot" path of the paper — O(1), no edge traversal.
+    pub fn insert(&mut self, dense_src: u32, src: VertexId, dst: VertexId, weight: Weight) -> CalPtr {
+        let group = self.group_of(dense_src);
+        if group >= self.group_head.len() {
+            self.group_head.resize(group + 1, NIL_U32);
+            self.group_tail.resize(group + 1, NIL_U32);
+        }
+        let mut tail = self.group_tail[group];
+        if tail == NIL_U32 || self.fill[tail as usize] as usize == self.block_size {
+            let nb = self.alloc_block();
+            if tail == NIL_U32 {
+                self.group_head[group] = nb;
+            } else {
+                self.next_block[tail as usize] = nb;
+            }
+            self.group_tail[group] = nb;
+            tail = nb;
+        }
+        let slot = self.fill[tail as usize];
+        self.records[tail as usize * self.block_size + slot as usize] =
+            CalRecord { src, dst, weight, valid: true };
+        self.fill[tail as usize] = slot + 1;
+        self.live += 1;
+        self.pack(tail, slot)
+    }
+
+    /// Updates the weight of a live edge copy through its pointer.
+    pub fn update_weight(&mut self, ptr: CalPtr, weight: Weight) {
+        let (block, slot) = self.unpack(ptr);
+        let r = &mut self.records[block as usize * self.block_size + slot as usize];
+        debug_assert!(r.valid, "updating an invalidated CAL record");
+        r.weight = weight;
+    }
+
+    /// Invalidates an edge copy (the paper's delete: "flagged as invalid").
+    pub fn invalidate(&mut self, ptr: CalPtr) {
+        let (block, slot) = self.unpack(ptr);
+        let r = &mut self.records[block as usize * self.block_size + slot as usize];
+        debug_assert!(r.valid, "double invalidation of a CAL record");
+        r.valid = false;
+        self.live -= 1;
+    }
+
+    /// Reads the record behind a pointer (diagnostics/tests).
+    pub fn record(&self, ptr: CalPtr) -> CalRecord {
+        let (block, slot) = self.unpack(ptr);
+        self.records[block as usize * self.block_size + slot as usize]
+    }
+
+    /// Streams every live edge copy sequentially: groups in order, each
+    /// group's chain in order, each block front-to-fill. This is the
+    /// full-processing retrieval path — the accesses walk the record arena
+    /// chain-contiguously instead of hopping per-vertex.
+    pub fn for_each_edge<F: FnMut(VertexId, VertexId, Weight)>(&self, mut f: F) {
+        for g in 0..self.group_head.len() {
+            let mut b = self.group_head[g];
+            while b != NIL_U32 {
+                let base = b as usize * self.block_size;
+                let fill = self.fill[b as usize] as usize;
+                for r in &self.records[base..base + fill] {
+                    if r.valid {
+                        f(r.src, r.dst, r.weight);
+                    }
+                }
+                b = self.next_block[b as usize];
+            }
+        }
+    }
+
+    /// Clears the CAL to empty (used by rebuild).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.next_block.clear();
+        self.fill.clear();
+        self.group_head.clear();
+        self.group_tail.clear();
+        self.live = 0;
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.records.capacity() * std::mem::size_of::<CalRecord>()
+            + (self.next_block.capacity() + self.fill.capacity()) * 4
+            + (self.group_head.capacity() + self.group_tail.capacity()) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_stream_single_group() {
+        let mut cal = CalArray::new(1024, 4);
+        cal.insert(0, 100, 7, 1);
+        cal.insert(1, 101, 8, 2);
+        cal.insert(0, 100, 9, 3);
+        let mut seen = Vec::new();
+        cal.for_each_edge(|s, d, w| seen.push((s, d, w)));
+        assert_eq!(seen, vec![(100, 7, 1), (101, 8, 2), (100, 9, 3)]);
+        assert_eq!(cal.num_live(), 3);
+    }
+
+    #[test]
+    fn blocks_chain_when_full() {
+        let mut cal = CalArray::new(1024, 2);
+        for i in 0..7u32 {
+            cal.insert(0, 0, i, 1);
+        }
+        assert_eq!(cal.num_blocks(), 4, "7 records at block size 2 need 4 blocks");
+        let mut n = 0;
+        cal.for_each_edge(|_, _, _| n += 1);
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn groups_are_streamed_in_group_order() {
+        let mut cal = CalArray::new(2, 8);
+        cal.insert(5, 500, 1, 1); // group 2
+        cal.insert(0, 0, 2, 1); // group 0
+        cal.insert(3, 300, 3, 1); // group 1
+        let mut srcs = Vec::new();
+        cal.for_each_edge(|s, _, _| srcs.push(s));
+        assert_eq!(srcs, vec![0, 300, 500]);
+    }
+
+    #[test]
+    fn invalidate_hides_record_and_updates_counts() {
+        let mut cal = CalArray::new(1024, 8);
+        let p0 = cal.insert(0, 0, 1, 1);
+        let p1 = cal.insert(0, 0, 2, 1);
+        cal.invalidate(p0);
+        assert_eq!(cal.num_live(), 1);
+        assert_eq!(cal.num_invalid(), 1);
+        let mut seen = Vec::new();
+        cal.for_each_edge(|_, d, _| seen.push(d));
+        assert_eq!(seen, vec![2]);
+        assert!(cal.record(p1).valid);
+        assert!(!cal.record(p0).valid);
+    }
+
+    #[test]
+    fn update_weight_through_pointer() {
+        let mut cal = CalArray::new(1024, 8);
+        let p = cal.insert(0, 0, 1, 1);
+        cal.update_weight(p, 42);
+        assert_eq!(cal.record(p).weight, 42);
+        let mut w = 0;
+        cal.for_each_edge(|_, _, weight| w = weight);
+        assert_eq!(w, 42);
+    }
+
+    #[test]
+    fn pointers_survive_many_blocks() {
+        let mut cal = CalArray::new(64, 16);
+        let mut ptrs = Vec::new();
+        for i in 0..1000u32 {
+            ptrs.push((i, cal.insert(i % 256, i % 256, i, i)));
+        }
+        for (i, p) in ptrs {
+            let r = cal.record(p);
+            assert_eq!((r.dst, r.weight, r.valid), (i, i, true));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_block_size() {
+        let mut cal = CalArray::new(8, 3);
+        let ptrs: Vec<_> = (0..10u32).map(|i| cal.insert(0, 0, i, i)).collect();
+        for (i, &p) in ptrs.iter().enumerate() {
+            assert_eq!(cal.record(p).dst, i as u32);
+        }
+        assert_eq!(cal.num_blocks(), 4);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut cal = CalArray::new(8, 4);
+        cal.insert(0, 0, 1, 1);
+        cal.clear();
+        assert_eq!(cal.num_live(), 0);
+        assert_eq!(cal.num_blocks(), 0);
+        let mut n = 0;
+        cal.for_each_edge(|_, _, _| n += 1);
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Hash functions used by the Tree-Based Hashing and Robin Hood Hashing
+//! schemes.
+//!
+//! The paper leaves the concrete hash functions user-defined; we use the
+//! SplitMix64 finalizer, a well-studied integer mixer with full avalanche,
+//! and derive the two decisions made per (destination, depth) pair —
+//! *which subblock* of the edgeblock to use, and *which cell bucket* inside
+//! that subblock to start Robin Hood probing from — from disjoint bit
+//! ranges of a single mix so the two choices are effectively independent.
+
+use gtinker_types::VertexId;
+
+/// SplitMix64 finalizer: a cheap full-avalanche mixer for 64-bit integers.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Combined per-(destination, depth) hash. The depth is folded in so that a
+/// destination rehashes to a fresh subblock/bucket at every generation of
+/// the branch-out tree — the paper's "rehashing is done again, and the same
+/// process continues in the newly-hashed child Subblock region".
+#[inline]
+pub fn edge_hash(dst: VertexId, depth: u32) -> u64 {
+    mix64((dst as u64) ^ ((depth as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93) << 1))
+}
+
+/// Subblock index (within an edgeblock) for `dst` at tree depth `depth`.
+#[inline]
+pub fn subblock_index(dst: VertexId, depth: u32, subblocks_per_block: usize) -> usize {
+    debug_assert!(subblocks_per_block.is_power_of_two());
+    ((edge_hash(dst, depth) >> 32) as usize) & (subblocks_per_block - 1)
+}
+
+/// Initial Robin Hood bucket (within a subblock) for `dst` at tree depth
+/// `depth`.
+#[inline]
+pub fn cell_bucket(dst: VertexId, depth: u32, subblock_len: usize) -> usize {
+    debug_assert!(subblock_len.is_power_of_two());
+    (edge_hash(dst, depth) as u32 as usize) & (subblock_len - 1)
+}
+
+/// Derives both per-depth decisions from a single hash: `(subblock index,
+/// RHH bucket)`. One mix per (dst, depth) on the hot path; both sizes must
+/// be powers of two (enforced by `TinkerConfig::validate`).
+#[inline]
+pub fn subblock_and_bucket(
+    dst: VertexId,
+    depth: u32,
+    subblocks_per_block: usize,
+    subblock_len: usize,
+) -> (usize, usize) {
+    debug_assert!(subblocks_per_block.is_power_of_two() && subblock_len.is_power_of_two());
+    let h = edge_hash(dst, depth);
+    (
+        ((h >> 32) as usize) & (subblocks_per_block - 1),
+        (h as u32 as usize) & (subblock_len - 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_nontrivial() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), 42);
+        assert_ne!(mix64(0), mix64(1));
+    }
+
+    #[test]
+    fn depth_changes_hash() {
+        // The whole point of tree-based rehashing: the same destination must
+        // land in different subblocks/buckets at different depths (with
+        // overwhelming probability over many vertices).
+        let mut moved = 0;
+        for dst in 0..1000u32 {
+            if subblock_index(dst, 0, 8) != subblock_index(dst, 1, 8) {
+                moved += 1;
+            }
+        }
+        // ~7/8 expected to move; require well over half.
+        assert!(moved > 700, "only {moved}/1000 changed subblock across depths");
+    }
+
+    #[test]
+    fn indices_in_range() {
+        for dst in 0..10_000u32 {
+            for depth in 0..4 {
+                assert!(subblock_index(dst, depth, 8) < 8);
+                assert!(cell_bucket(dst, depth, 8) < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn subblock_distribution_roughly_uniform() {
+        let mut counts = [0usize; 8];
+        for dst in 0..80_000u32 {
+            counts[subblock_index(dst, 0, 8)] += 1;
+        }
+        let expected = 10_000.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "subblock {i} count {c} deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn bucket_distribution_roughly_uniform() {
+        let mut counts = [0usize; 8];
+        for dst in 0..80_000u32 {
+            counts[cell_bucket(dst, 0, 8)] += 1;
+        }
+        for &c in &counts {
+            let dev = (c as f64 - 10_000.0).abs() / 10_000.0;
+            assert!(dev < 0.05);
+        }
+    }
+
+    #[test]
+    fn subblock_and_bucket_not_correlated() {
+        // Destinations sharing a subblock should still spread across buckets.
+        let mut buckets = [0usize; 8];
+        let mut total = 0;
+        for dst in 0..200_000u32 {
+            if subblock_index(dst, 0, 8) == 3 {
+                buckets[cell_bucket(dst, 0, 8)] += 1;
+                total += 1;
+            }
+        }
+        let expected = total as f64 / 8.0;
+        for &c in &buckets {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.1, "bucket skew within one subblock: {buckets:?}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Parallel GraphTinker: interval-partitioned instances (paper §III.D,
+//! Fig. 6).
+//!
+//! The paper parallelizes updates by exploiting the independence of
+//! different source vertices: the edge stream is partitioned into
+//! *intervals* by where the source id hashes, and each interval is loaded
+//! into its own GraphTinker instance on its own core. Each instance is a
+//! single-writer structure, so there is no shared mutable state, no locks
+//! on the hot path, and no `unsafe` — crossbeam's scoped threads hand each
+//! worker a disjoint `&mut GraphTinker`.
+
+use gtinker_types::{partition_of, EdgeBatch, Result, TinkerConfig, VertexId, Weight};
+
+use crate::stats::ProbeStats;
+use crate::tinker::{BatchResult, GraphTinker};
+
+/// A set of interval-partitioned GraphTinker instances updated in parallel.
+pub struct ParallelTinker {
+    instances: Vec<GraphTinker>,
+}
+
+impl ParallelTinker {
+    /// Creates `n` empty instances sharing one configuration.
+    pub fn new(config: TinkerConfig, n: usize) -> Result<Self> {
+        assert!(n > 0, "need at least one instance");
+        let mut instances = Vec::with_capacity(n);
+        for _ in 0..n {
+            instances.push(GraphTinker::new(config)?);
+        }
+        Ok(ParallelTinker { instances })
+    }
+
+    /// Number of parallel instances (one per intended core).
+    #[inline]
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    #[inline]
+    fn shard(&self, src: VertexId) -> usize {
+        partition_of(src, self.instances.len())
+    }
+
+    /// Applies a batch: partitions it by source interval and updates all
+    /// instances concurrently on scoped threads.
+    pub fn apply_batch(&mut self, batch: &EdgeBatch) -> BatchResult {
+        let parts = batch.partition(self.instances.len());
+        let mut results = vec![BatchResult::default(); self.instances.len()];
+        crossbeam::thread::scope(|scope| {
+            for ((inst, part), slot) in
+                self.instances.iter_mut().zip(&parts).zip(results.iter_mut())
+            {
+                scope.spawn(move |_| {
+                    *slot = inst.apply_batch(part);
+                });
+            }
+        })
+        .expect("update worker panicked");
+        let mut total = BatchResult::default();
+        for r in results {
+            total.inserted += r.inserted;
+            total.updated += r.updated;
+            total.deleted += r.deleted;
+            total.not_found += r.not_found;
+        }
+        total
+    }
+
+    /// Total live edges across instances.
+    pub fn num_edges(&self) -> u64 {
+        self.instances.iter().map(|g| g.num_edges()).sum()
+    }
+
+    /// One past the largest vertex id seen by any instance.
+    pub fn vertex_space(&self) -> u32 {
+        self.instances.iter().map(|g| g.vertex_space()).max().unwrap_or(0)
+    }
+
+    /// Weight of `(src, dst)`, routed to the owning instance.
+    pub fn edge_weight(&self, src: VertexId, dst: VertexId) -> Option<Weight> {
+        self.instances[self.shard(src)].edge_weight(src, dst)
+    }
+
+    /// Whether `(src, dst)` is present.
+    pub fn contains_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        self.edge_weight(src, dst).is_some()
+    }
+
+    /// Out-degree of `src`.
+    pub fn out_degree(&self, src: VertexId) -> u32 {
+        self.instances[self.shard(src)].out_degree(src)
+    }
+
+    /// Visits the out-edges of `src`.
+    pub fn for_each_out_edge<F: FnMut(VertexId, Weight)>(&self, src: VertexId, f: F) {
+        self.instances[self.shard(src)].for_each_out_edge(src, f);
+    }
+
+    /// Visits every live edge, instance by instance (each instance streams
+    /// its CAL sequentially).
+    pub fn for_each_edge<F: FnMut(VertexId, VertexId, Weight)>(&self, mut f: F) {
+        for g in &self.instances {
+            g.for_each_edge(&mut f);
+        }
+    }
+
+    /// Merged probe statistics across instances.
+    pub fn stats(&self) -> ProbeStats {
+        let mut s = ProbeStats::default();
+        for g in &self.instances {
+            s.merge(&g.stats());
+        }
+        s
+    }
+
+    /// Clears probe statistics on all instances.
+    pub fn reset_stats(&mut self) {
+        for g in &mut self.instances {
+            g.reset_stats();
+        }
+    }
+
+    /// Immutable access to the underlying instances.
+    pub fn instances(&self) -> &[GraphTinker] {
+        &self.instances
+    }
+}
+
+impl std::fmt::Debug for ParallelTinker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelTinker")
+            .field("instances", &self.instances.len())
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtinker_types::Edge;
+
+    fn batch(n: u32) -> EdgeBatch {
+        EdgeBatch::inserts(
+            &(0..n).map(|i| Edge::new(i % 101, i % 257, i)).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let b = batch(5_000);
+        let mut seq = GraphTinker::with_defaults();
+        seq.apply_batch(&b);
+        let mut par = ParallelTinker::new(Default::default(), 4).unwrap();
+        let r = par.apply_batch(&b);
+        assert_eq!(par.num_edges(), seq.num_edges());
+        assert_eq!(r.inserted + r.updated, 5_000);
+
+        let mut seq_edges: Vec<(u32, u32, u32)> = Vec::new();
+        seq.for_each_edge(|s, d, w| seq_edges.push((s, d, w)));
+        let mut par_edges: Vec<(u32, u32, u32)> = Vec::new();
+        par.for_each_edge(|s, d, w| par_edges.push((s, d, w)));
+        seq_edges.sort_unstable();
+        par_edges.sort_unstable();
+        assert_eq!(seq_edges, par_edges);
+    }
+
+    #[test]
+    fn routing_queries() {
+        let mut par = ParallelTinker::new(Default::default(), 3).unwrap();
+        par.apply_batch(&EdgeBatch::inserts(&[
+            Edge::new(10, 20, 1),
+            Edge::new(10, 21, 2),
+            Edge::new(99, 20, 3),
+        ]));
+        assert_eq!(par.edge_weight(10, 20), Some(1));
+        assert_eq!(par.edge_weight(99, 20), Some(3));
+        assert_eq!(par.edge_weight(99, 21), None);
+        assert_eq!(par.out_degree(10), 2);
+        let mut outs = Vec::new();
+        par.for_each_out_edge(10, |d, _| outs.push(d));
+        outs.sort_unstable();
+        assert_eq!(outs, vec![20, 21]);
+    }
+
+    #[test]
+    fn deletes_apply_in_parallel() {
+        let mut par = ParallelTinker::new(Default::default(), 4).unwrap();
+        par.apply_batch(&batch(1_000));
+        let before = par.num_edges();
+        let dels = EdgeBatch::deletes(
+            &(0..500u32).map(|i| (i % 101, i % 257)).collect::<Vec<_>>(),
+        );
+        let r = par.apply_batch(&dels);
+        assert!(r.deleted > 0);
+        assert_eq!(par.num_edges(), before - r.deleted);
+    }
+
+    #[test]
+    fn stats_merge_across_instances() {
+        let mut par = ParallelTinker::new(Default::default(), 2).unwrap();
+        par.apply_batch(&batch(100));
+        assert_eq!(par.stats().operations, 100);
+        par.reset_stats();
+        assert_eq!(par.stats().operations, 0);
+    }
+
+    #[test]
+    fn vertex_space_is_max_over_instances() {
+        let mut par = ParallelTinker::new(Default::default(), 2).unwrap();
+        par.apply_batch(&EdgeBatch::inserts(&[Edge::unit(5, 777)]));
+        assert_eq!(par.vertex_space(), 778);
+    }
+}

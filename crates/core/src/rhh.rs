@@ -1,0 +1,321 @@
+//! Robin Hood Hashing within a subblock.
+//!
+//! The RHH algorithm (paper §III.A, Fig. 1) keeps the *variance* of probe
+//! distances low: when a floating edge meets an occupied bucket, whichever
+//! of the two is currently "richer" (smaller probe distance) yields the
+//! bucket, and the evicted edge continues probing. In GraphTinker the hash
+//! table under RHH is one subblock; when the floating edge has probed every
+//! cell of the subblock without finding a vacancy, the subblock is congested
+//! and Tree-Based Hashing branches out to a child edgeblock.
+//!
+//! The functions here operate on a bare `&mut [EdgeCell]` (one subblock) so
+//! they can be unit-tested and property-tested in isolation from the arena.
+
+use gtinker_types::{VertexId, Weight};
+
+use crate::edgeblock::{CellState, EdgeCell};
+
+/// An edge not yet anchored in a cell: either a fresh insertion or an edge
+/// displaced by a Robin Hood swap. The CAL pointer travels with it, so the
+/// CAL copy never has to move when the main copy does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Floating {
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge weight.
+    pub weight: Weight,
+    /// CAL pointer of this edge's copy (or `NIL_U32`).
+    pub cal_ptr: u32,
+}
+
+/// Result of attempting to place a floating edge into a subblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RhhOutcome {
+    /// The edge (or, after swaps, *an* edge) was anchored at this offset
+    /// within the subblock; every displaced edge was also re-anchored.
+    Placed,
+    /// The subblock is congested: after probing every cell, this edge is
+    /// still floating and must branch out to the child edgeblock.
+    Overflow(Floating),
+}
+
+/// Linear scan of a subblock for a live edge to `dst`.
+///
+/// Finds must inspect the whole subblock: tombstones do not terminate a
+/// probe sequence, and delete-and-compact mode stores edges without the RHH
+/// probe invariant. Vacant cells always carry the `NIL_VERTEX` sentinel in
+/// `dst` (and `NIL_VERTEX` is rejected at insertion), so a single compare
+/// per cell suffices. Returns the offset of the matching cell.
+#[inline]
+pub fn find_in_subblock(cells: &[EdgeCell], dst: VertexId) -> Option<usize> {
+    debug_assert!(cells
+        .iter()
+        .all(|c| c.is_occupied() || c.dst == gtinker_types::NIL_VERTEX));
+    cells.iter().position(|c| c.dst == dst)
+}
+
+/// First vacant (empty or tombstoned) offset in a subblock, probing
+/// circularly from `bucket`. Used by delete-and-compact mode, where RHH is
+/// disabled and insertion takes the first free slot on the probe path.
+#[inline]
+pub fn first_vacant(cells: &[EdgeCell], bucket: usize) -> Option<usize> {
+    let n = cells.len();
+    debug_assert!(n.is_power_of_two());
+    (0..n).map(|i| (bucket + i) & (n - 1)).find(|&p| cells[p].is_vacant())
+}
+
+/// Robin Hood insertion of `edge` into a subblock, probing from `bucket`.
+///
+/// `inspected` is incremented once per cell touched, feeding the probe
+/// statistics the paper reports. The loop visits at most `cells.len()`
+/// positions: each step either places into a vacancy, swaps with a richer
+/// resident, or moves on; after a full cycle without a vacancy the current
+/// floating edge overflows to the caller for tree-based branching.
+pub fn rhh_insert(
+    cells: &mut [EdgeCell],
+    bucket: usize,
+    edge: Floating,
+    inspected: &mut u64,
+) -> RhhOutcome {
+    let n = cells.len();
+    debug_assert!(bucket < n);
+    debug_assert!(n.is_power_of_two(), "subblock length must be a power of two");
+    debug_assert!(n <= u8::MAX as usize + 1, "probe distance must fit in u8");
+    let mask = n - 1;
+    let mut floating = edge;
+    let mut probe: usize = 0;
+    let mut pos = bucket;
+    loop {
+        if probe == n {
+            return RhhOutcome::Overflow(floating);
+        }
+        *inspected += 1;
+        let cell = &mut cells[pos];
+        if cell.is_vacant() {
+            *cell = EdgeCell {
+                dst: floating.dst,
+                weight: floating.weight,
+                cal_ptr: floating.cal_ptr,
+                probe: probe as u8,
+                state: CellState::Occupied,
+            };
+            return RhhOutcome::Placed;
+        }
+        if (cell.probe as usize) < probe {
+            // The resident is richer: it yields the bucket and floats on.
+            let displaced = Floating { dst: cell.dst, weight: cell.weight, cal_ptr: cell.cal_ptr };
+            let displaced_probe = cell.probe as usize;
+            *cell = EdgeCell {
+                dst: floating.dst,
+                weight: floating.weight,
+                cal_ptr: floating.cal_ptr,
+                probe: probe as u8,
+                state: CellState::Occupied,
+            };
+            floating = displaced;
+            probe = displaced_probe;
+        }
+        pos = (pos + 1) & mask;
+        probe += 1;
+    }
+}
+
+/// Insertion without Robin Hood swapping: claim the first vacant cell on the
+/// circular probe path from `bucket`. Used in delete-and-compact mode.
+pub fn linear_insert(
+    cells: &mut [EdgeCell],
+    bucket: usize,
+    edge: Floating,
+    inspected: &mut u64,
+) -> RhhOutcome {
+    let n = cells.len();
+    debug_assert!(n.is_power_of_two());
+    let mask = n - 1;
+    for i in 0..n {
+        *inspected += 1;
+        let pos = (bucket + i) & mask;
+        if cells[pos].is_vacant() {
+            cells[pos] = EdgeCell {
+                dst: edge.dst,
+                weight: edge.weight,
+                cal_ptr: edge.cal_ptr,
+                probe: i as u8,
+                state: CellState::Occupied,
+            };
+            return RhhOutcome::Placed;
+        }
+    }
+    RhhOutcome::Overflow(edge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtinker_types::NIL_U32;
+
+    fn fl(dst: u32) -> Floating {
+        Floating { dst, weight: dst, cal_ptr: NIL_U32 }
+    }
+
+    fn empty_sub(n: usize) -> Vec<EdgeCell> {
+        vec![EdgeCell::EMPTY; n]
+    }
+
+    #[test]
+    fn inserts_into_empty_at_bucket() {
+        let mut cells = empty_sub(8);
+        let mut ins = 0;
+        let out = rhh_insert(&mut cells, 3, fl(42), &mut ins);
+        assert_eq!(out, RhhOutcome::Placed);
+        assert_eq!(cells[3].dst, 42);
+        assert_eq!(cells[3].probe, 0);
+        assert_eq!(ins, 1);
+    }
+
+    #[test]
+    fn probes_forward_on_collision() {
+        let mut cells = empty_sub(8);
+        let mut ins = 0;
+        rhh_insert(&mut cells, 2, fl(1), &mut ins);
+        rhh_insert(&mut cells, 2, fl(2), &mut ins);
+        // Equal probe (0 vs 0): incumbent keeps the bucket, newcomer steps on.
+        assert_eq!(cells[2].dst, 1);
+        assert_eq!(cells[3].dst, 2);
+        assert_eq!(cells[3].probe, 1);
+    }
+
+    #[test]
+    fn robin_hood_swap_evicts_richer_resident() {
+        // Reproduce the paper's Fig. 1 scenario: a floating edge with a
+        // larger probe distance displaces a resident with a smaller one.
+        let mut cells = empty_sub(8);
+        let mut ins = 0;
+        rhh_insert(&mut cells, 0, fl(10), &mut ins); // at 0, probe 0
+        rhh_insert(&mut cells, 0, fl(11), &mut ins); // at 1, probe 1
+        rhh_insert(&mut cells, 1, fl(12), &mut ins); // bucket 1 taken by probe-1 edge
+        // Edge 12 (probe 0 at pos 1) loses to 11 (probe 1); steps to pos 2.
+        assert_eq!(cells[1].dst, 11);
+        assert_eq!(cells[2].dst, 12);
+        assert_eq!(cells[2].probe, 1);
+
+        // Now an edge hashed to 0 arriving late has to walk past both and
+        // eventually displaces someone poorer than it.
+        rhh_insert(&mut cells, 0, fl(13), &mut ins);
+        // 13: pos0 probe0 vs res probe0 -> step; pos1 probe1 vs probe1 -> step;
+        // pos2 probe2 vs probe1 -> swap (12 floats, probe1); 12: pos3 empty.
+        assert_eq!(cells[2].dst, 13);
+        assert_eq!(cells[2].probe, 2);
+        assert_eq!(cells[3].dst, 12);
+        assert_eq!(cells[3].probe, 2);
+    }
+
+    #[test]
+    fn wraps_around_subblock() {
+        let mut cells = empty_sub(4);
+        let mut ins = 0;
+        for pos in 0..3 {
+            rhh_insert(&mut cells, pos, fl(pos as u32), &mut ins);
+        }
+        rhh_insert(&mut cells, 3, fl(99), &mut ins);
+        rhh_insert(&mut cells, 3, fl(100), &mut ins); // wraps to 0.. all full? no: 4 cells, 4 edges -> 5th overflows
+        // 4 edges fill the subblock; the fifth must overflow.
+        let mut occupied = cells.iter().filter(|c| c.is_occupied()).count();
+        assert_eq!(occupied, 4);
+        let out = rhh_insert(&mut cells, 1, fl(101), &mut ins);
+        assert!(matches!(out, RhhOutcome::Overflow(_)));
+        occupied = cells.iter().filter(|c| c.is_occupied()).count();
+        assert_eq!(occupied, 4, "overflow must not lose or duplicate edges");
+    }
+
+    #[test]
+    fn overflow_returns_some_edge_preserving_multiset() {
+        let mut cells = empty_sub(4);
+        let mut ins = 0;
+        let mut all: Vec<u32> = Vec::new();
+        let mut overflowed: Vec<u32> = Vec::new();
+        for d in 0..6u32 {
+            all.push(d);
+            match rhh_insert(&mut cells, (d as usize * 3) % 4, fl(d), &mut ins) {
+                RhhOutcome::Placed => {}
+                RhhOutcome::Overflow(f) => overflowed.push(f.dst),
+            }
+        }
+        let mut stored: Vec<u32> =
+            cells.iter().filter(|c| c.is_occupied()).map(|c| c.dst).collect();
+        stored.extend(&overflowed);
+        stored.sort_unstable();
+        assert_eq!(stored, all, "stored + overflowed must equal inserted");
+        assert_eq!(overflowed.len(), 2);
+    }
+
+    #[test]
+    fn probe_invariant_holds_after_inserts() {
+        // Every occupied cell's stored probe equals its circular distance
+        // from the bucket it was hashed to. Track buckets externally.
+        let mut cells = empty_sub(8);
+        let mut ins = 0;
+        let buckets: Vec<(u32, usize)> =
+            (0..8).map(|d| (d as u32, (d as usize * 5 + 2) % 8)).collect();
+        for &(d, b) in &buckets {
+            rhh_insert(&mut cells, b, fl(d), &mut ins);
+        }
+        for (pos, c) in cells.iter().enumerate() {
+            if c.is_occupied() {
+                let b = buckets.iter().find(|&&(d, _)| d == c.dst).unwrap().1;
+                let dist = (pos + 8 - b) % 8;
+                assert_eq!(dist, c.probe as usize, "edge {} at pos {pos} bucket {b}", c.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn tombstone_is_reusable() {
+        let mut cells = empty_sub(4);
+        let mut ins = 0;
+        rhh_insert(&mut cells, 0, fl(1), &mut ins);
+        cells[0] = EdgeCell { state: CellState::Tombstone, ..EdgeCell::EMPTY };
+        let out = rhh_insert(&mut cells, 0, fl(2), &mut ins);
+        assert_eq!(out, RhhOutcome::Placed);
+        assert_eq!(cells[0].dst, 2);
+        assert!(cells[0].is_occupied());
+    }
+
+    #[test]
+    fn find_scans_past_tombstones() {
+        let mut cells = empty_sub(4);
+        let mut ins = 0;
+        rhh_insert(&mut cells, 0, fl(1), &mut ins);
+        rhh_insert(&mut cells, 0, fl(2), &mut ins);
+        // Tombstoning clears the cell back to the NIL sentinel (the delete
+        // path's invariant).
+        cells[0] = EdgeCell { state: CellState::Tombstone, ..EdgeCell::EMPTY };
+        assert_eq!(find_in_subblock(&cells, 2), Some(1));
+        assert_eq!(find_in_subblock(&cells, 1), None, "tombstoned edge must not be found");
+    }
+
+    #[test]
+    fn linear_insert_takes_first_vacancy_and_overflows_when_full() {
+        let mut cells = empty_sub(4);
+        let mut ins = 0;
+        assert_eq!(linear_insert(&mut cells, 2, fl(7), &mut ins), RhhOutcome::Placed);
+        assert_eq!(cells[2].dst, 7);
+        assert_eq!(linear_insert(&mut cells, 2, fl(8), &mut ins), RhhOutcome::Placed);
+        assert_eq!(cells[3].dst, 8);
+        assert_eq!(linear_insert(&mut cells, 2, fl(9), &mut ins), RhhOutcome::Placed);
+        assert_eq!(cells[0].dst, 9, "wraps to position 0");
+        assert_eq!(linear_insert(&mut cells, 2, fl(10), &mut ins), RhhOutcome::Placed);
+        assert_eq!(cells[1].dst, 10);
+        let out = linear_insert(&mut cells, 2, fl(11), &mut ins);
+        assert_eq!(out, RhhOutcome::Overflow(fl(11)), "full subblock overflows the same edge");
+    }
+
+    #[test]
+    fn inspected_counter_counts_cells_touched() {
+        let mut cells = empty_sub(8);
+        let mut ins = 0;
+        rhh_insert(&mut cells, 0, fl(1), &mut ins);
+        assert_eq!(ins, 1);
+        rhh_insert(&mut cells, 0, fl(2), &mut ins);
+        assert_eq!(ins, 3, "collision probe touches two cells");
+    }
+}

@@ -1,0 +1,247 @@
+//! The Scatter-Gather Hashing (SGH) unit.
+//!
+//! SGH is GraphTinker's first level of compaction (§III.B): every source
+//! vertex id streamed into the structure is remapped, on first sight, to the
+//! next unused index of the EdgeblockArray's main region. The mapping (and
+//! its inverse) is maintained by the *Scatter-Gather Hashing table*, so that
+//! during analytics only non-empty vertices — exactly the first
+//! `len()` indices of the main region — are ever traversed.
+//!
+//! The table itself is a Robin-Hood open-addressing hash map specialized for
+//! `u32 -> u32`, implemented here rather than borrowed from `std`: the SGH
+//! lookup sits on the hot path of every single edge update, where SipHash
+//! and the generic `HashMap` layout would dominate the cost the structure is
+//! designed to avoid.
+
+use gtinker_types::{VertexId, NIL_VERTEX};
+
+use crate::hash::mix64;
+
+/// A slot in the SGH table.
+#[derive(Clone, Copy)]
+struct Slot {
+    /// Original (external) vertex id; NIL_VERTEX marks an empty slot.
+    key: VertexId,
+    /// Dense (internal) id assigned to it.
+    value: u32,
+    /// Robin Hood probe distance of this entry.
+    probe: u16,
+}
+
+const EMPTY_SLOT: Slot = Slot { key: NIL_VERTEX, value: 0, probe: 0 };
+
+/// Dense remapping unit: original source id <-> dense main-region index.
+pub struct SghUnit {
+    slots: Vec<Slot>,
+    /// Inverse mapping: dense id -> original id.
+    reverse: Vec<VertexId>,
+    mask: usize,
+    /// Resize when len * 4 > capacity * 3 (load factor 0.75).
+    len: usize,
+}
+
+impl SghUnit {
+    /// Creates an empty unit with a small initial capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(1024)
+    }
+
+    /// Creates an empty unit sized for at least `cap` vertices.
+    pub fn with_capacity(cap: usize) -> Self {
+        let n = cap.next_power_of_two().max(16);
+        SghUnit {
+            slots: vec![EMPTY_SLOT; n],
+            reverse: Vec::new(),
+            mask: n - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of distinct source vertices hashed so far (= number of
+    /// non-empty vertices in the main region).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no vertex has been hashed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the dense id for an original id, if it has been hashed.
+    #[inline]
+    pub fn get(&self, orig: VertexId) -> Option<u32> {
+        debug_assert_ne!(orig, NIL_VERTEX, "NIL_VERTEX is reserved");
+        let mut pos = (mix64(orig as u64) as usize) & self.mask;
+        let mut probe: u16 = 0;
+        loop {
+            let s = &self.slots[pos];
+            if s.key == orig {
+                return Some(s.value);
+            }
+            // Robin Hood invariant: if the resident's probe distance is
+            // smaller than ours would be, the key cannot be further on.
+            if s.key == NIL_VERTEX || s.probe < probe {
+                return None;
+            }
+            pos = (pos + 1) & self.mask;
+            probe += 1;
+        }
+    }
+
+    /// Returns the dense id for `orig`, assigning the next unused index on
+    /// first sight (the paper's "obtaining the next unused index location in
+    /// the EdgeblockArray starting from zero").
+    pub fn get_or_insert(&mut self, orig: VertexId) -> u32 {
+        if let Some(v) = self.get(orig) {
+            return v;
+        }
+        let dense = self.reverse.len() as u32;
+        self.reverse.push(orig);
+        self.insert_fresh(orig, dense);
+        dense
+    }
+
+    /// Original id for a dense id (panics if out of range).
+    #[inline]
+    pub fn original_of(&self, dense: u32) -> VertexId {
+        self.reverse[dense as usize]
+    }
+
+    /// Iterates over `(dense, original)` pairs in dense order.
+    pub fn iter_dense(&self) -> impl Iterator<Item = (u32, VertexId)> + '_ {
+        self.reverse.iter().enumerate().map(|(d, &o)| (d as u32, o))
+    }
+
+    /// Maximum probe distance currently in the table (diagnostic).
+    pub fn max_probe(&self) -> u16 {
+        self.slots.iter().filter(|s| s.key != NIL_VERTEX).map(|s| s.probe).max().unwrap_or(0)
+    }
+
+    fn insert_fresh(&mut self, key: VertexId, value: u32) {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        self.len += 1;
+        let mut floating = Slot { key, value, probe: 0 };
+        let mut pos = (mix64(key as u64) as usize) & self.mask;
+        loop {
+            let s = &mut self.slots[pos];
+            if s.key == NIL_VERTEX {
+                *s = floating;
+                return;
+            }
+            if s.probe < floating.probe {
+                std::mem::swap(s, &mut floating);
+            }
+            pos = (pos + 1) & self.mask;
+            floating.probe += 1;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
+        self.mask = self.slots.len() - 1;
+        self.len = 0;
+        for s in old {
+            if s.key != NIL_VERTEX {
+                self.insert_fresh(s.key, s.value);
+            }
+        }
+    }
+}
+
+impl Default for SghUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SghUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SghUnit")
+            .field("len", &self.len)
+            .field("capacity", &self.slots.len())
+            .field("max_probe", &self.max_probe())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assigns_dense_ids_in_arrival_order() {
+        let mut sgh = SghUnit::new();
+        assert_eq!(sgh.get_or_insert(34), 0);
+        assert_eq!(sgh.get_or_insert(22789), 1);
+        assert_eq!(sgh.get_or_insert(7), 2);
+        // Re-presenting an id returns the original mapping.
+        assert_eq!(sgh.get_or_insert(22789), 1);
+        assert_eq!(sgh.len(), 3);
+    }
+
+    #[test]
+    fn reverse_mapping_roundtrips() {
+        let mut sgh = SghUnit::new();
+        for orig in [100u32, 5, 9_000_000, 0, 42] {
+            let d = sgh.get_or_insert(orig);
+            assert_eq!(sgh.original_of(d), orig);
+        }
+    }
+
+    #[test]
+    fn get_on_missing_returns_none() {
+        let mut sgh = SghUnit::new();
+        sgh.get_or_insert(1);
+        assert_eq!(sgh.get(2), None);
+        assert_eq!(sgh.get(1), Some(0));
+    }
+
+    #[test]
+    fn survives_growth() {
+        let mut sgh = SghUnit::with_capacity(16);
+        for i in 0..10_000u32 {
+            assert_eq!(sgh.get_or_insert(i * 3 + 1), i);
+        }
+        for i in 0..10_000u32 {
+            assert_eq!(sgh.get(i * 3 + 1), Some(i), "lost mapping after growth");
+            assert_eq!(sgh.original_of(i), i * 3 + 1);
+        }
+        assert_eq!(sgh.len(), 10_000);
+    }
+
+    #[test]
+    fn iter_dense_is_ordered_and_complete() {
+        let mut sgh = SghUnit::new();
+        let origs = [9u32, 4, 77, 12];
+        for &o in &origs {
+            sgh.get_or_insert(o);
+        }
+        let pairs: Vec<_> = sgh.iter_dense().collect();
+        assert_eq!(pairs, vec![(0, 9), (1, 4), (2, 77), (3, 12)]);
+    }
+
+    #[test]
+    fn probe_distances_stay_small_under_load() {
+        let mut sgh = SghUnit::with_capacity(16);
+        for i in 0..50_000u32 {
+            sgh.get_or_insert(i.wrapping_mul(2_654_435_761));
+        }
+        // Robin Hood at load 0.75 keeps the max probe small; allow slack.
+        assert!(sgh.max_probe() < 64, "max probe {} unexpectedly large", sgh.max_probe());
+    }
+
+    #[test]
+    fn empty_unit_behaves() {
+        let sgh = SghUnit::new();
+        assert!(sgh.is_empty());
+        assert_eq!(sgh.get(5), None);
+        assert_eq!(sgh.max_probe(), 0);
+        assert_eq!(sgh.iter_dense().count(), 0);
+    }
+}

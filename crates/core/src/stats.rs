@@ -1,0 +1,117 @@
+//! Probe-distance and structure statistics.
+//!
+//! The paper's core claims are about *probe distance* (cells traversed per
+//! update) and *compaction* (how densely live edges pack in memory). These
+//! counters make both directly observable, so the benchmark harness can
+//! report them next to throughput and the tests can assert on them.
+
+use serde::{Deserialize, Serialize};
+
+/// Running counters over update operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeStats {
+    /// Update operations performed (inserts + deletes + finds).
+    pub operations: u64,
+    /// Edge-cells inspected across all operations.
+    pub cells_inspected: u64,
+    /// Workblocks fetched by the load unit (cells_inspected rounded up to
+    /// workblock granularity per subblock visit).
+    pub workblocks_fetched: u64,
+    /// Subblocks visited.
+    pub subblocks_visited: u64,
+    /// Branch-out events (child edgeblock created).
+    pub branches_created: u64,
+    /// Deepest tree level ever reached.
+    pub max_depth: u32,
+}
+
+impl ProbeStats {
+    /// Mean cells inspected per operation.
+    pub fn mean_probe(&self) -> f64 {
+        if self.operations == 0 {
+            0.0
+        } else {
+            self.cells_inspected as f64 / self.operations as f64
+        }
+    }
+
+    /// Merges another stats block into this one (used by the parallel
+    /// wrapper to aggregate per-instance counters).
+    pub fn merge(&mut self, other: &ProbeStats) {
+        self.operations += other.operations;
+        self.cells_inspected += other.cells_inspected;
+        self.workblocks_fetched += other.workblocks_fetched;
+        self.subblocks_visited += other.subblocks_visited;
+        self.branches_created += other.branches_created;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
+/// Point-in-time snapshot of the structure's shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StructureStats {
+    /// Live edges.
+    pub live_edges: u64,
+    /// Distinct non-empty source vertices.
+    pub num_sources: usize,
+    /// Edgeblocks allocated in the main region.
+    pub main_blocks: usize,
+    /// Edgeblocks in the overflow region (descendants).
+    pub overflow_blocks: usize,
+    /// Edgeblocks currently on the free list.
+    pub free_blocks: usize,
+    /// Tombstoned cells.
+    pub tombstones: usize,
+    /// CAL blocks allocated (0 when CAL is disabled).
+    pub cal_blocks: usize,
+    /// CAL records flagged invalid.
+    pub cal_invalid: u64,
+    /// Fraction of allocated edge-cells holding live edges, in `[0, 1]`.
+    pub occupancy: f64,
+    /// Heap bytes used by the structure (cells, topology, CAL, SGH).
+    pub memory_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_probe_handles_zero_ops() {
+        let s = ProbeStats::default();
+        assert_eq!(s.mean_probe(), 0.0);
+    }
+
+    #[test]
+    fn mean_probe_divides() {
+        let s = ProbeStats { operations: 4, cells_inspected: 10, ..Default::default() };
+        assert!((s.mean_probe() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = ProbeStats {
+            operations: 1,
+            cells_inspected: 2,
+            workblocks_fetched: 3,
+            subblocks_visited: 4,
+            branches_created: 5,
+            max_depth: 2,
+        };
+        let b = ProbeStats {
+            operations: 10,
+            cells_inspected: 20,
+            workblocks_fetched: 30,
+            subblocks_visited: 40,
+            branches_created: 50,
+            max_depth: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.operations, 11);
+        assert_eq!(a.cells_inspected, 22);
+        assert_eq!(a.workblocks_fetched, 33);
+        assert_eq!(a.subblocks_visited, 44);
+        assert_eq!(a.branches_created, 55);
+        assert_eq!(a.max_depth, 2);
+    }
+}

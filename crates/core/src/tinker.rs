@@ -1,0 +1,1109 @@
+//! The GraphTinker data structure: ties the EdgeblockArray, SGH unit,
+//! VertexPropertyArray and CAL together (paper Figs. 2-5).
+//!
+//! Operation map from the paper's interface components (§III.B) to this
+//! implementation:
+//!
+//! * **load / writeback units** — the subblock slices handed to the RHH
+//!   routines; workblock-granular retrieval is accounted in [`ProbeStats`].
+//! * **find-edge unit** — the internal `locate` walk (FIND mode).
+//! * **insert-edge unit** — the INSERT-mode walk in
+//!   [`GraphTinker::insert_edge`].
+//! * **inference / interval units** — the per-depth control flow of the
+//!   walks (which subblock next, when to branch out).
+//! * **SGH unit** — [`crate::sgh::SghUnit`].
+
+use gtinker_types::{
+    DeleteMode, Edge, EdgeBatch, GraphError, Result, TinkerConfig, UpdateOp, VertexId, Weight,
+    NIL_U32, NIL_VERTEX,
+};
+
+use crate::cal::CalArray;
+use crate::edgeblock::{BlockArena, BlockId, CellState, EdgeCell};
+use crate::hash::subblock_and_bucket;
+use crate::rhh::{find_in_subblock, linear_insert, rhh_insert, Floating, RhhOutcome};
+use crate::sgh::SghUnit;
+use crate::stats::{ProbeStats, StructureStats};
+use crate::vertex::VertexPropertyArray;
+
+/// Outcome counts of applying an [`EdgeBatch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Edges newly inserted.
+    pub inserted: u64,
+    /// Insertions that found the edge already present (weight updated).
+    pub updated: u64,
+    /// Edges deleted.
+    pub deleted: u64,
+    /// Deletions whose target edge was absent.
+    pub not_found: u64,
+}
+
+impl BatchResult {
+    /// Total operations processed.
+    pub fn total(&self) -> u64 {
+        self.inserted + self.updated + self.deleted + self.not_found
+    }
+}
+
+/// Cost of one FIND-mode walk; folded into [`ProbeStats`] by mutating
+/// entry points.
+#[derive(Debug, Clone, Copy, Default)]
+struct FindCost {
+    cells: u64,
+    subblocks: u64,
+    workblocks: u64,
+    depth: u32,
+}
+
+/// The GraphTinker dynamic-graph data structure.
+///
+/// See the [crate docs](crate) for an overview and a usage example.
+pub struct GraphTinker {
+    config: TinkerConfig,
+    arena: BlockArena,
+    /// Top-parent edgeblock per dense source id (`NIL_U32` = none yet).
+    /// This is the main region's index: with SGH enabled the array is
+    /// exactly as long as the number of non-empty vertices.
+    top_blocks: Vec<u32>,
+    /// Dense remapping of source ids; `None` when SGH is disabled (the
+    /// ablation), in which case the raw source id indexes `top_blocks`.
+    sgh: Option<SghUnit>,
+    props: VertexPropertyArray,
+    cal: Option<CalArray>,
+    stats: ProbeStats,
+    live_edges: u64,
+    /// One past the largest original vertex id seen (src or dst side).
+    vertex_space: u32,
+    /// Blocks currently serving as top-parents (main region size).
+    main_blocks: usize,
+}
+
+impl GraphTinker {
+    /// Creates an empty GraphTinker with the given configuration.
+    pub fn new(config: TinkerConfig) -> Result<Self> {
+        config.validate().map_err(GraphError::InvalidConfig)?;
+        Ok(GraphTinker {
+            arena: BlockArena::new(config.pagewidth, config.subblock),
+            top_blocks: Vec::new(),
+            sgh: config.enable_sgh.then(SghUnit::new),
+            props: VertexPropertyArray::new(),
+            cal: config.enable_cal.then(|| CalArray::new(config.cal_group_size, config.cal_block_size)),
+            stats: ProbeStats::default(),
+            live_edges: 0,
+            vertex_space: 0,
+            main_blocks: 0,
+            config,
+        })
+    }
+
+    /// Creates a GraphTinker with the default (paper-tuned) configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(TinkerConfig::default()).expect("default config is valid")
+    }
+
+    /// The active configuration.
+    #[inline]
+    pub fn config(&self) -> &TinkerConfig {
+        &self.config
+    }
+
+    /// Number of live edges in the structure.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.live_edges
+    }
+
+    /// Number of distinct non-empty source vertices ever seen.
+    ///
+    /// (A source whose edges were all deleted still occupies its slot; the
+    /// paper's SGH assigns ids monotonically and never reclaims them.)
+    #[inline]
+    pub fn num_sources(&self) -> usize {
+        match &self.sgh {
+            Some(s) => s.len(),
+            None => self.top_blocks.len(),
+        }
+    }
+
+    /// One past the largest original vertex id observed on either edge
+    /// endpoint — the id space analytics must cover.
+    #[inline]
+    pub fn vertex_space(&self) -> u32 {
+        self.vertex_space
+    }
+
+    /// Probe statistics accumulated since the last [`reset_stats`].
+    ///
+    /// [`reset_stats`]: GraphTinker::reset_stats
+    #[inline]
+    pub fn stats(&self) -> ProbeStats {
+        self.stats
+    }
+
+    /// Clears the probe statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = ProbeStats::default();
+    }
+
+    #[inline]
+    fn rhh_enabled(&self) -> bool {
+        // The paper disables RHH under delete-and-compact to avoid the
+        // edge-tracking overhead of undoing swap chains during backfill.
+        self.config.delete_mode == DeleteMode::DeleteOnly
+    }
+
+    #[inline]
+    fn note_vertex(&mut self, v: VertexId) {
+        debug_assert_ne!(v, NIL_VERTEX, "NIL_VERTEX is reserved");
+        if v >= self.vertex_space {
+            self.vertex_space = v + 1;
+        }
+    }
+
+    /// Dense id of a source, allocating on first sight.
+    fn dense_of_mut(&mut self, src: VertexId) -> u32 {
+        match &mut self.sgh {
+            Some(sgh) => sgh.get_or_insert(src),
+            None => src,
+        }
+    }
+
+    /// Original id of a dense source index.
+    fn original_of(&self, dense: u32) -> VertexId {
+        match &self.sgh {
+            Some(sgh) => sgh.original_of(dense),
+            None => dense,
+        }
+    }
+
+    fn top_block(&self, dense: u32) -> Option<BlockId> {
+        self.top_blocks
+            .get(dense as usize)
+            .copied()
+            .filter(|&b| b != NIL_U32)
+    }
+
+    fn ensure_top_block(&mut self, dense: u32) -> BlockId {
+        let idx = dense as usize;
+        if idx >= self.top_blocks.len() {
+            self.top_blocks.resize(idx + 1, NIL_U32);
+        }
+        if self.top_blocks[idx] == NIL_U32 {
+            let b = self.arena.alloc_block();
+            self.top_blocks[idx] = b;
+            self.main_blocks += 1;
+        }
+        self.top_blocks[idx]
+    }
+
+    #[inline]
+    fn workblocks_for(&self, cells: u64) -> u64 {
+        let wb = self.config.workblock as u64;
+        cells.div_ceil(wb)
+    }
+
+    /// FIND mode: walks the subblock chain of `top` for `dst`. Pure (no
+    /// stats mutation); returns the location and the traversal cost.
+    fn locate(&self, top: BlockId, dst: VertexId) -> (Option<(BlockId, usize)>, FindCost) {
+        let spb = self.arena.subblocks_per_block();
+        let sublen = self.arena.subblock_len();
+        let mut cost = FindCost::default();
+        let mut block = top;
+        let mut depth: u32 = 0;
+        loop {
+            let (sub, _) = subblock_and_bucket(dst, depth, spb, sublen);
+            cost.subblocks += 1;
+            let cells = self.arena.subblock_cells(block, sub);
+            if let Some(off) = find_in_subblock(cells, dst) {
+                // The matching workblock and its predecessors were fetched.
+                cost.cells += (off + 1) as u64;
+                cost.workblocks += self.workblocks_for((off + 1) as u64);
+                cost.depth = depth;
+                return (Some((block, sub * sublen + off)), cost);
+            }
+            cost.cells += sublen as u64;
+            cost.workblocks += self.workblocks_for(sublen as u64);
+            cost.depth = depth;
+            match self.arena.child(block, sub) {
+                Some(c) => {
+                    block = c;
+                    depth += 1;
+                }
+                None => return (None, cost),
+            }
+        }
+    }
+
+    fn absorb_cost(&mut self, cost: FindCost) {
+        self.stats.cells_inspected += cost.cells;
+        self.stats.subblocks_visited += cost.subblocks;
+        self.stats.workblocks_fetched += cost.workblocks;
+        self.stats.max_depth = self.stats.max_depth.max(cost.depth);
+    }
+
+    /// Inserts an edge; returns `true` if it was new, `false` if an existing
+    /// `(src, dst)` edge had its weight updated.
+    ///
+    /// The FIND and INSERT modes share one walk: while FIND scans the
+    /// subblock chain for the edge, it also scouts the first subblock with a
+    /// vacant cell, so a miss can anchor the new edge without re-traversing
+    /// the chain. RHH displacement still runs within the target subblock.
+    pub fn insert_edge(&mut self, e: Edge) -> bool {
+        assert!(
+            e.src != NIL_VERTEX && e.dst != NIL_VERTEX,
+            "NIL_VERTEX is reserved as the empty-cell sentinel"
+        );
+        self.note_vertex(e.src);
+        self.note_vertex(e.dst);
+        self.stats.operations += 1;
+        let dense = self.dense_of_mut(e.src);
+        let top = self.ensure_top_block(dense);
+        let spb = self.arena.subblocks_per_block();
+        let sublen = self.arena.subblock_len();
+
+        // FIND mode + vacancy scout.
+        let mut block = top;
+        let mut depth: u32 = 0;
+        let mut candidate: Option<(BlockId, usize, usize)> = None;
+        let (tail_block, tail_sub);
+        loop {
+            let (sub, bucket) = subblock_and_bucket(e.dst, depth, spb, sublen);
+            self.stats.subblocks_visited += 1;
+            let cells = self.arena.subblock_cells(block, sub);
+            if let Some(off) = find_in_subblock(cells, e.dst) {
+                self.stats.cells_inspected += (off + 1) as u64;
+                self.stats.workblocks_fetched += self.workblocks_for((off + 1) as u64);
+                let offset = sub * sublen + off;
+                let cell = self.arena.cell_mut(block, offset);
+                cell.weight = e.weight;
+                let ptr = cell.cal_ptr;
+                if ptr != NIL_U32 {
+                    if let Some(cal) = &mut self.cal {
+                        cal.update_weight(ptr, e.weight);
+                    }
+                }
+                return false;
+            }
+            self.stats.cells_inspected += sublen as u64;
+            self.stats.workblocks_fetched += self.workblocks_for(sublen as u64);
+            if candidate.is_none() && cells.iter().any(|c| c.is_vacant()) {
+                candidate = Some((block, sub, bucket));
+            }
+            match self.arena.child(block, sub) {
+                Some(c) => {
+                    block = c;
+                    depth += 1;
+                }
+                None => {
+                    (tail_block, tail_sub) = (block, sub);
+                    break;
+                }
+            }
+        }
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+
+        // INSERT mode: append the CAL copy (O(1)), then anchor the main
+        // copy — in the scouted subblock, or in a fresh branch when every
+        // subblock on the path is full (Tree-Based Hashing).
+        let cal_ptr = match &mut self.cal {
+            Some(cal) => cal.insert(dense, e.src, e.dst, e.weight),
+            None => NIL_U32,
+        };
+        let floating = Floating { dst: e.dst, weight: e.weight, cal_ptr };
+        let rhh = self.rhh_enabled();
+        let (target_block, target_sub, target_bucket) = match candidate {
+            Some(c) => c,
+            None => {
+                let child = self.arena.alloc_block();
+                self.arena.set_child(tail_block, tail_sub, Some(child));
+                self.stats.branches_created += 1;
+                depth += 1;
+                self.stats.max_depth = self.stats.max_depth.max(depth);
+                let (sub, bucket) = subblock_and_bucket(e.dst, depth, spb, sublen);
+                (child, sub, bucket)
+            }
+        };
+        let mut touched = 0u64;
+        let outcome = {
+            let cells = self.arena.subblock_cells_mut(target_block, target_sub);
+            if rhh {
+                rhh_insert(cells, target_bucket, floating, &mut touched)
+            } else {
+                linear_insert(cells, target_bucket, floating, &mut touched)
+            }
+        };
+        self.stats.cells_inspected += touched;
+        self.stats.workblocks_fetched += self.workblocks_for(touched);
+        debug_assert!(
+            matches!(outcome, RhhOutcome::Placed),
+            "target subblock was scouted to have a vacancy"
+        );
+        let RhhOutcome::Placed = outcome else {
+            unreachable!("scouted subblock must accept the edge")
+        };
+        self.arena.add_live(target_block, 1);
+        self.props.ensure(dense, e.src).out_degree += 1;
+        self.live_edges += 1;
+        true
+    }
+
+    /// Deletes the edge `(src, dst)`. Returns `true` if it existed.
+    pub fn delete_edge(&mut self, src: VertexId, dst: VertexId) -> bool {
+        self.stats.operations += 1;
+        let Some(dense) = self.dense_lookup(src) else { return false };
+        let Some(top) = self.top_block(dense) else { return false };
+        let (found, cost) = self.locate(top, dst);
+        self.absorb_cost(cost);
+        let Some((block, offset)) = found else { return false };
+
+        let sublen = self.arena.subblock_len();
+        let sub = offset / sublen;
+        let cell = self.arena.cell_mut(block, offset);
+        let cal_ptr = cell.cal_ptr;
+        match self.config.delete_mode {
+            DeleteMode::DeleteOnly => {
+                *cell = EdgeCell { state: CellState::Tombstone, ..EdgeCell::EMPTY };
+            }
+            DeleteMode::DeleteAndCompact => {
+                *cell = EdgeCell::EMPTY;
+            }
+        }
+        self.arena.add_live(block, -1);
+        if cal_ptr != NIL_U32 {
+            if let Some(cal) = &mut self.cal {
+                cal.invalidate(cal_ptr);
+            }
+        }
+        let p = self.props.get_mut(dense).expect("source with an edge has properties");
+        p.out_degree -= 1;
+        self.live_edges -= 1;
+
+        if self.config.delete_mode == DeleteMode::DeleteAndCompact {
+            self.backfill(block, sub, offset);
+            self.free_upward(block);
+            // Compact mode keeps the *whole* database compact, CAL included:
+            // once invalidated records outnumber live ones, rebuild the CAL
+            // from the main structure (amortized O(1) per delete).
+            if let Some(cal) = &self.cal {
+                if cal.num_invalid() > cal.num_live().max(1024) {
+                    self.rebuild_cal();
+                }
+            }
+        }
+        true
+    }
+
+    /// Looks up the dense id without allocating.
+    fn dense_lookup(&self, src: VertexId) -> Option<u32> {
+        match &self.sgh {
+            Some(sgh) => sgh.get(src),
+            None => ((src as usize) < self.top_blocks.len()).then_some(src),
+        }
+    }
+
+    /// Delete-and-compact backfill: pull an edge from the deepest block of
+    /// the subtree hanging off `(block, sub)` into the freed cell at
+    /// `offset`, then recycle any blocks the pull emptied. Every edge in
+    /// that subtree hashed through `(block, sub)` on its way down, so the
+    /// freed cell is on its FIND path and the move is invisible to lookups.
+    fn backfill(&mut self, block: BlockId, sub: usize, offset: usize) {
+        let Some(child) = self.arena.child(block, sub) else { return };
+
+        // DFS for the deepest block holding at least one live edge.
+        let mut best: Option<(usize, BlockId)> = None;
+        let mut stack: Vec<(BlockId, usize)> = vec![(child, 0)];
+        while let Some((b, depth)) = stack.pop() {
+            if self.arena.live_count(b) > 0 && best.is_none_or(|(bd, _)| depth > bd) {
+                best = Some((depth, b));
+            }
+            for s in 0..self.arena.subblocks_per_block() {
+                if let Some(c) = self.arena.child(b, s) {
+                    stack.push((c, depth + 1));
+                }
+            }
+        }
+        let Some((_, donor)) = best else { return };
+
+        // Take any live cell from the donor block.
+        let pw = self.arena.pagewidth();
+        let donor_off = (0..pw)
+            .find(|&i| self.arena.cell(donor, i).is_occupied())
+            .expect("donor block advertises live edges");
+        let moved = *self.arena.cell(donor, donor_off);
+        *self.arena.cell_mut(donor, donor_off) = EdgeCell::EMPTY;
+        self.arena.add_live(donor, -1);
+
+        // Anchor it in the freed slot. Probe distances carry no meaning in
+        // compact mode (finds scan whole subblocks), so store 0.
+        *self.arena.cell_mut(block, offset) = EdgeCell { probe: 0, ..moved };
+        self.arena.add_live(block, 1);
+
+        // Recycle emptied, childless blocks bottom-up from the donor.
+        self.free_upward(donor);
+    }
+
+    /// Walks up the parent chain from `start`, recycling every block that is
+    /// empty and childless. Top-parent (main region) blocks are never
+    /// recycled — the main region is indexed positionally by dense id.
+    fn free_upward(&mut self, start: BlockId) {
+        let mut b = start;
+        loop {
+            let Some((parent, psub)) = self.arena.parent(b) else { return };
+            let childless = self.arena.child_slots(b).iter().all(|&c| c == NIL_U32);
+            if self.arena.live_count(b) != 0 || !childless {
+                return;
+            }
+            self.arena.set_child(parent, psub, None);
+            self.arena.free_block(b);
+            b = parent;
+        }
+    }
+
+    /// Weight of the edge `(src, dst)`, if present.
+    pub fn edge_weight(&self, src: VertexId, dst: VertexId) -> Option<Weight> {
+        let dense = self.dense_lookup(src)?;
+        let top = self.top_block(dense)?;
+        let (found, _) = self.locate(top, dst);
+        found.map(|(b, off)| self.arena.cell(b, off).weight)
+    }
+
+    /// Whether the edge `(src, dst)` is present.
+    #[inline]
+    pub fn contains_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        self.edge_weight(src, dst).is_some()
+    }
+
+    /// Live out-degree of `src` (0 for unknown vertices).
+    pub fn out_degree(&self, src: VertexId) -> u32 {
+        self.dense_lookup(src).map_or(0, |d| self.props.out_degree(d))
+    }
+
+    /// Applies a batch of updates, returning outcome counts.
+    pub fn apply_batch(&mut self, batch: &EdgeBatch) -> BatchResult {
+        let mut r = BatchResult::default();
+        for op in batch.iter() {
+            match *op {
+                UpdateOp::Insert(e) => {
+                    if self.insert_edge(e) {
+                        r.inserted += 1;
+                    } else {
+                        r.updated += 1;
+                    }
+                }
+                UpdateOp::Delete { src, dst } => {
+                    if self.delete_edge(src, dst) {
+                        r.deleted += 1;
+                    } else {
+                        r.not_found += 1;
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    /// Visits every live out-edge of `src` as `(dst, weight)`, walking the
+    /// EdgeblockArray subtree of the vertex. This is the incremental-mode
+    /// (random access) retrieval path.
+    pub fn for_each_out_edge<F: FnMut(VertexId, Weight)>(&self, src: VertexId, mut f: F) {
+        let Some(dense) = self.dense_lookup(src) else { return };
+        let Some(top) = self.top_block(dense) else { return };
+        let mut stack = vec![top];
+        while let Some(b) = stack.pop() {
+            for cell in self.arena.block(b) {
+                if cell.is_occupied() {
+                    f(cell.dst, cell.weight);
+                }
+            }
+            for &c in self.arena.child_slots(b) {
+                if c != NIL_U32 {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+
+    /// Visits every live edge as `(src, dst, weight)`.
+    ///
+    /// With CAL enabled this streams the compacted CAL EdgeblockArray
+    /// sequentially (the full-processing retrieval path); with CAL disabled
+    /// it falls back to scanning the main structure vertex-by-vertex, which
+    /// is exactly the non-contiguous access pattern the CAL exists to avoid.
+    pub fn for_each_edge<F: FnMut(VertexId, VertexId, Weight)>(&self, f: F) {
+        match &self.cal {
+            Some(cal) => cal.for_each_edge(f),
+            None => self.for_each_edge_main(f),
+        }
+    }
+
+    /// Visits every live edge by scanning the main EdgeblockArray,
+    /// regardless of CAL availability (used by tests and the CAL ablation).
+    pub fn for_each_edge_main<F: FnMut(VertexId, VertexId, Weight)>(&self, mut f: F) {
+        for dense in 0..self.top_blocks.len() as u32 {
+            let Some(top) = self.top_block(dense) else { continue };
+            let src = self.original_of(dense);
+            let mut stack = vec![top];
+            while let Some(b) = stack.pop() {
+                for cell in self.arena.block(b) {
+                    if cell.is_occupied() {
+                        f(src, cell.dst, cell.weight);
+                    }
+                }
+                for &c in self.arena.child_slots(b) {
+                    if c != NIL_U32 {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterates the original ids of all non-empty source vertices, in SGH
+    /// (arrival) order.
+    pub fn sources(&self) -> Vec<VertexId> {
+        match &self.sgh {
+            Some(sgh) => sgh.iter_dense().map(|(_, o)| o).collect(),
+            None => (0..self.top_blocks.len() as u32)
+                .filter(|&d| self.top_block(d).is_some())
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the CAL from the live edges in the main structure,
+    /// discarding accumulated invalid records and refreshing every
+    /// CAL-pointer. No-op when CAL is disabled.
+    pub fn rebuild_cal(&mut self) {
+        if self.cal.is_none() {
+            return;
+        }
+        let mut cal = CalArray::new(self.config.cal_group_size, self.config.cal_block_size);
+        for dense in 0..self.top_blocks.len() as u32 {
+            let Some(top) = self.top_block(dense) else { continue };
+            let src = self.original_of(dense);
+            let mut stack = vec![top];
+            while let Some(b) = stack.pop() {
+                let pw = self.arena.pagewidth();
+                for off in 0..pw {
+                    let cell = *self.arena.cell(b, off);
+                    if cell.is_occupied() {
+                        let ptr = cal.insert(dense, src, cell.dst, cell.weight);
+                        self.arena.cell_mut(b, off).cal_ptr = ptr;
+                    }
+                }
+                for &c in self.arena.child_slots(b) {
+                    if c != NIL_U32 {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        self.cal = Some(cal);
+    }
+
+    /// Point-in-time structure statistics.
+    pub fn structure_stats(&self) -> StructureStats {
+        let total_blocks = self.arena.num_blocks();
+        let free = self.arena.num_free_blocks();
+        let allocated_cells = (total_blocks - free) * self.arena.pagewidth();
+        StructureStats {
+            live_edges: self.live_edges,
+            num_sources: self.num_sources(),
+            main_blocks: self.main_blocks,
+            overflow_blocks: total_blocks - free - self.main_blocks,
+            free_blocks: free,
+            tombstones: self.arena.count_tombstones(),
+            cal_blocks: self.cal.as_ref().map_or(0, |c| c.num_blocks()),
+            cal_invalid: self.cal.as_ref().map_or(0, |c| c.num_invalid()),
+            occupancy: if allocated_cells == 0 {
+                0.0
+            } else {
+                self.live_edges as f64 / allocated_cells as f64
+            },
+            memory_bytes: self.arena.memory_bytes()
+                + self.cal.as_ref().map_or(0, |c| c.memory_bytes())
+                + self.top_blocks.capacity() * 4,
+        }
+    }
+
+    /// Direct access to the CAL (tests/diagnostics).
+    pub fn cal(&self) -> Option<&CalArray> {
+        self.cal.as_ref()
+    }
+
+    /// Histogram of live edges by tree depth: `hist[d]` = edges stored in
+    /// blocks `d` generations below a top-parent. Directly exhibits the
+    /// `O(log degree)` depth bound of Tree-Based Hashing (an adjacency list
+    /// would put the k-th edge at "depth" `k / blocksize`).
+    pub fn depth_histogram(&self) -> Vec<u64> {
+        let mut hist: Vec<u64> = Vec::new();
+        for dense in 0..self.top_blocks.len() as u32 {
+            let Some(top) = self.top_block(dense) else { continue };
+            let mut stack = vec![(top, 0usize)];
+            while let Some((b, depth)) = stack.pop() {
+                if hist.len() <= depth {
+                    hist.resize(depth + 1, 0);
+                }
+                hist[depth] += self.arena.live_count(b) as u64;
+                for &c in self.arena.child_slots(b) {
+                    if c != NIL_U32 {
+                        stack.push((c, depth + 1));
+                    }
+                }
+            }
+        }
+        hist
+    }
+
+    /// Histogram of stored Robin Hood probe distances over live edges:
+    /// `hist[p]` = edges whose cell sits `p` positions from its initial
+    /// bucket. RHH keeps this distribution tight (bounded by the subblock
+    /// length).
+    pub fn probe_histogram(&self) -> Vec<u64> {
+        let mut hist = vec![0u64; self.arena.subblock_len()];
+        for dense in 0..self.top_blocks.len() as u32 {
+            let Some(top) = self.top_block(dense) else { continue };
+            let mut stack = vec![top];
+            while let Some(b) = stack.pop() {
+                for cell in self.arena.block(b) {
+                    if cell.is_occupied() {
+                        hist[cell.probe as usize] += 1;
+                    }
+                }
+                for &c in self.arena.child_slots(b) {
+                    if c != NIL_U32 {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        hist
+    }
+
+    /// Mean tree depth of live edges (0 = everything in top-parents).
+    pub fn mean_depth(&self) -> f64 {
+        let hist = self.depth_histogram();
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = hist.iter().enumerate().map(|(d, &n)| d as u64 * n).sum();
+        weighted as f64 / total as f64
+    }
+}
+
+impl std::fmt::Debug for GraphTinker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphTinker")
+            .field("edges", &self.live_edges)
+            .field("sources", &self.num_sources())
+            .field("vertex_space", &self.vertex_space)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn tiny_config() -> TinkerConfig {
+        // Small geometry so branching kicks in quickly.
+        TinkerConfig { pagewidth: 16, subblock: 4, workblock: 2, ..TinkerConfig::default() }
+    }
+
+    #[test]
+    fn insert_and_lookup_roundtrip() {
+        let mut g = GraphTinker::with_defaults();
+        assert!(g.insert_edge(Edge::new(1, 2, 10)));
+        assert!(g.insert_edge(Edge::new(1, 3, 20)));
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(1, 2), Some(10));
+        assert_eq!(g.edge_weight(1, 3), Some(20));
+        assert_eq!(g.edge_weight(1, 4), None);
+        assert_eq!(g.edge_weight(2, 1), None, "edges are directed");
+        assert_eq!(g.out_degree(1), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_weight_not_count() {
+        let mut g = GraphTinker::with_defaults();
+        assert!(g.insert_edge(Edge::new(5, 6, 1)));
+        assert!(!g.insert_edge(Edge::new(5, 6, 99)));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_degree(5), 1);
+        assert_eq!(g.edge_weight(5, 6), Some(99));
+        // CAL copy tracked the weight update too.
+        let mut w = 0;
+        g.for_each_edge(|_, _, weight| w = weight);
+        assert_eq!(w, 99);
+    }
+
+    #[test]
+    fn delete_only_tombstones_and_forgets_edge() {
+        let mut g = GraphTinker::with_defaults();
+        g.insert_edge(Edge::new(1, 2, 1));
+        g.insert_edge(Edge::new(1, 3, 1));
+        assert!(g.delete_edge(1, 2));
+        assert!(!g.delete_edge(1, 2), "double delete reports missing");
+        assert!(!g.contains_edge(1, 2));
+        assert!(g.contains_edge(1, 3));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_degree(1), 1);
+        assert_eq!(g.structure_stats().tombstones, 1);
+    }
+
+    #[test]
+    fn delete_missing_edge_and_missing_vertex() {
+        let mut g = GraphTinker::with_defaults();
+        g.insert_edge(Edge::unit(1, 2));
+        assert!(!g.delete_edge(1, 99));
+        assert!(!g.delete_edge(42, 1), "unknown source");
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn tombstone_slot_reused_by_insert() {
+        let mut g = GraphTinker::with_defaults();
+        g.insert_edge(Edge::new(1, 2, 1));
+        g.delete_edge(1, 2);
+        assert_eq!(g.structure_stats().tombstones, 1);
+        // Reinserting the same destination probes the same bucket, so the
+        // tombstoned cell is reclaimed ("the INSERT stage can also insert
+        // edges into these empty slots").
+        g.insert_edge(Edge::new(1, 2, 3));
+        assert_eq!(g.structure_stats().tombstones, 0, "insert reclaims the tombstone");
+        assert_eq!(g.edge_weight(1, 2), Some(3));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn high_degree_vertex_branches_out() {
+        let mut g = GraphTinker::new(tiny_config()).unwrap();
+        for d in 0..200u32 {
+            g.insert_edge(Edge::unit(0, d + 1));
+        }
+        assert_eq!(g.num_edges(), 200);
+        assert_eq!(g.out_degree(0), 200);
+        let st = g.structure_stats();
+        assert!(st.overflow_blocks > 0, "200 edges in 16-cell blocks must branch");
+        assert!(g.stats().branches_created > 0);
+        assert!(g.stats().max_depth > 0);
+        // Every edge still findable.
+        for d in 0..200u32 {
+            assert!(g.contains_edge(0, d + 1), "lost edge (0, {})", d + 1);
+        }
+    }
+
+    #[test]
+    fn out_edge_iteration_matches_inserts() {
+        let mut g = GraphTinker::new(tiny_config()).unwrap();
+        let mut expected = BTreeMap::new();
+        for d in 0..100u32 {
+            g.insert_edge(Edge::new(7, d, d * 2));
+            expected.insert(d, d * 2);
+        }
+        let mut seen = BTreeMap::new();
+        g.for_each_out_edge(7, |dst, w| {
+            assert!(seen.insert(dst, w).is_none(), "duplicate dst {dst}");
+        });
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn cal_stream_matches_main_scan() {
+        let mut g = GraphTinker::new(tiny_config()).unwrap();
+        for i in 0..500u32 {
+            g.insert_edge(Edge::new(i % 37, i, i % 5 + 1));
+        }
+        for i in (0..500u32).step_by(3) {
+            g.delete_edge(i % 37, i);
+        }
+        let mut from_cal: Vec<(u32, u32, u32)> = Vec::new();
+        g.for_each_edge(|s, d, w| from_cal.push((s, d, w)));
+        let mut from_main: Vec<(u32, u32, u32)> = Vec::new();
+        g.for_each_edge_main(|s, d, w| from_main.push((s, d, w)));
+        from_cal.sort_unstable();
+        from_main.sort_unstable();
+        assert_eq!(from_cal, from_main, "CAL and main structure diverged");
+        assert_eq!(from_cal.len() as u64, g.num_edges());
+    }
+
+    #[test]
+    fn delete_and_compact_shrinks_structure() {
+        let cfg = TinkerConfig {
+            delete_mode: DeleteMode::DeleteAndCompact,
+            ..tiny_config()
+        };
+        let mut g = GraphTinker::new(cfg).unwrap();
+        for d in 0..300u32 {
+            g.insert_edge(Edge::unit(0, d + 1));
+        }
+        let before = g.structure_stats();
+        assert!(before.overflow_blocks > 0);
+        for d in 0..300u32 {
+            assert!(g.delete_edge(0, d + 1), "edge {} should delete", d + 1);
+        }
+        let after = g.structure_stats();
+        assert_eq!(g.num_edges(), 0);
+        assert!(
+            after.free_blocks > 0,
+            "compaction must recycle emptied overflow blocks: {after:?}"
+        );
+        assert_eq!(after.overflow_blocks, 0, "all overflow blocks recycled when empty");
+    }
+
+    #[test]
+    fn delete_and_compact_preserves_remaining_edges() {
+        let cfg = TinkerConfig { delete_mode: DeleteMode::DeleteAndCompact, ..tiny_config() };
+        let mut g = GraphTinker::new(cfg).unwrap();
+        for d in 0..120u32 {
+            g.insert_edge(Edge::new(3, d, d));
+        }
+        // Delete every other edge; compaction moves survivors around.
+        for d in (0..120u32).step_by(2) {
+            assert!(g.delete_edge(3, d));
+        }
+        for d in 0..120u32 {
+            if d % 2 == 0 {
+                assert!(!g.contains_edge(3, d), "deleted edge {d} still visible");
+            } else {
+                assert_eq!(g.edge_weight(3, d), Some(d), "survivor {d} lost or corrupted");
+            }
+        }
+        assert_eq!(g.num_edges(), 60);
+    }
+
+    #[test]
+    fn sgh_disabled_still_correct() {
+        let cfg = TinkerConfig { enable_sgh: false, ..tiny_config() };
+        let mut g = GraphTinker::new(cfg).unwrap();
+        g.insert_edge(Edge::new(1000, 1, 5));
+        g.insert_edge(Edge::new(3, 1000, 6));
+        assert_eq!(g.edge_weight(1000, 1), Some(5));
+        assert_eq!(g.edge_weight(3, 1000), Some(6));
+        // Main region is sparse: indexed by raw id.
+        assert_eq!(g.num_sources(), 1001);
+        let mut edges = Vec::new();
+        g.for_each_edge(|s, d, w| edges.push((s, d, w)));
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(3, 1000, 6), (1000, 1, 5)]);
+    }
+
+    #[test]
+    fn cal_disabled_falls_back_to_main_scan() {
+        let cfg = TinkerConfig { enable_cal: false, ..tiny_config() };
+        let mut g = GraphTinker::new(cfg).unwrap();
+        for i in 0..50u32 {
+            g.insert_edge(Edge::new(i % 5, i, 1));
+        }
+        g.delete_edge(0, 0);
+        let mut n = 0;
+        g.for_each_edge(|_, _, _| n += 1);
+        assert_eq!(n, 49);
+        assert!(g.cal().is_none());
+        assert_eq!(g.structure_stats().cal_blocks, 0);
+    }
+
+    #[test]
+    fn sgh_compacts_sparse_sources() {
+        // The paper's example: sources 34 and 22789 should be adjacent in
+        // the main region, not 22755 slots apart.
+        let mut g = GraphTinker::with_defaults();
+        g.insert_edge(Edge::unit(34, 1));
+        g.insert_edge(Edge::unit(22789, 2));
+        assert_eq!(g.num_sources(), 2);
+        assert_eq!(g.sources(), vec![34, 22789]);
+    }
+
+    #[test]
+    fn rebuild_cal_drops_invalid_records() {
+        let mut g = GraphTinker::new(tiny_config()).unwrap();
+        for i in 0..100u32 {
+            g.insert_edge(Edge::new(0, i, i));
+        }
+        for i in 0..50u32 {
+            g.delete_edge(0, i);
+        }
+        assert_eq!(g.cal().unwrap().num_invalid(), 50);
+        g.rebuild_cal();
+        assert_eq!(g.cal().unwrap().num_invalid(), 0);
+        assert_eq!(g.cal().unwrap().num_live(), 50);
+        // Pointers still valid: weight updates must reach the new CAL.
+        g.insert_edge(Edge::new(0, 99, 12345));
+        let mut found = false;
+        g.for_each_edge(|_, d, w| {
+            if d == 99 {
+                assert_eq!(w, 12345);
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn batch_apply_counts() {
+        let mut g = GraphTinker::with_defaults();
+        let mut b = EdgeBatch::new();
+        b.push_insert(Edge::unit(1, 2));
+        b.push_insert(Edge::unit(1, 2)); // duplicate -> update
+        b.push_insert(Edge::unit(2, 3));
+        b.push_delete(1, 2);
+        b.push_delete(9, 9); // missing
+        let r = g.apply_batch(&b);
+        assert_eq!(r, BatchResult { inserted: 2, updated: 1, deleted: 1, not_found: 1 });
+        assert_eq!(r.total(), 5);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn vertex_space_tracks_both_endpoints() {
+        let mut g = GraphTinker::with_defaults();
+        assert_eq!(g.vertex_space(), 0);
+        g.insert_edge(Edge::unit(3, 900));
+        assert_eq!(g.vertex_space(), 901);
+        g.insert_edge(Edge::unit(1000, 2));
+        assert_eq!(g.vertex_space(), 1001);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut g = GraphTinker::with_defaults();
+        for i in 0..100u32 {
+            g.insert_edge(Edge::unit(0, i));
+        }
+        let s = g.stats();
+        assert_eq!(s.operations, 100);
+        assert!(s.cells_inspected >= 100);
+        assert!(s.workblocks_fetched > 0);
+        assert!(s.mean_probe() >= 1.0);
+        g.reset_stats();
+        assert_eq!(g.stats(), ProbeStats::default());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cfg = TinkerConfig { subblock: 5, ..TinkerConfig::default() };
+        assert!(matches!(GraphTinker::new(cfg), Err(GraphError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn occupancy_reflects_compaction() {
+        // Identical inserts; tombstoning keeps blocks allocated, so
+        // occupancy must be no better than with compaction.
+        let mk = |mode| {
+            let cfg = TinkerConfig { delete_mode: mode, ..tiny_config() };
+            let mut g = GraphTinker::new(cfg).unwrap();
+            for d in 0..400u32 {
+                g.insert_edge(Edge::unit(0, d + 1));
+            }
+            for d in (0..400u32).step_by(2) {
+                g.delete_edge(0, d + 1);
+            }
+            g
+        };
+        let tomb = mk(DeleteMode::DeleteOnly).structure_stats();
+        let comp = mk(DeleteMode::DeleteAndCompact).structure_stats();
+        assert!(
+            comp.occupancy >= tomb.occupancy,
+            "compacted occupancy {:.3} < tombstoned {:.3}",
+            comp.occupancy,
+            tomb.occupancy
+        );
+        assert_eq!(comp.tombstones, 0);
+    }
+
+    #[test]
+    fn compact_mode_keeps_cal_bounded() {
+        let cfg = TinkerConfig {
+            delete_mode: DeleteMode::DeleteAndCompact,
+            cal_block_size: 64,
+            ..tiny_config()
+        };
+        let mut g = GraphTinker::new(cfg).unwrap();
+        for d in 0..4_000u32 {
+            g.insert_edge(Edge::unit(d % 16, d));
+        }
+        for d in 0..3_900u32 {
+            g.delete_edge(d % 16, d);
+        }
+        let st = g.structure_stats();
+        assert!(
+            st.cal_invalid <= st.live_edges.max(1024),
+            "CAL GC failed to bound invalid records: {st:?}"
+        );
+        // Edges still intact after rebuilds.
+        for d in 3_900..4_000u32 {
+            assert!(g.contains_edge(d % 16, d), "lost edge {d} across CAL GC");
+        }
+        let mut n = 0;
+        g.for_each_edge(|_, _, _| n += 1);
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn depth_histogram_counts_all_edges_and_stays_logarithmic() {
+        let mut g = GraphTinker::new(tiny_config()).unwrap();
+        for d in 0..1_000u32 {
+            g.insert_edge(Edge::unit(0, d + 1));
+        }
+        let hist = g.depth_histogram();
+        assert_eq!(hist.iter().sum::<u64>(), 1_000);
+        // 1000 edges in 16-cell blocks: an adjacency list would need a
+        // 63-block chain; the hash tree must stay far shallower.
+        assert!(hist.len() <= 16, "tree depth {} not logarithmic", hist.len());
+        assert!(g.mean_depth() < 8.0, "mean depth {}", g.mean_depth());
+    }
+
+    #[test]
+    fn probe_histogram_bounded_by_subblock() {
+        let mut g = GraphTinker::new(tiny_config()).unwrap();
+        for i in 0..2_000u32 {
+            g.insert_edge(Edge::unit(i % 13, i));
+        }
+        let hist = g.probe_histogram();
+        assert_eq!(hist.len(), 4, "probe distances bounded by subblock length");
+        assert_eq!(hist.iter().sum::<u64>(), 2_000);
+        // Robin Hood: short probes dominate.
+        assert!(hist[0] > hist[3], "probe distribution not front-loaded: {hist:?}");
+    }
+
+    #[test]
+    fn empty_structure_diagnostics() {
+        let g = GraphTinker::with_defaults();
+        assert!(g.depth_histogram().is_empty());
+        assert_eq!(g.probe_histogram().iter().sum::<u64>(), 0);
+        assert_eq!(g.mean_depth(), 0.0);
+    }
+
+    #[test]
+    fn many_sources_many_edges_consistency() {
+        let mut g = GraphTinker::new(tiny_config()).unwrap();
+        let mut model: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        // Mixed inserts/updates/deletes across many vertices.
+        for i in 0..5_000u32 {
+            let src = i * 7 % 211;
+            let dst = i * 13 % 389;
+            if i % 5 == 4 {
+                let was = model.remove(&(src, dst)).is_some();
+                assert_eq!(g.delete_edge(src, dst), was, "delete mismatch at {i}");
+            } else {
+                let new = model.insert((src, dst), i).is_none();
+                assert_eq!(g.insert_edge(Edge::new(src, dst, i)), new, "insert mismatch at {i}");
+            }
+        }
+        assert_eq!(g.num_edges() as usize, model.len());
+        let mut got: Vec<(u32, u32, u32)> = Vec::new();
+        g.for_each_edge(|s, d, w| got.push((s, d, w)));
+        got.sort_unstable();
+        let want: Vec<(u32, u32, u32)> =
+            model.iter().map(|(&(s, d), &w)| (s, d, w)).collect();
+        assert_eq!(got, want);
+        // Degrees agree with the model.
+        for src in 0..211u32 {
+            let deg = model.keys().filter(|&&(s, _)| s == src).count() as u32;
+            assert_eq!(g.out_degree(src), deg, "degree mismatch for {src}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Table 1's dataset catalog, with proportional laptop-scale shrinking.
+//!
+//! Every benchmark names datasets exactly as the paper does; a
+//! `scale_factor` divides both vertex and edge counts so the whole
+//! evaluation fits in the session budget (the *relative* shapes — degree
+//! distributions and edge/vertex ratios — are preserved). `scale_factor=1`
+//! reproduces the paper-reported sizes.
+
+use gtinker_types::Edge;
+
+use crate::powerlaw::PowerLawConfig;
+use crate::rmat::RmatConfig;
+
+/// Which generator family backs a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Graph500 RMAT synthetic (also the Kron_g500 family).
+    Rmat,
+    /// Power-law stand-in for a real-world collaboration graph.
+    PowerLaw,
+}
+
+/// One dataset of Table 1.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Paper's dataset name.
+    pub name: &'static str,
+    /// Generator family.
+    pub kind: DatasetKind,
+    /// Vertex count after scaling.
+    pub vertices: u32,
+    /// Edge count after scaling.
+    pub edges: u64,
+    /// Generation seed (fixed per dataset for reproducibility).
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Generates the dataset's edge list.
+    pub fn generate(&self) -> Vec<Edge> {
+        match self.kind {
+            DatasetKind::Rmat => {
+                // RMAT needs a power-of-two vertex space.
+                let scale = 32 - (self.vertices.max(2) - 1).leading_zeros();
+                RmatConfig::graph500(scale, self.edges, self.seed).generate()
+            }
+            DatasetKind::PowerLaw => PowerLawConfig {
+                num_vertices: self.vertices,
+                num_edges: self.edges,
+                alpha: 0.6,
+                seed: self.seed,
+                max_weight: 64,
+            }
+            .generate(),
+        }
+    }
+
+    /// Average degree (edges per vertex).
+    pub fn avg_degree(&self) -> f64 {
+        self.edges as f64 / self.vertices as f64
+    }
+}
+
+/// Table 1's six datasets, shrunk by `scale_factor` (1 = paper size).
+///
+/// Paper-reported sizes:
+///
+/// | name            | vertices  | edges       |
+/// |-----------------|-----------|-------------|
+/// | RMAT_1M_10M     | 1,000,192 | 10,000,000  |
+/// | RMAT_500K_8M    | 524,288   | 8,380,000   |
+/// | RMAT_1M_16M     | 1,048,576 | 15,700,000  |
+/// | RMAT_2M_32M     | 2,097,152 | 31,770,000  |
+/// | Hollywood-2009  | 1,139,906 | 113,891,327 |
+/// | Kron_g500-logn21| 2,097,153 | 182,082,942 |
+pub fn scaled_datasets(scale_factor: u32) -> Vec<DatasetSpec> {
+    let f = scale_factor.max(1);
+    let v = |n: u64| (n / f as u64).max(64) as u32;
+    let e = |n: u64| (n / f as u64).max(256);
+    vec![
+        DatasetSpec {
+            name: "RMAT_1M_10M",
+            kind: DatasetKind::Rmat,
+            vertices: v(1_000_192),
+            edges: e(10_000_000),
+            seed: 101,
+        },
+        DatasetSpec {
+            name: "RMAT_500K_8M",
+            kind: DatasetKind::Rmat,
+            vertices: v(524_288),
+            edges: e(8_380_000),
+            seed: 102,
+        },
+        DatasetSpec {
+            name: "RMAT_1M_16M",
+            kind: DatasetKind::Rmat,
+            vertices: v(1_048_576),
+            edges: e(15_700_000),
+            seed: 103,
+        },
+        DatasetSpec {
+            name: "RMAT_2M_32M",
+            kind: DatasetKind::Rmat,
+            vertices: v(2_097_152),
+            edges: e(31_770_000),
+            seed: 104,
+        },
+        DatasetSpec {
+            name: "Hollywood-2009",
+            kind: DatasetKind::PowerLaw,
+            vertices: v(1_139_906),
+            edges: e(113_891_327),
+            seed: 105,
+        },
+        DatasetSpec {
+            name: "Kron_g500-logn21",
+            kind: DatasetKind::Rmat,
+            vertices: v(2_097_153),
+            edges: e(182_082_942),
+            seed: 106,
+        },
+    ]
+}
+
+/// Looks up a dataset by (case-insensitive) name.
+pub fn dataset_by_name(name: &str, scale_factor: u32) -> Option<DatasetSpec> {
+    scaled_datasets(scale_factor)
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_datasets_matching_table1_names() {
+        let ds = scaled_datasets(1);
+        let names: Vec<&str> = ds.iter().map(|d| d.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "RMAT_1M_10M",
+                "RMAT_500K_8M",
+                "RMAT_1M_16M",
+                "RMAT_2M_32M",
+                "Hollywood-2009",
+                "Kron_g500-logn21"
+            ]
+        );
+        // Paper sizes at scale_factor 1.
+        assert_eq!(ds[0].vertices, 1_000_192);
+        assert_eq!(ds[0].edges, 10_000_000);
+        assert_eq!(ds[4].edges, 113_891_327);
+    }
+
+    #[test]
+    fn scaling_divides_proportionally() {
+        let ds = scaled_datasets(64);
+        assert_eq!(ds[1].vertices, 524_288 / 64);
+        assert_eq!(ds[1].edges, 8_380_000 / 64);
+        // Average degree preserved under scaling (within rounding).
+        let full = scaled_datasets(1);
+        for (a, b) in full.iter().zip(&ds) {
+            let rel = (a.avg_degree() - b.avg_degree()).abs() / a.avg_degree();
+            assert!(rel < 0.05, "{}: avg degree drifted {rel:.3}", a.name);
+        }
+    }
+
+    #[test]
+    fn generation_respects_scaled_bounds() {
+        for d in scaled_datasets(512) {
+            let edges = d.generate();
+            assert_eq!(edges.len() as u64, d.edges, "{}", d.name);
+            // RMAT rounds the vertex space up to a power of two.
+            let bound = d.vertices.next_power_of_two().max(d.vertices);
+            for e in &edges {
+                assert!(e.src < bound && e.dst < bound, "{}: edge out of range", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(dataset_by_name("hollywood-2009", 64).is_some());
+        assert!(dataset_by_name("RMAT_2M_32M", 64).is_some());
+        assert!(dataset_by_name("nope", 64).is_none());
+    }
+
+    #[test]
+    fn hollywood_has_high_avg_degree() {
+        let d = dataset_by_name("Hollywood-2009", 64).unwrap();
+        assert!(d.avg_degree() > 90.0, "avg degree {:.1}", d.avg_degree());
+    }
+}

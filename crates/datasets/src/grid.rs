@@ -1,0 +1,136 @@
+//! Mesh/grid generator: bounded-degree, high-diameter graphs.
+//!
+//! The RMAT/power-law families are low-diameter with skewed degrees; grid
+//! meshes are the opposite corner of the workload space (constant degree,
+//! `O(side)` diameter), which stresses the engine's iteration loop (many
+//! iterations with small frontiers — the regime where incremental
+//! processing dominates) rather than the store's probe paths. Used by the
+//! road-network example and the engine tests.
+
+use gtinker_types::{Edge, VertexId, Weight};
+
+/// Configuration of a 2-D grid graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridConfig {
+    /// Grid width (columns).
+    pub width: u32,
+    /// Grid height (rows).
+    pub height: u32,
+    /// Generate both directions of every lattice edge.
+    pub bidirectional: bool,
+    /// Maximum edge weight; weights vary deterministically in
+    /// `1..=max_weight` (1 = unit weights).
+    pub max_weight: Weight,
+}
+
+impl GridConfig {
+    /// A square bidirectional grid with small varying weights.
+    pub fn square(side: u32) -> Self {
+        GridConfig { width: side, height: side, bidirectional: true, max_weight: 9 }
+    }
+
+    /// Vertex id of grid cell `(x, y)`.
+    #[inline]
+    pub fn node(&self, x: u32, y: u32) -> VertexId {
+        y * self.width + x
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    #[inline]
+    fn weight(&self, x: u32, y: u32, dir: u32) -> Weight {
+        if self.max_weight <= 1 {
+            1
+        } else {
+            1 + (x.wrapping_mul(7).wrapping_add(y.wrapping_mul(13)).wrapping_add(dir))
+                % self.max_weight
+        }
+    }
+
+    /// Generates the lattice edges (right and down neighbours, plus the
+    /// reverse directions when `bidirectional`).
+    pub fn generate(&self) -> Vec<Edge> {
+        assert!(self.width > 0 && self.height > 0);
+        let mut edges = Vec::new();
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if x + 1 < self.width {
+                    edges.push(Edge::new(self.node(x, y), self.node(x + 1, y), self.weight(x, y, 0)));
+                    if self.bidirectional {
+                        edges.push(Edge::new(
+                            self.node(x + 1, y),
+                            self.node(x, y),
+                            self.weight(x, y, 1),
+                        ));
+                    }
+                }
+                if y + 1 < self.height {
+                    edges.push(Edge::new(self.node(x, y), self.node(x, y + 1), self.weight(x, y, 2)));
+                    if self.bidirectional {
+                        edges.push(Edge::new(
+                            self.node(x, y + 1),
+                            self.node(x, y),
+                            self.weight(x, y, 3),
+                        ));
+                    }
+                }
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn edge_count_formula() {
+        // Directed lattice edges: 2*w*h - w - h; doubled when bidirectional.
+        let g = GridConfig { width: 5, height: 4, bidirectional: false, max_weight: 1 };
+        assert_eq!(g.generate().len() as u64, 2 * 5 * 4 - 5 - 4);
+        let b = GridConfig { width: 5, height: 4, bidirectional: true, max_weight: 1 };
+        assert_eq!(b.generate().len() as u64, 2 * (2 * 5 * 4 - 5 - 4));
+    }
+
+    #[test]
+    fn degrees_bounded_by_four() {
+        let g = GridConfig::square(10);
+        let mut deg: HashMap<u32, u32> = HashMap::new();
+        for e in g.generate() {
+            *deg.entry(e.src).or_default() += 1;
+        }
+        assert!(deg.values().all(|&d| (2..=4).contains(&d)));
+        // Corner has exactly 2 out-edges.
+        assert_eq!(deg[&g.node(0, 0)], 2);
+        // Interior has 4.
+        assert_eq!(deg[&g.node(5, 5)], 4);
+    }
+
+    #[test]
+    fn vertices_in_range_and_weights_bounded() {
+        let g = GridConfig::square(8);
+        for e in g.generate() {
+            assert!((e.src as u64) < g.num_vertices());
+            assert!((e.dst as u64) < g.num_vertices());
+            assert!(e.weight >= 1 && e.weight <= 9);
+        }
+    }
+
+    #[test]
+    fn unit_weight_grid() {
+        let g = GridConfig { max_weight: 1, ..GridConfig::square(4) };
+        assert!(g.generate().iter().all(|e| e.weight == 1));
+    }
+
+    #[test]
+    fn degenerate_single_row() {
+        let g = GridConfig { width: 6, height: 1, bidirectional: false, max_weight: 1 };
+        let edges = g.generate();
+        assert_eq!(edges.len(), 5, "a path graph");
+    }
+}

@@ -1,0 +1,99 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format: one `src dst [weight]` triple per line; `#`-prefixed lines are
+//! comments. This is the de-facto interchange format of SNAP / UF Sparse
+//! Matrix edge dumps, so real datasets can be dropped in when available.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use gtinker_types::{Edge, GraphError, Result};
+
+/// Reads an edge list from a file.
+pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<Vec<Edge>> {
+    let reader = BufReader::new(File::open(path)?);
+    parse_edge_list(reader)
+}
+
+/// Parses an edge list from any buffered reader.
+pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<Vec<Edge>> {
+    let mut edges = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<u32> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: i + 1,
+                message: format!("missing {what}"),
+            })?
+            .parse()
+            .map_err(|_| GraphError::Parse { line: i + 1, message: format!("bad {what}") })
+        };
+        let src = parse(it.next(), "source")?;
+        let dst = parse(it.next(), "destination")?;
+        let weight = match it.next() {
+            Some(tok) => tok.parse().map_err(|_| GraphError::Parse {
+                line: i + 1,
+                message: "bad weight".into(),
+            })?,
+            None => 1,
+        };
+        edges.push(Edge::new(src, dst, weight));
+    }
+    Ok(edges)
+}
+
+/// Writes an edge list to a file (with weights).
+pub fn write_edge_list<P: AsRef<Path>>(path: P, edges: &[Edge]) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for e in edges {
+        writeln!(w, "{} {} {}", e.src, e.dst, e.weight)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_basic_and_comments() {
+        let text = "# comment\n1 2 7\n\n3 4\n  5 6 9  \n";
+        let edges = parse_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(
+            edges,
+            vec![Edge::new(1, 2, 7), Edge::new(3, 4, 1), Edge::new(5, 6, 9)]
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_edge_list(Cursor::new("1 2\nx y\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err}");
+        let err = parse_edge_list(Cursor::new("5\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let edges: Vec<Edge> = (0..100u32).map(|i| Edge::new(i, i + 1, i % 7 + 1)).collect();
+        let path = std::env::temp_dir().join("gtinker_io_roundtrip.txt");
+        write_edge_list(&path, &edges).unwrap();
+        let back = read_edge_list(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, edges);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_edge_list("/nonexistent/gtinker/file.txt").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

@@ -1,0 +1,185 @@
+//! The Graph500 RMAT (Recursive-MATrix) generator.
+//!
+//! RMAT places each edge by recursively descending into one of the four
+//! quadrants of the adjacency matrix with probabilities `(a, b, c, d)`.
+//! Graph500's reference parameters `(0.57, 0.19, 0.19, 0.05)` produce the
+//! heavy-tailed, community-structured graphs the paper's synthetic datasets
+//! come from — and the Kron_g500 graphs are the same Kronecker family.
+
+use gtinker_types::{Edge, VertexId, Weight};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one RMAT generation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Number of edges to emit.
+    pub num_edges: u64,
+    /// Quadrant probabilities; must sum to ~1.
+    pub a: f64,
+    /// Upper-right quadrant probability.
+    pub b: f64,
+    /// Lower-left quadrant probability.
+    pub c: f64,
+    /// Lower-right quadrant probability.
+    pub d: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Maximum edge weight (weights drawn uniformly from `1..=max_weight`);
+    /// 1 yields unit weights.
+    pub max_weight: Weight,
+    /// Shuffle vertex labels so vertex id does not correlate with degree
+    /// (Graph500 permutes labels too).
+    pub permute_labels: bool,
+}
+
+impl RmatConfig {
+    /// Graph500 reference parameters at the given scale and edge count.
+    pub fn graph500(scale: u32, num_edges: u64, seed: u64) -> Self {
+        RmatConfig {
+            scale,
+            num_edges,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+            seed,
+            max_weight: 64,
+            permute_labels: true,
+        }
+    }
+
+    /// Number of vertices (`2^scale`).
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Generates the edge list.
+    pub fn generate(&self) -> Vec<Edge> {
+        assert!(self.scale > 0 && self.scale < 32, "scale must fit VertexId");
+        assert!(
+            (self.a + self.b + self.c + self.d - 1.0).abs() < 1e-9,
+            "quadrant probabilities must sum to 1"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.num_vertices() as u32;
+
+        let perm: Option<Vec<u32>> = self.permute_labels.then(|| {
+            let mut p: Vec<u32> = (0..n).collect();
+            // Fisher-Yates.
+            for i in (1..n as usize).rev() {
+                let j = rng.gen_range(0..=i);
+                p.swap(i, j);
+            }
+            p
+        });
+
+        let ab = self.a + self.b;
+        let c_norm = self.c / (self.c + self.d);
+        let mut edges = Vec::with_capacity(self.num_edges as usize);
+        for _ in 0..self.num_edges {
+            let mut src: u32 = 0;
+            let mut dst: u32 = 0;
+            for bit in (0..self.scale).rev() {
+                let r: f64 = rng.gen();
+                let (srow, scol) = if r < ab {
+                    // Top half: split between a and b.
+                    (0u32, if r < self.a { 0 } else { 1 })
+                } else {
+                    // Bottom half: split between c and d.
+                    let r2: f64 = rng.gen();
+                    (1u32, if r2 < c_norm { 0 } else { 1 })
+                };
+                src |= srow << bit;
+                dst |= scol << bit;
+            }
+            let (src, dst) = match &perm {
+                Some(p) => (p[src as usize], p[dst as usize]),
+                None => (src, dst),
+            };
+            let weight = if self.max_weight <= 1 { 1 } else { rng.gen_range(1..=self.max_weight) };
+            edges.push(Edge::new(src as VertexId, dst as VertexId, weight));
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let cfg = RmatConfig::graph500(10, 5_000, 42);
+        assert_eq!(cfg.generate(), cfg.generate());
+        let other = RmatConfig::graph500(10, 5_000, 43);
+        assert_ne!(cfg.generate(), other.generate());
+    }
+
+    #[test]
+    fn respects_sizes_and_ranges() {
+        let cfg = RmatConfig::graph500(8, 2_000, 1);
+        let edges = cfg.generate();
+        assert_eq!(edges.len(), 2_000);
+        for e in &edges {
+            assert!(e.src < 256 && e.dst < 256);
+            assert!(e.weight >= 1 && e.weight <= 64);
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let cfg = RmatConfig { permute_labels: false, ..RmatConfig::graph500(12, 40_000, 7) };
+        let edges = cfg.generate();
+        let mut deg: HashMap<u32, u64> = HashMap::new();
+        for e in &edges {
+            *deg.entry(e.src).or_default() += 1;
+        }
+        let mut degrees: Vec<u64> = deg.values().copied().collect();
+        degrees.sort_unstable_by(|x, y| y.cmp(x));
+        let total: u64 = degrees.iter().sum();
+        let top1pct: u64 = degrees.iter().take(degrees.len() / 100 + 1).sum();
+        // RMAT at .57/.19/.19/.05 concentrates a large share of the edges
+        // on very few sources.
+        assert!(
+            top1pct as f64 / total as f64 > 0.10,
+            "top-1% sources own only {:.1}% of edges — not skewed",
+            100.0 * top1pct as f64 / total as f64
+        );
+        // And far from every vertex is a source.
+        assert!(deg.len() < 3_000, "{} distinct sources of 4096", deg.len());
+    }
+
+    #[test]
+    fn unit_weight_option() {
+        let cfg = RmatConfig { max_weight: 1, ..RmatConfig::graph500(6, 500, 3) };
+        assert!(cfg.generate().iter().all(|e| e.weight == 1));
+    }
+
+    #[test]
+    fn permutation_decorrelates_id_and_degree() {
+        // Without permutation, low ids dominate; with it, the highest-degree
+        // vertex should usually not be vertex 0.
+        let base = RmatConfig { permute_labels: false, ..RmatConfig::graph500(10, 20_000, 11) };
+        let permuted = RmatConfig { permute_labels: true, ..base };
+        let top_src = |edges: &[Edge]| {
+            let mut deg: HashMap<u32, u64> = HashMap::new();
+            for e in edges {
+                *deg.entry(e.src).or_default() += 1;
+            }
+            deg.into_iter().max_by_key(|&(_, d)| d).unwrap().0
+        };
+        assert_eq!(top_src(&base.generate()), 0, "unpermuted RMAT peaks at vertex 0");
+        assert_ne!(top_src(&permuted.generate()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probabilities_panic() {
+        let cfg = RmatConfig { a: 0.9, ..RmatConfig::graph500(5, 10, 0) };
+        cfg.generate();
+    }
+}

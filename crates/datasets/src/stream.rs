@@ -1,0 +1,134 @@
+//! Update-stream utilities: insertion batches, deletion streams, and root
+//! pre-collection.
+//!
+//! The paper streams edges into the structures in batches of 1 M edges
+//! (§V.A), deletes in 1 M-edge batches until the database is empty
+//! (Fig. 14), and pre-collects the 20 highest-degree vertices of each
+//! dataset as BFS roots for the update/analytics ratio sweep (Fig. 19).
+
+use gtinker_types::{Edge, EdgeBatch, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Splits an edge list into insertion batches of `batch_size` ops (the last
+/// batch may be shorter).
+pub fn insertion_batches(edges: &[Edge], batch_size: usize) -> Vec<EdgeBatch> {
+    assert!(batch_size > 0);
+    edges.chunks(batch_size).map(EdgeBatch::inserts).collect()
+}
+
+/// Builds deletion batches covering every *distinct* `(src, dst)` pair of
+/// the edge list exactly once, in a seeded shuffle (deletions arrive in an
+/// order unrelated to insertion order, like the paper's experiment that
+/// empties the database).
+pub fn deletion_batches(edges: &[Edge], batch_size: usize, seed: u64) -> Vec<EdgeBatch> {
+    assert!(batch_size > 0);
+    let mut pairs: Vec<(VertexId, VertexId)> = {
+        let mut seen: Vec<(VertexId, VertexId)> = edges.iter().map(|e| (e.src, e.dst)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..pairs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        pairs.swap(i, j);
+    }
+    pairs.chunks(batch_size).map(EdgeBatch::deletes).collect()
+}
+
+/// The `k` source vertices with the highest out-degree in the edge list,
+/// highest first — the paper pre-collects 20 such vertices per dataset so
+/// each analytic in the Fig. 19 sweep can use a different root.
+pub fn top_degree_vertices(edges: &[Edge], k: usize) -> Vec<VertexId> {
+    let mut deg: HashMap<VertexId, u64> = HashMap::new();
+    for e in edges {
+        *deg.entry(e.src).or_default() += 1;
+    }
+    let mut by_degree: Vec<(VertexId, u64)> = deg.into_iter().collect();
+    // Sort by degree descending, id ascending for determinism.
+    by_degree.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    by_degree.into_iter().take(k).map(|(v, _)| v).collect()
+}
+
+/// Number of distinct `(src, dst)` pairs — the number of live edges a
+/// structure will hold after inserting the whole list.
+pub fn distinct_edge_count(edges: &[Edge]) -> u64 {
+    let mut pairs: Vec<(VertexId, VertexId)> = edges.iter().map(|e| (e.src, e.dst)).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges() -> Vec<Edge> {
+        (0..250u32).map(|i| Edge::unit(i % 10, i % 25)).collect()
+    }
+
+    #[test]
+    fn insertion_batches_cover_everything_in_order() {
+        let e = edges();
+        let batches = insertion_batches(&e, 100);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 100);
+        assert_eq!(batches[2].len(), 50);
+        let mut idx = 0;
+        for b in &batches {
+            for op in b.iter() {
+                assert!(op.is_insert());
+                assert_eq!(op.src(), e[idx].src);
+                assert_eq!(op.dst(), e[idx].dst);
+                idx += 1;
+            }
+        }
+        assert_eq!(idx, 250);
+    }
+
+    #[test]
+    fn deletion_batches_cover_each_distinct_pair_once() {
+        let e = edges();
+        let distinct = distinct_edge_count(&e);
+        let batches = deletion_batches(&e, 17, 3);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total as u64, distinct);
+        let mut pairs: Vec<(u32, u32)> = batches
+            .iter()
+            .flat_map(|b| b.iter().map(|op| (op.src(), op.dst())))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len() as u64, distinct, "a pair was deleted twice");
+    }
+
+    #[test]
+    fn deletion_shuffle_is_seeded() {
+        let e = edges();
+        assert_eq!(deletion_batches(&e, 50, 9), deletion_batches(&e, 50, 9));
+        assert_ne!(deletion_batches(&e, 50, 9), deletion_batches(&e, 50, 10));
+    }
+
+    #[test]
+    fn top_degree_finds_hubs() {
+        let mut e = Vec::new();
+        for d in 0..50u32 {
+            e.push(Edge::unit(7, d)); // hub
+        }
+        for d in 0..5u32 {
+            e.push(Edge::unit(3, d));
+        }
+        e.push(Edge::unit(1, 0));
+        let tops = top_degree_vertices(&e, 2);
+        assert_eq!(tops, vec![7, 3]);
+        assert_eq!(top_degree_vertices(&e, 10).len(), 3, "only 3 sources exist");
+    }
+
+    #[test]
+    fn distinct_count_dedups() {
+        let e = vec![Edge::unit(1, 2), Edge::new(1, 2, 9), Edge::unit(2, 1)];
+        assert_eq!(distinct_edge_count(&e), 2);
+    }
+}

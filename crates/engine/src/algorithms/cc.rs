@@ -1,0 +1,98 @@
+//! Weakly-connected components as a GAS program (min-label propagation).
+//!
+//! WCC treats edges as undirected. The edge-centric engine pushes along
+//! out-edges only, so CC workloads must be *symmetrized* — insert each edge
+//! in both directions (see [`crate::dynamic::symmetrize`]). This also
+//! matches the paper's Set-Inconsistency unit for CC: "both the source and
+//! destination vertices of the edges in the update batch".
+
+use gtinker_types::{UpdateOp, VertexId, Weight};
+
+use crate::gas::GasProgram;
+
+/// Connected components: vertex property = smallest vertex id in the
+/// component (label propagation to fixpoint).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cc;
+
+impl Cc {
+    /// Creates the CC program.
+    pub fn new() -> Self {
+        Cc
+    }
+}
+
+impl GasProgram for Cc {
+    type Value = u32;
+
+    fn initial_value(&self) -> u32 {
+        u32::MAX
+    }
+
+    fn default_value(&self, v: VertexId) -> u32 {
+        // Every vertex is born in its own component.
+        v
+    }
+
+    fn process_edge(&self, src_value: u32, _dst: VertexId, _weight: Weight) -> Option<u32> {
+        Some(src_value)
+    }
+
+    fn reduce(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn apply(&self, old: u32, incoming: u32) -> Option<u32> {
+        (incoming < old).then_some(incoming)
+    }
+
+    fn roots(&self, vertex_space: u32) -> Vec<(VertexId, u32)> {
+        // Label propagation starts everywhere: every vertex is active with
+        // its own label.
+        (0..vertex_space).map(|v| (v, v)).collect()
+    }
+
+    fn inconsistent_vertices(&self, ops: &[UpdateOp]) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = ops.iter().flat_map(|op| [op.src(), op.dst()]).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtinker_types::Edge;
+
+    #[test]
+    fn labels_propagate_min() {
+        let cc = Cc::new();
+        assert_eq!(cc.process_edge(4, 9, 1), Some(4));
+        assert_eq!(cc.reduce(4, 2), 2);
+        assert_eq!(cc.apply(4, 2), Some(2));
+        assert_eq!(cc.apply(2, 4), None);
+    }
+
+    #[test]
+    fn every_vertex_is_a_root_with_its_own_label() {
+        let roots = Cc::new().roots(4);
+        assert_eq!(roots, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn default_value_is_own_id() {
+        let cc = Cc::new();
+        assert_eq!(cc.default_value(17), 17);
+    }
+
+    #[test]
+    fn inconsistency_unit_uses_both_endpoints() {
+        let cc = Cc::new();
+        let ops = [
+            UpdateOp::Insert(Edge::unit(5, 9)),
+            UpdateOp::Delete { src: 2, dst: 5 },
+        ];
+        assert_eq!(cc.inconsistent_vertices(&ops), vec![2, 5, 9]);
+    }
+}

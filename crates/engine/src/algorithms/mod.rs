@@ -1,0 +1,18 @@
+//! The paper's benchmark algorithms as edge-centric GAS programs (§V.A):
+//! breadth-first search, single-source shortest paths, and weakly-connected
+//! components. All three are monotone min-propagations, which is what makes
+//! them incrementally updatable under edge insertions — exactly the class
+//! the hybrid engine targets ("algorithms such as BFS, SSSP, and CC, where
+//! not all vertices need to be active in every iteration").
+
+mod bfs;
+mod cc;
+mod pagerank;
+mod sssp;
+mod triangles;
+
+pub use bfs::Bfs;
+pub use cc::Cc;
+pub use pagerank::PageRank;
+pub use sssp::Sssp;
+pub use triangles::TriangleCount;

@@ -1,0 +1,152 @@
+//! PageRank: the counter-example the hybrid engine's applicability note
+//! calls out (§IV.B) — *every* vertex is active in *every* iteration, so
+//! incremental processing "is not an option" and the algorithm runs in
+//! pure full-processing mode. It uses the same [`GraphStore`] streaming
+//! path as the engine's FP iterations (the CAL for GraphTinker), so it
+//! also serves as a standalone demonstration of the store abstraction.
+
+use gtinker_types::VertexId;
+
+use crate::store::GraphStore;
+
+/// Power-iteration PageRank over any [`GraphStore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRank {
+    /// Damping factor (0.85 in the classic formulation).
+    pub damping: f64,
+    /// Number of power iterations.
+    pub iterations: usize,
+}
+
+impl Default for PageRank {
+    fn default() -> Self {
+        PageRank { damping: 0.85, iterations: 20 }
+    }
+}
+
+impl PageRank {
+    /// Creates a PageRank configuration.
+    pub fn new(damping: f64, iterations: usize) -> Self {
+        assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
+        PageRank { damping, iterations }
+    }
+
+    /// Runs power iteration; returns the rank vector (sums to 1 for a
+    /// non-empty graph; dangling mass is redistributed uniformly).
+    pub fn run<S: GraphStore>(&self, store: &S) -> Vec<f64> {
+        let n = store.vertex_space() as usize;
+        if n == 0 {
+            return Vec::new();
+        }
+        let degrees: Vec<u32> = (0..n as u32).map(|v| store.out_degree(v)).collect();
+        let mut ranks = vec![1.0 / n as f64; n];
+        let mut contrib = vec![0.0f64; n];
+        for _ in 0..self.iterations {
+            contrib.fill(0.0);
+            // Full-processing phase: one sequential pass over all edges.
+            store.stream_edges(|src, dst, _| {
+                contrib[dst as usize] += ranks[src as usize] / degrees[src as usize] as f64;
+            });
+            // Dangling vertices spread their rank uniformly.
+            let dangling: f64 = (0..n)
+                .filter(|&v| degrees[v] == 0)
+                .map(|v| ranks[v])
+                .sum::<f64>()
+                / n as f64;
+            let base = (1.0 - self.damping) / n as f64;
+            for v in 0..n {
+                ranks[v] = base + self.damping * (contrib[v] + dangling);
+            }
+        }
+        ranks
+    }
+
+    /// The `k` highest-ranked vertices, descending.
+    pub fn top_k<S: GraphStore>(&self, store: &S, k: usize) -> Vec<(VertexId, f64)> {
+        let ranks = self.run(store);
+        let mut idx: Vec<(VertexId, f64)> =
+            ranks.iter().enumerate().map(|(v, &r)| (v as u32, r)).collect();
+        idx.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtinker_core::GraphTinker;
+    use gtinker_stinger::Stinger;
+    use gtinker_types::{Edge, EdgeBatch};
+
+    fn cycle(n: u32) -> GraphTinker {
+        let mut g = GraphTinker::with_defaults();
+        let edges: Vec<Edge> = (0..n).map(|i| Edge::unit(i, (i + 1) % n)).collect();
+        g.apply_batch(&EdgeBatch::inserts(&edges));
+        g
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = cycle(10);
+        let ranks = PageRank::default().run(&g);
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn cycle_is_uniform() {
+        let g = cycle(8);
+        let ranks = PageRank::default().run(&g);
+        for &r in &ranks {
+            assert!((r - 0.125).abs() < 1e-9, "cycle must be uniform, got {ranks:?}");
+        }
+    }
+
+    #[test]
+    fn sink_of_a_star_ranks_highest() {
+        let mut g = GraphTinker::with_defaults();
+        let mut batch = EdgeBatch::new();
+        for v in 1..=6u32 {
+            batch.push_insert(Edge::unit(v, 0)); // everyone points at 0
+        }
+        g.apply_batch(&batch);
+        let pr = PageRank::default();
+        let top = pr.top_k(&g, 1);
+        assert_eq!(top[0].0, 0);
+        let ranks = pr.run(&g);
+        assert!(ranks[0] > 3.0 * ranks[1]);
+        assert!((ranks.iter().sum::<f64>() - 1.0).abs() < 1e-9, "dangling mass conserved");
+    }
+
+    #[test]
+    fn stores_agree_on_pagerank() {
+        let edges: Vec<Edge> =
+            (0..500u32).map(|i| Edge::unit(i % 37, (i * 7) % 41)).collect();
+        let batch = EdgeBatch::inserts(&edges);
+        let mut gt = GraphTinker::with_defaults();
+        gt.apply_batch(&batch);
+        let mut st = Stinger::with_defaults();
+        st.apply_batch(&batch);
+        let pr = PageRank::new(0.85, 30);
+        let a = pr.run(&gt);
+        let b = pr.run(&st);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12, "stores diverged: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_ranks() {
+        let g = GraphTinker::with_defaults();
+        assert!(PageRank::default().run(&g).is_empty());
+        assert!(PageRank::default().top_k(&g, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn invalid_damping_rejected() {
+        PageRank::new(1.5, 10);
+    }
+}

@@ -1,0 +1,91 @@
+//! Single-source shortest paths as a GAS program.
+
+use gtinker_types::{VertexId, Weight};
+
+use crate::gas::GasProgram;
+
+/// SSSP from a root over non-negative integer edge weights: vertex
+/// property = shortest known distance (`u32::MAX` = unreached).
+///
+/// This is the asynchronous label-correcting (Bellman-Ford style)
+/// formulation the edge-centric model expresses naturally: every relaxation
+/// activates the improved vertex for the next iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sssp {
+    root: VertexId,
+}
+
+impl Sssp {
+    /// SSSP rooted at `root`.
+    pub fn new(root: VertexId) -> Self {
+        Sssp { root }
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// Sentinel meaning "not reached".
+    pub const UNREACHED: u32 = u32::MAX;
+}
+
+impl GasProgram for Sssp {
+    type Value = u32;
+
+    fn initial_value(&self) -> u32 {
+        Self::UNREACHED
+    }
+
+    fn process_edge(&self, src_value: u32, _dst: VertexId, weight: Weight) -> Option<u32> {
+        if src_value == Self::UNREACHED {
+            return None;
+        }
+        let d = src_value.saturating_add(weight);
+        (d != Self::UNREACHED).then_some(d)
+    }
+
+    fn reduce(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn apply(&self, old: u32, incoming: u32) -> Option<u32> {
+        (incoming < old).then_some(incoming)
+    }
+
+    fn roots(&self, _vertex_space: u32) -> Vec<(VertexId, u32)> {
+        vec![(self.root, 0)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxation_adds_weight() {
+        let s = Sssp::new(0);
+        assert_eq!(s.process_edge(10, 1, 5), Some(15));
+        assert_eq!(s.process_edge(Sssp::UNREACHED, 1, 5), None);
+    }
+
+    #[test]
+    fn saturating_distance_never_wraps() {
+        let s = Sssp::new(0);
+        assert_eq!(s.process_edge(u32::MAX - 1, 1, 5), None, "saturated = unreachable");
+        assert_eq!(s.process_edge(u32::MAX - 10, 1, 5), Some(u32::MAX - 5));
+    }
+
+    #[test]
+    fn min_plus_semantics() {
+        let s = Sssp::new(0);
+        assert_eq!(s.reduce(9, 4), 4);
+        assert_eq!(s.apply(9, 4), Some(4));
+        assert_eq!(s.apply(4, 9), None);
+    }
+
+    #[test]
+    fn root_seeded_at_distance_zero() {
+        assert_eq!(Sssp::new(3).roots(10), vec![(3, 0)]);
+    }
+}

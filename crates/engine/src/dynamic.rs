@@ -1,0 +1,186 @@
+//! Dynamic-graph processing drivers: the paper's two classic models
+//! (store-and-static-compute, incremental-compute) on top of the engine,
+//! plus helpers for CC symmetrization and hybrid-prediction accuracy.
+
+use gtinker_types::{Edge, EdgeBatch, UpdateOp};
+
+use crate::engine::{Engine, RunReport};
+use crate::gas::{ExecMode, GasProgram, ModePolicy};
+use crate::store::GraphStore;
+
+/// How the analysis restarts after each update batch (paper §II.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// Store-and-static-compute: reset all vertex properties and re-run the
+    /// algorithm from its roots, as if the updated graph were a new static
+    /// graph.
+    StaticRecompute,
+    /// Incremental-compute: keep the previous analysis and re-activate only
+    /// the inconsistency vertices of the batch.
+    Incremental,
+}
+
+/// Drives one algorithm across a stream of update batches.
+///
+/// The caller owns the store and applies each batch to it (stores have
+/// different batch APIs); the runner owns the analysis state.
+pub struct DynamicRunner<P: GasProgram> {
+    engine: Engine<P>,
+    restart: RestartPolicy,
+}
+
+impl<P: GasProgram> DynamicRunner<P> {
+    /// Creates a runner.
+    pub fn new(program: P, mode_policy: ModePolicy, restart: RestartPolicy) -> Self {
+        DynamicRunner { engine: Engine::new(program, mode_policy), restart }
+    }
+
+    /// Re-runs the analysis after `batch` has been applied to `store`.
+    pub fn after_batch<S: GraphStore>(&mut self, store: &S, batch: &EdgeBatch) -> RunReport {
+        match self.restart {
+            RestartPolicy::StaticRecompute => self.engine.run_from_roots(store),
+            RestartPolicy::Incremental => {
+                let seeds = self.engine.program().inconsistent_vertices(batch.ops());
+                self.engine.run_incremental(store, &seeds)
+            }
+        }
+    }
+
+    /// The underlying engine (for values, policy changes, resets).
+    pub fn engine(&self) -> &Engine<P> {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine.
+    pub fn engine_mut(&mut self) -> &mut Engine<P> {
+        &mut self.engine
+    }
+
+    /// The restart policy.
+    pub fn restart(&self) -> RestartPolicy {
+        self.restart
+    }
+}
+
+/// Duplicates every operation in both directions — required for CC (weak
+/// connectivity over a push-style engine) and harmless for any algorithm
+/// that wants undirected semantics.
+pub fn symmetrize(batch: &EdgeBatch) -> EdgeBatch {
+    let mut out = EdgeBatch::with_capacity(batch.len() * 2);
+    for op in batch.iter() {
+        match *op {
+            UpdateOp::Insert(e) => {
+                out.push_insert(e);
+                out.push_insert(Edge::new(e.dst, e.src, e.weight));
+            }
+            UpdateOp::Delete { src, dst } => {
+                out.push_delete(src, dst);
+                out.push_delete(dst, src);
+            }
+        }
+    }
+    out
+}
+
+/// Fraction of iterations where the hybrid inference box picked the mode a
+/// cost oracle would have picked.
+///
+/// The oracle models FP cost as `store_edges / seq_advantage` (sequential
+/// streaming is cheaper per edge) and IP cost as `active_degree` (random
+/// accesses). `seq_advantage` is the measured sequential-vs-random
+/// throughput ratio of the host; the paper's separate experiments put the
+/// crossover at `A/E = 0.02`, i.e. a ratio of ~50 on their Xeon.
+pub fn prediction_accuracy(report: &RunReport, seq_advantage: f64) -> f64 {
+    if report.iterations.is_empty() {
+        return 1.0;
+    }
+    let correct = report
+        .iterations
+        .iter()
+        .filter(|it| {
+            let fp_cost = it.store_edges as f64 / seq_advantage;
+            let ip_cost = it.active_degree as f64;
+            let oracle = if fp_cost < ip_cost { ExecMode::Full } else { ExecMode::Incremental };
+            it.mode == oracle
+        })
+        .count();
+    correct as f64 / report.iterations.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Bfs, Cc};
+    use gtinker_core::GraphTinker;
+    use gtinker_types::Edge;
+
+    #[test]
+    fn symmetrize_doubles_ops_in_both_directions() {
+        let mut b = EdgeBatch::new();
+        b.push_insert(Edge::new(1, 2, 7));
+        b.push_delete(3, 4);
+        let s = symmetrize(&b);
+        let ops: Vec<_> = s.iter().copied().collect();
+        assert_eq!(
+            ops,
+            vec![
+                UpdateOp::Insert(Edge::new(1, 2, 7)),
+                UpdateOp::Insert(Edge::new(2, 1, 7)),
+                UpdateOp::Delete { src: 3, dst: 4 },
+                UpdateOp::Delete { src: 4, dst: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn incremental_and_static_runners_agree_on_bfs() {
+        let batches = vec![
+            EdgeBatch::inserts(&[Edge::unit(0, 1), Edge::unit(1, 2)]),
+            EdgeBatch::inserts(&[Edge::unit(2, 3), Edge::unit(0, 3)]),
+            EdgeBatch::inserts(&[Edge::unit(3, 4)]),
+        ];
+        let mut g_inc = GraphTinker::with_defaults();
+        let mut g_st = GraphTinker::with_defaults();
+        let mut inc = DynamicRunner::new(Bfs::new(0), ModePolicy::hybrid(), RestartPolicy::Incremental);
+        let mut st =
+            DynamicRunner::new(Bfs::new(0), ModePolicy::hybrid(), RestartPolicy::StaticRecompute);
+        for b in &batches {
+            g_inc.apply_batch(b);
+            g_st.apply_batch(b);
+            inc.after_batch(&g_inc, b);
+            st.after_batch(&g_st, b);
+            assert_eq!(inc.engine().values(), st.engine().values());
+        }
+        assert_eq!(inc.engine().values()[4], 2, "0->3->4");
+    }
+
+    #[test]
+    fn incremental_cc_merges_components_across_batches() {
+        let mut g = GraphTinker::with_defaults();
+        let mut runner =
+            DynamicRunner::new(Cc::new(), ModePolicy::hybrid(), RestartPolicy::Incremental);
+        let b1 = symmetrize(&EdgeBatch::inserts(&[Edge::unit(0, 1), Edge::unit(2, 3)]));
+        g.apply_batch(&b1);
+        runner.after_batch(&g, &b1);
+        assert_eq!(runner.engine().values()[1], 0);
+        assert_eq!(runner.engine().values()[3], 2);
+
+        // Bridge the two components.
+        let b2 = symmetrize(&EdgeBatch::inserts(&[Edge::unit(1, 2)]));
+        g.apply_batch(&b2);
+        runner.after_batch(&g, &b2);
+        assert_eq!(runner.engine().values()[2], 0, "components must merge");
+        assert_eq!(runner.engine().values()[3], 0);
+    }
+
+    #[test]
+    fn accuracy_is_one_when_oracle_agrees() {
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&EdgeBatch::inserts(&[Edge::unit(0, 1)]));
+        let mut e = Engine::new(Bfs::new(0), ModePolicy::AlwaysIncremental);
+        let r = e.run_from_roots(&g);
+        // Tiny graph: IP is always the oracle's pick at seq_advantage 1.
+        assert_eq!(prediction_accuracy(&r, 1.0), 1.0);
+        assert_eq!(prediction_accuracy(&RunReport::default(), 4.0), 1.0);
+    }
+}

@@ -1,0 +1,514 @@
+//! The iteration loop: processing phase, apply phase, and the per-iteration
+//! mode decision.
+
+use std::time::{Duration, Instant};
+
+use gtinker_types::VertexId;
+use serde::{Deserialize, Serialize};
+
+use crate::gas::{ExecMode, GasProgram, ModePolicy};
+use crate::store::GraphStore;
+
+/// Record of one engine iteration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Mode the inference box (or fixed policy) chose.
+    pub mode: ExecMode,
+    /// Active vertices processed this iteration (the formula's `A`).
+    pub active_vertices: usize,
+    /// Sum of the active vertices' out-degrees (what IP mode would touch).
+    pub active_degree: u64,
+    /// Edges loaded in the store at decision time (the formula's `E`;
+    /// what FP mode streams).
+    pub store_edges: u64,
+    /// Edges actually visited by the processing phase.
+    pub edges_processed: u64,
+    /// Messages deposited into the VTempProperty array.
+    pub messages: u64,
+    /// Wall-clock duration of the iteration.
+    pub duration: Duration,
+}
+
+/// Summary of one run to fixpoint.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Per-iteration records, in order.
+    pub iterations: Vec<IterationStats>,
+    /// Total edges visited across all processing phases.
+    pub total_edges_processed: u64,
+    /// Total wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl RunReport {
+    /// Number of iterations executed.
+    pub fn num_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// How many iterations ran in each mode, as `(full, incremental)`.
+    pub fn mode_counts(&self) -> (usize, usize) {
+        let full = self.iterations.iter().filter(|i| i.mode == ExecMode::Full).count();
+        (full, self.iterations.len() - full)
+    }
+
+    /// Processing throughput in edges per second (edges visited / elapsed).
+    pub fn throughput_eps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.total_edges_processed as f64 / secs
+        }
+    }
+
+    /// Merges another report into this one (multi-run accumulation).
+    pub fn merge(&mut self, other: &RunReport) {
+        self.iterations.extend_from_slice(&other.iterations);
+        self.total_edges_processed += other.total_edges_processed;
+        self.elapsed += other.elapsed;
+    }
+}
+
+/// The edge-centric GAS engine (paper Fig. 7), generic over the graph store
+/// and the algorithm.
+///
+/// Holds the VPropertyArray (`values`), the VTempProperty buffer (`temp`)
+/// and the active set between runs, so incremental processing can continue
+/// from a previous analysis after more batches arrive.
+pub struct Engine<P: GasProgram> {
+    program: P,
+    policy: ModePolicy,
+    /// VPropertyArray: committed per-vertex properties.
+    values: Vec<P::Value>,
+    /// VTempProperty: combined incoming message per vertex, taken by apply.
+    temp: Vec<Option<P::Value>>,
+    /// Vertices holding a message this iteration (dense scan avoidance).
+    touched: Vec<VertexId>,
+    /// Current active list and its bitset (used by FP-mode filtering).
+    active: Vec<VertexId>,
+    active_bits: Vec<bool>,
+    /// Whether the program's roots have been seeded (first run bootstraps
+    /// them even on the incremental path).
+    seeded: bool,
+    /// Iteration budget per run; guards against programs that never
+    /// converge (only monotone programs are guaranteed to).
+    max_iterations: usize,
+}
+
+impl<P: GasProgram> Engine<P> {
+    /// Creates an engine for a program under a mode policy.
+    pub fn new(program: P, policy: ModePolicy) -> Self {
+        Engine {
+            program,
+            policy,
+            values: Vec::new(),
+            temp: Vec::new(),
+            touched: Vec::new(),
+            active: Vec::new(),
+            active_bits: Vec::new(),
+            seeded: false,
+            max_iterations: usize::MAX,
+        }
+    }
+
+    /// Caps the number of iterations per run. The engine stops (leaving the
+    /// active set pending) once the cap is hit — a safety net for programs
+    /// whose `apply` is not monotone and may oscillate forever.
+    pub fn set_max_iterations(&mut self, cap: usize) {
+        self.max_iterations = cap.max(1);
+    }
+
+    /// The program driving this engine.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// The active mode policy.
+    pub fn policy(&self) -> ModePolicy {
+        self.policy
+    }
+
+    /// Replaces the mode policy (e.g. to compare FP/IP/hybrid on the same
+    /// state).
+    pub fn set_policy(&mut self, policy: ModePolicy) {
+        self.policy = policy;
+    }
+
+    /// Committed vertex properties, indexed by vertex id.
+    pub fn values(&self) -> &[P::Value] {
+        &self.values
+    }
+
+    /// Grows engine arrays to cover `n` vertices, filling new slots with the
+    /// program's per-vertex default.
+    fn ensure_capacity(&mut self, n: u32) {
+        let n = n as usize;
+        if self.values.len() < n {
+            let start = self.values.len() as u32;
+            self.values.extend((start..n as u32).map(|v| self.program.default_value(v)));
+            self.temp.resize(n, None);
+            self.active_bits.resize(n, false);
+        }
+    }
+
+    /// Resets all vertex properties to the program's defaults and clears the
+    /// active set — the store-and-static-compute entry point.
+    pub fn reset(&mut self) {
+        for (v, slot) in self.values.iter_mut().enumerate() {
+            *slot = self.program.default_value(v as u32);
+        }
+        self.temp.fill(None);
+        self.touched.clear();
+        for &v in &self.active {
+            self.active_bits[v as usize] = false;
+        }
+        self.active.clear();
+        self.seeded = false;
+    }
+
+    fn seed_roots(&mut self, vertex_space: u32) {
+        let roots = self.program.roots(vertex_space);
+        for (v, val) in roots {
+            self.ensure_capacity(v + 1);
+            self.values[v as usize] = val;
+            if !self.active_bits[v as usize] {
+                self.active_bits[v as usize] = true;
+                self.active.push(v);
+            }
+        }
+        self.seeded = true;
+    }
+
+    /// Runs to fixpoint from the program's roots over a fresh (or reset)
+    /// state — the static model's full recomputation.
+    pub fn run_from_roots<S: GraphStore>(&mut self, store: &S) -> RunReport {
+        self.ensure_capacity(store.vertex_space());
+        self.reset();
+        self.seed_roots(store.vertex_space());
+        self.run_to_fixpoint(store)
+    }
+
+    /// Continues from the current state with the given seed vertices active
+    /// — the incremental model's entry point after a batch update. The
+    /// first incremental run bootstraps the program's roots (there is no
+    /// prior analysis to continue from yet).
+    ///
+    /// Incremental continuation is sound only for *monotone* updates (new
+    /// edges, or weight changes in the program's improving direction);
+    /// deletions and adverse weight changes can invalidate committed
+    /// properties and require [`run_from_roots`](Self::run_from_roots) —
+    /// the same restriction the paper's incremental-compute model carries.
+    pub fn run_incremental<S: GraphStore>(&mut self, store: &S, seeds: &[VertexId]) -> RunReport {
+        self.ensure_capacity(store.vertex_space());
+        if !self.seeded {
+            self.seed_roots(store.vertex_space());
+        }
+        for &v in seeds {
+            self.ensure_capacity(v + 1);
+            if !self.active_bits[v as usize] {
+                self.active_bits[v as usize] = true;
+                self.active.push(v);
+            }
+        }
+        self.run_to_fixpoint(store)
+    }
+
+    /// The GAS iteration loop: decide mode, processing phase, apply phase,
+    /// until no vertex is active.
+    fn run_to_fixpoint<S: GraphStore>(&mut self, store: &S) -> RunReport {
+        let mut report = RunReport::default();
+        let run_start = Instant::now();
+        while !self.active.is_empty() && report.iterations.len() < self.max_iterations {
+            let iter_start = Instant::now();
+            let store_edges = store.num_edges();
+            let active_degree: u64 =
+                self.active.iter().map(|&v| store.out_degree(v) as u64).sum();
+            let mode = self.policy.decide(self.active.len(), active_degree, store_edges);
+
+            // --- Processing phase -------------------------------------
+            let mut edges_processed: u64 = 0;
+            let mut messages: u64 = 0;
+            {
+                let program = &self.program;
+                let values = &self.values;
+                let temp = &mut self.temp;
+                let touched = &mut self.touched;
+                let active_bits = &self.active_bits;
+                let mut deposit = |dst: VertexId, msg: P::Value| {
+                    messages += 1;
+                    let slot = &mut temp[dst as usize];
+                    *slot = Some(match slot.take() {
+                        Some(prev) => program.reduce(prev, msg),
+                        None => {
+                            touched.push(dst);
+                            msg
+                        }
+                    });
+                };
+                match mode {
+                    ExecMode::Full => {
+                        // Stream every edge sequentially; only edges whose
+                        // source is active contribute.
+                        store.stream_edges(|src, dst, w| {
+                            edges_processed += 1;
+                            if active_bits[src as usize] {
+                                if let Some(m) =
+                                    program.process_edge(values[src as usize], dst, w)
+                                {
+                                    deposit(dst, m);
+                                }
+                            }
+                        });
+                    }
+                    ExecMode::Incremental => {
+                        for &v in &self.active {
+                            let sv = values[v as usize];
+                            store.for_each_out_edge(v, |dst, w| {
+                                edges_processed += 1;
+                                if let Some(m) = program.process_edge(sv, dst, w) {
+                                    deposit(dst, m);
+                                }
+                            });
+                        }
+                    }
+                }
+            }
+
+            // --- Apply phase -------------------------------------------
+            let active_vertices = self.active.len();
+            for &v in &self.active {
+                self.active_bits[v as usize] = false;
+            }
+            self.active.clear();
+            for &d in &self.touched {
+                if let Some(msg) = self.temp[d as usize].take() {
+                    if let Some(new) = self.program.apply(self.values[d as usize], msg) {
+                        self.values[d as usize] = new;
+                        if !self.active_bits[d as usize] {
+                            self.active_bits[d as usize] = true;
+                            self.active.push(d);
+                        }
+                    }
+                }
+            }
+            self.touched.clear();
+
+            report.iterations.push(IterationStats {
+                mode,
+                active_vertices,
+                active_degree,
+                store_edges,
+                edges_processed,
+                messages,
+                duration: iter_start.elapsed(),
+            });
+            report.total_edges_processed += edges_processed;
+        }
+        report.elapsed = run_start.elapsed();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Bfs, Cc, Sssp};
+    use gtinker_core::GraphTinker;
+    use gtinker_stinger::Stinger;
+    use gtinker_types::{Edge, EdgeBatch};
+
+    fn chain_graph(n: u32) -> GraphTinker {
+        let mut g = GraphTinker::with_defaults();
+        let edges: Vec<Edge> = (0..n - 1).map(|i| Edge::new(i, i + 1, 2)).collect();
+        g.apply_batch(&EdgeBatch::inserts(&edges));
+        g
+    }
+
+    #[test]
+    fn bfs_levels_on_a_chain() {
+        let g = chain_graph(10);
+        for policy in [ModePolicy::AlwaysFull, ModePolicy::AlwaysIncremental, ModePolicy::hybrid()]
+        {
+            let mut e = Engine::new(Bfs::new(0), policy);
+            let report = e.run_from_roots(&g);
+            for v in 0..10u32 {
+                assert_eq!(e.values()[v as usize], v, "level of {v} under {policy:?}");
+            }
+            assert_eq!(report.num_iterations(), 10, "9 hops + terminating iteration");
+        }
+    }
+
+    #[test]
+    fn sssp_uses_weights() {
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&EdgeBatch::inserts(&[
+            Edge::new(0, 1, 10),
+            Edge::new(0, 2, 1),
+            Edge::new(2, 1, 2), // 0->2->1 costs 3, beating the direct 10
+        ]));
+        let mut e = Engine::new(Sssp::new(0), ModePolicy::hybrid());
+        e.run_from_roots(&g);
+        assert_eq!(e.values()[1], 3);
+        assert_eq!(e.values()[2], 1);
+    }
+
+    #[test]
+    fn cc_labels_on_two_components() {
+        let mut g = GraphTinker::with_defaults();
+        // Component {0,1,2} and {5,6}; CC runs on symmetrized edges.
+        let edges = [(0u32, 1u32), (1, 2), (5, 6)];
+        let mut batch = EdgeBatch::new();
+        for &(a, b) in &edges {
+            batch.push_insert(Edge::unit(a, b));
+            batch.push_insert(Edge::unit(b, a));
+        }
+        g.apply_batch(&batch);
+        let mut e = Engine::new(Cc::new(), ModePolicy::hybrid());
+        e.run_from_roots(&g);
+        let v = e.values();
+        assert_eq!(v[0], 0);
+        assert_eq!(v[1], 0);
+        assert_eq!(v[2], 0);
+        assert_eq!(v[5], 5);
+        assert_eq!(v[6], 5);
+        // Vertices 3, 4 are isolated (never seen as endpoints): own labels.
+        assert_eq!(v[3], 3);
+        assert_eq!(v[4], 4);
+    }
+
+    #[test]
+    fn fp_and_ip_agree_on_random_graph() {
+        use gtinker_datasets::RmatConfig;
+        let edges = RmatConfig::graph500(9, 4_000, 5).generate();
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&EdgeBatch::inserts(&edges));
+
+        let root = edges[0].src;
+        let mut full = Engine::new(Bfs::new(root), ModePolicy::AlwaysFull);
+        let mut inc = Engine::new(Bfs::new(root), ModePolicy::AlwaysIncremental);
+        let mut hyb = Engine::new(Bfs::new(root), ModePolicy::hybrid());
+        full.run_from_roots(&g);
+        inc.run_from_roots(&g);
+        hyb.run_from_roots(&g);
+        assert_eq!(full.values(), inc.values(), "FP vs IP BFS divergence");
+        assert_eq!(full.values(), hyb.values(), "FP vs hybrid BFS divergence");
+    }
+
+    #[test]
+    fn graphtinker_and_stinger_agree() {
+        use gtinker_datasets::RmatConfig;
+        let edges = RmatConfig::graph500(8, 2_000, 9).generate();
+        let batch = EdgeBatch::inserts(&edges);
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&batch);
+        let mut s = Stinger::with_defaults();
+        s.apply_batch(&batch);
+
+        let root = edges[0].src;
+        let mut eg = Engine::new(Bfs::new(root), ModePolicy::hybrid());
+        let mut es = Engine::new(Bfs::new(root), ModePolicy::hybrid());
+        eg.run_from_roots(&g);
+        es.run_from_roots(&s);
+        assert_eq!(eg.values(), es.values(), "stores disagree on BFS result");
+    }
+
+    #[test]
+    fn incremental_bfs_matches_recompute_after_batches() {
+        let mut g = GraphTinker::with_defaults();
+        let b1 = EdgeBatch::inserts(&[Edge::unit(0, 1), Edge::unit(1, 2)]);
+        g.apply_batch(&b1);
+        let mut inc = Engine::new(Bfs::new(0), ModePolicy::hybrid());
+        inc.run_from_roots(&g);
+
+        // Insert a shortcut 0 -> 2 and a fresh tail 2 -> 3.
+        let b2 = EdgeBatch::inserts(&[Edge::unit(0, 2), Edge::unit(2, 3)]);
+        g.apply_batch(&b2);
+        let seeds = inc.program().inconsistent_vertices(b2.ops());
+        inc.run_incremental(&g, &seeds);
+
+        let mut fresh = Engine::new(Bfs::new(0), ModePolicy::hybrid());
+        fresh.run_from_roots(&g);
+        assert_eq!(inc.values(), fresh.values(), "incremental diverged from recompute");
+        assert_eq!(inc.values()[2], 1, "shortcut must shorten the path");
+        assert_eq!(inc.values()[3], 2);
+    }
+
+    #[test]
+    fn report_statistics_populate() {
+        let g = chain_graph(50);
+        let mut e = Engine::new(Bfs::new(0), ModePolicy::AlwaysIncremental);
+        let r = e.run_from_roots(&g);
+        assert!(r.total_edges_processed >= 49);
+        assert_eq!(r.mode_counts().0, 0, "no FP iterations under AlwaysIncremental");
+        assert!(r.throughput_eps() > 0.0);
+        let mut merged = RunReport::default();
+        merged.merge(&r);
+        merged.merge(&r);
+        assert_eq!(merged.total_edges_processed, 2 * r.total_edges_processed);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_at_initial() {
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&EdgeBatch::inserts(&[Edge::unit(0, 1), Edge::unit(3, 4)]));
+        let mut e = Engine::new(Bfs::new(0), ModePolicy::hybrid());
+        e.run_from_roots(&g);
+        assert_eq!(e.values()[1], 1);
+        assert_eq!(e.values()[3], u32::MAX);
+        assert_eq!(e.values()[4], u32::MAX);
+    }
+
+    #[test]
+    fn empty_graph_runs_cleanly() {
+        let g = GraphTinker::with_defaults();
+        let mut e = Engine::new(Bfs::new(0), ModePolicy::hybrid());
+        let r = e.run_from_roots(&g);
+        // Root 0 exceeds the (empty) vertex space; engine must not panic.
+        assert!(r.num_iterations() <= 1);
+    }
+
+    /// A deliberately non-monotone program: every message flips the
+    /// receiving vertex's parity, so the fixpoint never arrives. Used to
+    /// verify the iteration guard.
+    struct Oscillator;
+    impl crate::gas::GasProgram for Oscillator {
+        type Value = u32;
+        fn initial_value(&self) -> u32 {
+            0
+        }
+        fn process_edge(&self, src_value: u32, _d: u32, _w: u32) -> Option<u32> {
+            Some(src_value + 1)
+        }
+        fn reduce(&self, a: u32, b: u32) -> u32 {
+            a.max(b)
+        }
+        fn apply(&self, old: u32, incoming: u32) -> Option<u32> {
+            // Always "changes": oscillates between parities forever.
+            Some(if incoming == old { incoming + 1 } else { incoming })
+        }
+        fn roots(&self, _n: u32) -> Vec<(u32, u32)> {
+            vec![(0, 1)]
+        }
+    }
+
+    #[test]
+    fn iteration_guard_stops_non_convergent_programs() {
+        let mut g = GraphTinker::with_defaults();
+        // A 2-cycle keeps messages flowing forever.
+        g.apply_batch(&EdgeBatch::inserts(&[Edge::unit(0, 1), Edge::unit(1, 0)]));
+        let mut e = Engine::new(Oscillator, ModePolicy::AlwaysIncremental);
+        e.set_max_iterations(25);
+        let r = e.run_from_roots(&g);
+        assert_eq!(r.num_iterations(), 25, "guard must cap the run");
+    }
+
+    #[test]
+    fn guard_does_not_truncate_convergent_runs() {
+        let g = chain_graph(10);
+        let mut e = Engine::new(Bfs::new(0), ModePolicy::hybrid());
+        e.set_max_iterations(1_000);
+        e.run_from_roots(&g);
+        assert_eq!(e.values()[9], 9);
+    }
+}

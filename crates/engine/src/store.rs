@@ -1,0 +1,184 @@
+//! The [`GraphStore`] abstraction: the two edge-retrieval paths the hybrid
+//! engine multiplexes between.
+
+use gtinker_core::{GraphTinker, ParallelTinker};
+use gtinker_stinger::{ParallelStinger, Stinger};
+use gtinker_types::{VertexId, Weight};
+
+/// A dynamic graph store the engine can run analytics over.
+///
+/// The two retrieval methods correspond to the paper's LoadEdges unit
+/// (§IV.C): `stream_edges` is the full-processing path (sequential,
+/// compacted — the CAL for GraphTinker), `for_each_out_edge` the
+/// incremental path (random, per-vertex — the EdgeblockArray).
+pub trait GraphStore {
+    /// One past the largest vertex id in the store (sizes engine arrays).
+    fn vertex_space(&self) -> u32;
+
+    /// Live edge count (the `E` of the inference formula).
+    fn num_edges(&self) -> u64;
+
+    /// Live out-degree of a vertex.
+    fn out_degree(&self, v: VertexId) -> u32;
+
+    /// Visits the out-edges of one vertex (incremental / random path).
+    fn for_each_out_edge(&self, v: VertexId, f: impl FnMut(VertexId, Weight));
+
+    /// Streams every edge (full-processing / sequential path).
+    fn stream_edges(&self, f: impl FnMut(VertexId, VertexId, Weight));
+
+    /// Point query: is `(src, dst)` a live edge? The default scans the
+    /// source's out-edges; stores with a FIND path (GraphTinker's hashed
+    /// subblock walk, STINGER's chain scan) override with their native
+    /// lookup. Triangle counting and other intersection workloads lean on
+    /// this heavily.
+    fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        let mut found = false;
+        self.for_each_out_edge(src, |d, _| found |= d == dst);
+        found
+    }
+}
+
+impl GraphStore for GraphTinker {
+    fn vertex_space(&self) -> u32 {
+        GraphTinker::vertex_space(self)
+    }
+    fn num_edges(&self) -> u64 {
+        GraphTinker::num_edges(self)
+    }
+    fn out_degree(&self, v: VertexId) -> u32 {
+        GraphTinker::out_degree(self, v)
+    }
+    fn for_each_out_edge(&self, v: VertexId, f: impl FnMut(VertexId, Weight)) {
+        GraphTinker::for_each_out_edge(self, v, f)
+    }
+    fn stream_edges(&self, f: impl FnMut(VertexId, VertexId, Weight)) {
+        // CAL stream when enabled; scattered main-structure scan otherwise
+        // (the ablation's cost).
+        GraphTinker::for_each_edge(self, f)
+    }
+    fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        GraphTinker::contains_edge(self, src, dst)
+    }
+}
+
+impl GraphStore for Stinger {
+    fn vertex_space(&self) -> u32 {
+        Stinger::vertex_space(self)
+    }
+    fn num_edges(&self) -> u64 {
+        Stinger::num_edges(self)
+    }
+    fn out_degree(&self, v: VertexId) -> u32 {
+        Stinger::out_degree(self, v)
+    }
+    fn for_each_out_edge(&self, v: VertexId, f: impl FnMut(VertexId, Weight)) {
+        Stinger::for_each_out_edge(self, v, f)
+    }
+    fn stream_edges(&self, f: impl FnMut(VertexId, VertexId, Weight)) {
+        // STINGER has no compacted copy: "streaming" walks the per-vertex
+        // chains, which is exactly why Figs. 11-13 favour GraphTinker.
+        Stinger::for_each_edge(self, f)
+    }
+    fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        Stinger::contains_edge(self, src, dst)
+    }
+}
+
+impl GraphStore for ParallelTinker {
+    fn vertex_space(&self) -> u32 {
+        ParallelTinker::vertex_space(self)
+    }
+    fn num_edges(&self) -> u64 {
+        ParallelTinker::num_edges(self)
+    }
+    fn out_degree(&self, v: VertexId) -> u32 {
+        ParallelTinker::out_degree(self, v)
+    }
+    fn for_each_out_edge(&self, v: VertexId, f: impl FnMut(VertexId, Weight)) {
+        ParallelTinker::for_each_out_edge(self, v, f)
+    }
+    fn stream_edges(&self, f: impl FnMut(VertexId, VertexId, Weight)) {
+        ParallelTinker::for_each_edge(self, f)
+    }
+    fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        ParallelTinker::contains_edge(self, src, dst)
+    }
+}
+
+impl GraphStore for ParallelStinger {
+    fn vertex_space(&self) -> u32 {
+        ParallelStinger::vertex_space(self)
+    }
+    fn num_edges(&self) -> u64 {
+        ParallelStinger::num_edges(self)
+    }
+    fn out_degree(&self, v: VertexId) -> u32 {
+        ParallelStinger::out_degree(self, v)
+    }
+    fn for_each_out_edge(&self, v: VertexId, f: impl FnMut(VertexId, Weight)) {
+        ParallelStinger::for_each_out_edge(self, v, f)
+    }
+    fn stream_edges(&self, f: impl FnMut(VertexId, VertexId, Weight)) {
+        ParallelStinger::for_each_edge(self, f)
+    }
+    fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        ParallelStinger::contains_edge(self, src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtinker_types::{Edge, EdgeBatch};
+
+    fn sample_batch() -> EdgeBatch {
+        EdgeBatch::inserts(&[Edge::new(0, 1, 5), Edge::new(1, 2, 3), Edge::new(0, 2, 7)])
+    }
+
+    fn check_store<S: GraphStore>(s: &S) {
+        assert_eq!(s.vertex_space(), 3);
+        assert_eq!(s.num_edges(), 3);
+        assert_eq!(s.out_degree(0), 2);
+        assert_eq!(s.out_degree(2), 0);
+        let mut outs = Vec::new();
+        s.for_each_out_edge(0, |d, w| outs.push((d, w)));
+        outs.sort_unstable();
+        assert_eq!(outs, vec![(1, 5), (2, 7)]);
+        let mut all = Vec::new();
+        s.stream_edges(|a, b, w| all.push((a, b, w)));
+        all.sort_unstable();
+        assert_eq!(all, vec![(0, 1, 5), (0, 2, 7), (1, 2, 3)]);
+        assert!(s.has_edge(0, 1));
+        assert!(!s.has_edge(1, 0));
+        assert!(!s.has_edge(9, 9));
+    }
+
+    #[test]
+    fn graphtinker_implements_store() {
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&sample_batch());
+        check_store(&g);
+    }
+
+    #[test]
+    fn stinger_implements_store() {
+        let mut s = Stinger::with_defaults();
+        s.apply_batch(&sample_batch());
+        check_store(&s);
+    }
+
+    #[test]
+    fn parallel_tinker_implements_store() {
+        let mut p = ParallelTinker::new(Default::default(), 2).unwrap();
+        p.apply_batch(&sample_batch());
+        check_store(&p);
+    }
+
+    #[test]
+    fn parallel_stinger_implements_store() {
+        let mut p = ParallelStinger::new(Default::default(), 2).unwrap();
+        p.apply_batch(&sample_batch());
+        check_store(&p);
+    }
+}

@@ -1,0 +1,237 @@
+//! A vertex-centric engine variant — the paper's stated future work
+//! ("Future work on GraphTinker will explore the efficiency of the
+//! vertex-centric model with our data structure", §IV.A).
+//!
+//! Where the edge-centric engine alternates synchronized processing/apply
+//! phases over *edges*, this engine drives a worklist of *vertices* and
+//! applies improvements immediately (asynchronous label correcting, in the
+//! style of GraphLab's async mode). For the monotone min-propagation
+//! programs the paper evaluates (BFS, SSSP, CC) the fixpoint is identical;
+//! the work and locality profiles differ — the `vc_vs_ec` Criterion group
+//! measures the trade-off over GraphTinker.
+
+use gtinker_types::VertexId;
+
+use crate::gas::GasProgram;
+use crate::store::GraphStore;
+
+/// Outcome summary of a vertex-centric run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VcReport {
+    /// Vertices popped from the worklist (re-processing counts again).
+    pub vertex_activations: u64,
+    /// Edges visited.
+    pub edges_processed: u64,
+    /// Property updates committed.
+    pub updates: u64,
+}
+
+/// Asynchronous vertex-centric engine.
+///
+/// Correctness requires the program to be *monotone and confluent*: `apply`
+/// must only ever move a property in one improving direction regardless of
+/// message arrival order (true for BFS / SSSP / CC). Programs that rely on
+/// the edge-centric engine's per-iteration barrier are not supported.
+pub struct VertexCentricEngine<P: GasProgram> {
+    program: P,
+    values: Vec<P::Value>,
+    /// FIFO worklist plus membership bits to avoid duplicate entries.
+    worklist: std::collections::VecDeque<VertexId>,
+    queued: Vec<bool>,
+}
+
+impl<P: GasProgram> VertexCentricEngine<P> {
+    /// Creates an engine for the program.
+    pub fn new(program: P) -> Self {
+        VertexCentricEngine {
+            program,
+            values: Vec::new(),
+            worklist: std::collections::VecDeque::new(),
+            queued: Vec::new(),
+        }
+    }
+
+    /// The program driving this engine.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// Committed vertex properties.
+    pub fn values(&self) -> &[P::Value] {
+        &self.values
+    }
+
+    fn ensure_capacity(&mut self, n: u32) {
+        let n = n as usize;
+        if self.values.len() < n {
+            let start = self.values.len() as u32;
+            self.values.extend((start..n as u32).map(|v| self.program.default_value(v)));
+            self.queued.resize(n, false);
+        }
+    }
+
+    fn push(&mut self, v: VertexId) {
+        self.ensure_capacity(v + 1);
+        if !self.queued[v as usize] {
+            self.queued[v as usize] = true;
+            self.worklist.push_back(v);
+        }
+    }
+
+    /// Runs to fixpoint from the program's roots over a fresh state.
+    pub fn run_from_roots<S: GraphStore>(&mut self, store: &S) -> VcReport {
+        self.ensure_capacity(store.vertex_space());
+        for (v, slot) in self.values.iter_mut().enumerate() {
+            *slot = self.program.default_value(v as u32);
+        }
+        self.worklist.clear();
+        self.queued.fill(false);
+        for (v, val) in self.program.roots(store.vertex_space()) {
+            self.ensure_capacity(v + 1);
+            self.values[v as usize] = val;
+            self.push(v);
+        }
+        self.drain(store)
+    }
+
+    /// Continues from the current state with extra seed vertices (monotone
+    /// updates only, as with the edge-centric incremental path).
+    pub fn run_incremental<S: GraphStore>(&mut self, store: &S, seeds: &[VertexId]) -> VcReport {
+        self.ensure_capacity(store.vertex_space());
+        for &v in seeds {
+            self.push(v);
+        }
+        self.drain(store)
+    }
+
+    /// The asynchronous scatter loop: pop a vertex, push its value along its
+    /// out-edges, commit improvements immediately, enqueue improved
+    /// neighbours.
+    fn drain<S: GraphStore>(&mut self, store: &S) -> VcReport {
+        let mut report = VcReport::default();
+        while let Some(v) = self.worklist.pop_front() {
+            self.queued[v as usize] = false;
+            report.vertex_activations += 1;
+            let sv = self.values[v as usize];
+            // Collect improvements first (the store callback cannot borrow
+            // self mutably), then commit.
+            let mut improved: Vec<(VertexId, P::Value)> = Vec::new();
+            {
+                let program = &self.program;
+                let values = &self.values;
+                store.for_each_out_edge(v, |dst, w| {
+                    report.edges_processed += 1;
+                    if let Some(msg) = program.process_edge(sv, dst, w) {
+                        let old = values
+                            .get(dst as usize)
+                            .copied()
+                            .unwrap_or_else(|| program.default_value(dst));
+                        if let Some(new) = program.apply(old, msg) {
+                            improved.push((dst, new));
+                        }
+                    }
+                });
+            }
+            for (dst, new) in improved {
+                self.ensure_capacity(dst + 1);
+                // Re-check: an earlier entry of this batch may already have
+                // improved the value further.
+                if let Some(committed) = self.program.apply(self.values[dst as usize], new) {
+                    self.values[dst as usize] = committed;
+                    report.updates += 1;
+                    self.push(dst);
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Bfs, Cc, Sssp};
+    use crate::{Engine, ModePolicy};
+    use gtinker_core::GraphTinker;
+    use gtinker_datasets::RmatConfig;
+    use gtinker_types::{Edge, EdgeBatch};
+
+    fn rmat_store(scale: u32, edges: u64, seed: u64) -> (GraphTinker, Vec<Edge>) {
+        let edges = RmatConfig::graph500(scale, edges, seed).generate();
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&EdgeBatch::inserts(&edges));
+        (g, edges)
+    }
+
+    #[test]
+    fn vc_bfs_matches_edge_centric() {
+        let (g, edges) = rmat_store(10, 5_000, 3);
+        let root = edges[0].src;
+        let mut vc = VertexCentricEngine::new(Bfs::new(root));
+        vc.run_from_roots(&g);
+        let mut ec = Engine::new(Bfs::new(root), ModePolicy::hybrid());
+        ec.run_from_roots(&g);
+        assert_eq!(vc.values(), ec.values());
+    }
+
+    #[test]
+    fn vc_sssp_matches_edge_centric() {
+        let (g, edges) = rmat_store(9, 4_000, 5);
+        let root = edges[0].src;
+        let mut vc = VertexCentricEngine::new(Sssp::new(root));
+        vc.run_from_roots(&g);
+        let mut ec = Engine::new(Sssp::new(root), ModePolicy::AlwaysIncremental);
+        ec.run_from_roots(&g);
+        assert_eq!(vc.values(), ec.values());
+    }
+
+    #[test]
+    fn vc_cc_matches_edge_centric() {
+        let edges = RmatConfig::graph500(9, 3_000, 7).generate();
+        let mut batch = EdgeBatch::with_capacity(edges.len() * 2);
+        for e in &edges {
+            batch.push_insert(*e);
+            batch.push_insert(e.reversed());
+        }
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&batch);
+        let mut vc = VertexCentricEngine::new(Cc::new());
+        vc.run_from_roots(&g);
+        let mut ec = Engine::new(Cc::new(), ModePolicy::AlwaysFull);
+        ec.run_from_roots(&g);
+        assert_eq!(vc.values(), ec.values());
+    }
+
+    #[test]
+    fn vc_incremental_continues() {
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&EdgeBatch::inserts(&[Edge::unit(0, 1), Edge::unit(1, 2)]));
+        let mut vc = VertexCentricEngine::new(Bfs::new(0));
+        vc.run_from_roots(&g);
+        assert_eq!(vc.values()[2], 2);
+        // Add a shortcut; reactivate its source.
+        g.apply_batch(&EdgeBatch::inserts(&[Edge::unit(0, 2), Edge::unit(2, 3)]));
+        vc.run_incremental(&g, &[0, 2]);
+        assert_eq!(vc.values()[2], 1);
+        assert_eq!(vc.values()[3], 2);
+    }
+
+    #[test]
+    fn vc_report_counts_work() {
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&EdgeBatch::inserts(&[Edge::unit(0, 1), Edge::unit(1, 2)]));
+        let mut vc = VertexCentricEngine::new(Bfs::new(0));
+        let r = vc.run_from_roots(&g);
+        assert_eq!(r.updates, 2, "two vertices reached");
+        assert!(r.vertex_activations >= 3);
+        assert_eq!(r.edges_processed, 2);
+    }
+
+    #[test]
+    fn vc_empty_graph() {
+        let g = GraphTinker::with_defaults();
+        let mut vc = VertexCentricEngine::new(Bfs::new(0));
+        let r = vc.run_from_roots(&g);
+        assert_eq!(r.edges_processed, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! A faithful re-implementation of the **STINGER** dynamic-graph data
+//! structure (Ediger, McColl, Riedy & Bader, HPEC 2012) — the baseline the
+//! GraphTinker paper compares against.
+//!
+//! STINGER is a shared-memory adjacency-list structure: a *Logical Vertex
+//! Array* maps each vertex to a chain of fixed-size *edgeblocks* holding its
+//! out-edges. Edges within a vertex's chain are unsorted and unhashed, so
+//! every insert/delete walks the chain linearly — the `O(degree)` probe
+//! distance GraphTinker is designed to beat — and the blocks of different
+//! vertices are scattered through memory, which is the compaction gap the
+//! CAL addresses.
+//!
+//! The re-implementation reproduces exactly those access patterns:
+//!
+//! * insertion searches the whole chain for the edge (update-in-place) and
+//!   remembers the first vacant slot (from an earlier deletion) to reuse;
+//! * deletion marks the slot invalid (STINGER negates the neighbour id);
+//! * when a chain is full, a new edgeblock is appended;
+//! * traversal walks the per-vertex chains.
+//!
+//! The paper configures STINGER with an average edgeblock size of 16; that
+//! is [`StingerConfig`](gtinker_types::StingerConfig)'s default.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod parallel;
+pub mod store;
+
+pub use parallel::ParallelStinger;
+pub use store::{Stinger, StingerStats};

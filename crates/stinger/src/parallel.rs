@@ -1,0 +1,128 @@
+//! Parallel STINGER: the same interval partitioning used for GraphTinker
+//! (one single-writer instance per core, edges sharded by source hash), so
+//! the multicore comparison in Fig. 10 is apples-to-apples.
+
+use gtinker_types::{partition_of, EdgeBatch, Result, StingerConfig, VertexId, Weight};
+
+use crate::store::{Stinger, StingerStats};
+
+/// Interval-partitioned STINGER instances updated in parallel.
+pub struct ParallelStinger {
+    instances: Vec<Stinger>,
+}
+
+impl ParallelStinger {
+    /// Creates `n` empty instances sharing one configuration.
+    pub fn new(config: StingerConfig, n: usize) -> Result<Self> {
+        assert!(n > 0);
+        let mut instances = Vec::with_capacity(n);
+        for _ in 0..n {
+            instances.push(Stinger::new(config)?);
+        }
+        Ok(ParallelStinger { instances })
+    }
+
+    /// Number of parallel instances.
+    #[inline]
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    #[inline]
+    fn shard(&self, src: VertexId) -> usize {
+        partition_of(src, self.instances.len())
+    }
+
+    /// Applies a batch across all instances on scoped threads.
+    pub fn apply_batch(&mut self, batch: &EdgeBatch) {
+        let parts = batch.partition(self.instances.len());
+        crossbeam::thread::scope(|scope| {
+            for (inst, part) in self.instances.iter_mut().zip(&parts) {
+                scope.spawn(move |_| {
+                    inst.apply_batch(part);
+                });
+            }
+        })
+        .expect("update worker panicked");
+    }
+
+    /// Total live edges.
+    pub fn num_edges(&self) -> u64 {
+        self.instances.iter().map(|s| s.num_edges()).sum()
+    }
+
+    /// One past the largest vertex id observed by any instance.
+    pub fn vertex_space(&self) -> u32 {
+        self.instances.iter().map(|s| s.vertex_space()).max().unwrap_or(0)
+    }
+
+    /// Live out-degree of `src` (its shard owns all of its edges).
+    pub fn out_degree(&self, src: VertexId) -> u32 {
+        self.instances[self.shard(src)].out_degree(src)
+    }
+
+    /// Visits the out-edges of `src`.
+    pub fn for_each_out_edge<F: FnMut(VertexId, Weight)>(&self, src: VertexId, f: F) {
+        self.instances[self.shard(src)].for_each_out_edge(src, f);
+    }
+
+    /// Weight of `(src, dst)`.
+    pub fn edge_weight(&self, src: VertexId, dst: VertexId) -> Option<Weight> {
+        self.instances[self.shard(src)].edge_weight(src, dst)
+    }
+
+    /// Whether `(src, dst)` is present.
+    pub fn contains_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        self.edge_weight(src, dst).is_some()
+    }
+
+    /// Visits every live edge across instances.
+    pub fn for_each_edge<F: FnMut(VertexId, VertexId, Weight)>(&self, mut f: F) {
+        for s in &self.instances {
+            s.for_each_edge(&mut f);
+        }
+    }
+
+    /// Merged probe counters.
+    pub fn stats(&self) -> StingerStats {
+        let mut t = StingerStats::default();
+        for s in &self.instances {
+            t.merge(&s.stats());
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtinker_types::Edge;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let edges: Vec<Edge> = (0..4_000u32).map(|i| Edge::new(i % 89, i % 157, i)).collect();
+        let b = EdgeBatch::inserts(&edges);
+        let mut seq = Stinger::with_defaults();
+        seq.apply_batch(&b);
+        let mut par = ParallelStinger::new(StingerConfig::default(), 4).unwrap();
+        par.apply_batch(&b);
+        assert_eq!(par.num_edges(), seq.num_edges());
+        let mut a: Vec<(u32, u32, u32)> = Vec::new();
+        seq.for_each_edge(|s, d, w| a.push((s, d, w)));
+        let mut c: Vec<(u32, u32, u32)> = Vec::new();
+        par.for_each_edge(|s, d, w| c.push((s, d, w)));
+        a.sort_unstable();
+        c.sort_unstable();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn routed_queries_and_stats() {
+        let mut par = ParallelStinger::new(StingerConfig::default(), 3).unwrap();
+        par.apply_batch(&EdgeBatch::inserts(&[Edge::new(5, 6, 7)]));
+        assert_eq!(par.edge_weight(5, 6), Some(7));
+        assert!(!par.contains_edge(6, 5));
+        assert_eq!(par.stats().operations, 1);
+        assert_eq!(par.num_instances(), 3);
+    }
+}

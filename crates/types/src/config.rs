@@ -1,0 +1,222 @@
+//! Configuration for the GraphTinker structure and the STINGER baseline.
+
+use serde::{Deserialize, Serialize};
+
+/// Edge-deletion mechanism (paper §III.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DeleteMode {
+    /// Flag the cell as a tombstone and move on. Fast deletes, but the
+    /// structure never shrinks, so traversal cost stays constant as the
+    /// graph empties (Figs. 14-15).
+    #[default]
+    DeleteOnly,
+    /// Backfill the freed slot with an edge pulled from the deepest
+    /// descendant subblock on the same chain, freeing emptied overflow
+    /// blocks. RHH is disabled in this mode (the paper turns it off to avoid
+    /// the edge-tracking overhead of swap chains); plain in-subblock linear
+    /// probing is used instead.
+    DeleteAndCompact,
+}
+
+/// Configuration of a GraphTinker instance.
+///
+/// The paper's tuned operating point is `PAGEWIDTH = 64`, subblock = 8,
+/// workblock = 4 (§V.A); those are the defaults here. All sizes are counts
+/// of edge-cells and must satisfy
+/// `workblock | subblock | pagewidth` (each divides the next).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TinkerConfig {
+    /// Edge-cells per edgeblock (the paper's PAGEWIDTH).
+    pub pagewidth: usize,
+    /// Edge-cells per subblock — the branching granularity of Tree-Based
+    /// Hashing.
+    pub subblock: usize,
+    /// Edge-cells per workblock — the retrieval granularity for the RHH
+    /// inspection loop.
+    pub workblock: usize,
+    /// Enable the Scatter-Gather Hashing unit (dense source-id remapping).
+    /// Disabling it reproduces the paper's SGH ablation: top-level blocks
+    /// are then indexed by the raw source id, so the main region is sparse.
+    pub enable_sgh: bool,
+    /// Maintain the Coarse Adjacency List copy of the edges. Disabling it
+    /// reproduces the paper's CAL ablation and the "GraphTinker without CAL"
+    /// series in Fig. 8.
+    pub enable_cal: bool,
+    /// Source vertices per CAL group (the paper's example uses 1024).
+    pub cal_group_size: usize,
+    /// Edge records per CAL block.
+    pub cal_block_size: usize,
+    /// Deletion mechanism.
+    pub delete_mode: DeleteMode,
+}
+
+impl Default for TinkerConfig {
+    fn default() -> Self {
+        TinkerConfig {
+            pagewidth: 64,
+            subblock: 8,
+            workblock: 4,
+            enable_sgh: true,
+            enable_cal: true,
+            cal_group_size: 1024,
+            cal_block_size: 1024,
+            delete_mode: DeleteMode::DeleteOnly,
+        }
+    }
+}
+
+impl TinkerConfig {
+    /// Default configuration with a different PAGEWIDTH, keeping the
+    /// subblock/workblock geometry. Used by the PAGEWIDTH sweeps
+    /// (Figs. 17-19).
+    pub fn with_pagewidth(pagewidth: usize) -> Self {
+        TinkerConfig { pagewidth, ..TinkerConfig::default() }
+    }
+
+    /// Returns the config with CAL maintenance switched on/off.
+    pub fn cal(mut self, enable: bool) -> Self {
+        self.enable_cal = enable;
+        self
+    }
+
+    /// Returns the config with SGH switched on/off.
+    pub fn sgh(mut self, enable: bool) -> Self {
+        self.enable_sgh = enable;
+        self
+    }
+
+    /// Returns the config with the given delete mode.
+    pub fn delete_mode(mut self, mode: DeleteMode) -> Self {
+        self.delete_mode = mode;
+        self
+    }
+
+    /// Number of subblocks per edgeblock.
+    #[inline]
+    pub fn subblocks_per_block(&self) -> usize {
+        self.pagewidth / self.subblock
+    }
+
+    /// Number of workblocks per subblock.
+    #[inline]
+    pub fn workblocks_per_subblock(&self) -> usize {
+        self.subblock / self.workblock
+    }
+
+    /// Validates the geometry invariants. Returns a human-readable reason on
+    /// failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pagewidth == 0 || self.subblock == 0 || self.workblock == 0 {
+            return Err("pagewidth, subblock and workblock must be positive".into());
+        }
+        if !self.pagewidth.is_power_of_two()
+            || !self.subblock.is_power_of_two()
+            || !self.workblock.is_power_of_two()
+        {
+            return Err(format!(
+                "pagewidth/subblock/workblock must be powers of two (got {}/{}/{})",
+                self.pagewidth, self.subblock, self.workblock
+            ));
+        }
+        if !self.pagewidth.is_multiple_of(self.subblock) {
+            return Err(format!(
+                "subblock size {} must divide pagewidth {}",
+                self.subblock, self.pagewidth
+            ));
+        }
+        if !self.subblock.is_multiple_of(self.workblock) {
+            return Err(format!(
+                "workblock size {} must divide subblock size {}",
+                self.workblock, self.subblock
+            ));
+        }
+        if self.cal_group_size == 0 || self.cal_block_size == 0 {
+            return Err("CAL group and block sizes must be positive".into());
+        }
+        if self.subblock > 256 {
+            return Err("subblock size must fit probe distances in a byte (<= 256)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the STINGER baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StingerConfig {
+    /// Edges per edgeblock in the adjacency chain. The paper configures
+    /// STINGER with an average edgeblock size of 16.
+    pub edges_per_block: usize,
+}
+
+impl Default for StingerConfig {
+    fn default() -> Self {
+        StingerConfig { edges_per_block: 16 }
+    }
+}
+
+impl StingerConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.edges_per_block == 0 {
+            return Err("edges_per_block must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_operating_point() {
+        let c = TinkerConfig::default();
+        assert_eq!((c.pagewidth, c.subblock, c.workblock), (64, 8, 4));
+        assert_eq!(c.subblocks_per_block(), 8);
+        assert_eq!(c.workblocks_per_subblock(), 2);
+        assert!(c.validate().is_ok());
+        assert!(c.enable_sgh && c.enable_cal);
+    }
+
+    #[test]
+    fn pagewidth_sweep_configs_validate() {
+        for pw in [8, 16, 32, 64, 128, 256] {
+            let c = TinkerConfig::with_pagewidth(pw);
+            assert!(c.validate().is_ok(), "pagewidth {pw} should be valid");
+        }
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let cases = [
+            TinkerConfig { subblock: 7, ..TinkerConfig::default() }, // not pow2
+            TinkerConfig { workblock: 3, ..TinkerConfig::default() }, // not pow2
+            TinkerConfig { pagewidth: 0, ..TinkerConfig::default() },
+            TinkerConfig { cal_block_size: 0, ..TinkerConfig::default() },
+            TinkerConfig { subblock: 512, pagewidth: 1024, ..TinkerConfig::default() }, // probe > u8
+            TinkerConfig { subblock: 128, pagewidth: 64, ..TinkerConfig::default() }, // sb > pw
+        ];
+        for c in cases {
+            assert!(c.validate().is_err(), "{c:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = TinkerConfig::default()
+            .cal(false)
+            .sgh(false)
+            .delete_mode(DeleteMode::DeleteAndCompact);
+        assert!(!c.enable_cal);
+        assert!(!c.enable_sgh);
+        assert_eq!(c.delete_mode, DeleteMode::DeleteAndCompact);
+    }
+
+    #[test]
+    fn stinger_defaults() {
+        let s = StingerConfig::default();
+        assert_eq!(s.edges_per_block, 16);
+        assert!(s.validate().is_ok());
+        assert!(StingerConfig { edges_per_block: 0 }.validate().is_err());
+    }
+}

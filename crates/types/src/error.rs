@@ -1,0 +1,89 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors raised by the graph data structures and engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A configuration failed validation.
+    InvalidConfig(String),
+    /// A vertex id was out of the structure's supported range.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: u32,
+        /// The exclusive upper bound the structure supports.
+        limit: u32,
+    },
+    /// An operation referenced an edge that does not exist.
+    EdgeNotFound {
+        /// Source of the missing edge.
+        src: u32,
+        /// Destination of the missing edge.
+        dst: u32,
+    },
+    /// An I/O error while loading a dataset, carried as a string so the
+    /// error type stays `Clone + Eq`.
+    Io(String),
+    /// A malformed line in an edge-list file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            GraphError::VertexOutOfRange { vertex, limit } => {
+                write!(f, "vertex {vertex} out of range (limit {limit})")
+            }
+            GraphError::EdgeNotFound { src, dst } => {
+                write!(f, "edge ({src}, {dst}) not found")
+            }
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            GraphError::InvalidConfig("bad".into()).to_string(),
+            "invalid configuration: bad"
+        );
+        assert_eq!(
+            GraphError::VertexOutOfRange { vertex: 9, limit: 4 }.to_string(),
+            "vertex 9 out of range (limit 4)"
+        );
+        assert_eq!(GraphError::EdgeNotFound { src: 1, dst: 2 }.to_string(), "edge (1, 2) not found");
+        assert!(GraphError::Parse { line: 3, message: "x".into() }.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

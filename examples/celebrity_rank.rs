@@ -1,0 +1,52 @@
+//! Celebrity ranking: PageRank over an evolving follower graph — the class
+//! of algorithm the hybrid engine deliberately does *not* cover (paper
+//! §IV.B: when every vertex is active every iteration, "incremental
+//! processing is not an option"), so each refresh is a pure full-processing
+//! pass over the CAL stream.
+//!
+//! ```text
+//! cargo run --release -p gtinker-examples --bin celebrity_rank
+//! ```
+
+use gtinker_core::GraphTinker;
+use gtinker_datasets::PowerLawConfig;
+use gtinker_engine::algorithms::PageRank;
+use gtinker_types::EdgeBatch;
+
+fn main() {
+    const USERS: u32 = 3_000;
+    let follows = PowerLawConfig {
+        num_vertices: USERS,
+        num_edges: 90_000,
+        alpha: 0.7,
+        seed: 99,
+        max_weight: 1,
+    }
+    .generate();
+
+    let mut graph = GraphTinker::with_defaults();
+    let pr = PageRank::new(0.85, 25);
+
+    println!("follower graph of {USERS} users, refreshing PageRank after each batch\n");
+    let chunk = follows.len() / 4;
+    for (i, window) in follows.chunks(chunk).enumerate() {
+        graph.apply_batch(&EdgeBatch::inserts(window));
+        let t0 = std::time::Instant::now();
+        let top = pr.top_k(&graph, 5);
+        println!(
+            "after batch {} ({} edges live, PageRank in {:.2?}):",
+            i + 1,
+            graph.num_edges(),
+            t0.elapsed()
+        );
+        for (rank, (user, score)) in top.iter().enumerate() {
+            println!("  #{:<2} user {:>5}  score {:.5}", rank + 1, user, score);
+        }
+    }
+
+    // Sanity: scores form a probability distribution.
+    let ranks = pr.run(&graph);
+    let total: f64 = ranks.iter().sum();
+    println!("\nscore mass: {total:.6} (should be ~1)");
+    assert!((total - 1.0).abs() < 1e-6);
+}

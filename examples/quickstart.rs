@@ -1,0 +1,71 @@
+//! Quickstart: the GraphTinker public API in two minutes.
+//!
+//! ```text
+//! cargo run --release -p gtinker-examples --bin quickstart
+//! ```
+//!
+//! Builds a small graph, mutates it, inspects structure statistics, and
+//! runs BFS with the hybrid engine.
+
+use gtinker_core::GraphTinker;
+use gtinker_engine::{algorithms::Bfs, Engine, ModePolicy};
+use gtinker_types::{Edge, EdgeBatch, TinkerConfig};
+
+fn main() {
+    // 1. Create a GraphTinker with the paper-tuned defaults
+    //    (PAGEWIDTH 64, subblock 8, workblock 4, SGH + CAL enabled).
+    let mut graph = GraphTinker::new(TinkerConfig::default()).expect("valid config");
+
+    // 2. Stream in a batch of edges. Inserting an existing (src, dst)
+    //    updates its weight instead of duplicating it.
+    let batch = EdgeBatch::inserts(&[
+        Edge::new(0, 1, 4),
+        Edge::new(0, 2, 1),
+        Edge::new(1, 3, 2),
+        Edge::new(2, 3, 7),
+        Edge::new(3, 4, 1),
+    ]);
+    let result = graph.apply_batch(&batch);
+    println!("inserted {} edges ({} weight updates)", result.inserted, result.updated);
+
+    // 3. Point queries and per-vertex iteration.
+    assert!(graph.contains_edge(0, 2));
+    println!("weight(2 -> 3) = {:?}", graph.edge_weight(2, 3));
+    print!("out-edges of 0:");
+    graph.for_each_out_edge(0, |dst, w| print!(" ->{dst} (w={w})"));
+    println!();
+
+    // 4. Deletions: tombstone by default; DeleteAndCompact shrinks blocks.
+    graph.delete_edge(2, 3);
+    println!("after delete: contains(2,3) = {}", graph.contains_edge(2, 3));
+
+    // 5. The CAL gives a sequential, compacted stream of all live edges —
+    //    this is what full-processing analytics consumes.
+    print!("edge stream:");
+    graph.for_each_edge(|s, d, w| print!(" ({s}->{d},{w})"));
+    println!();
+
+    // 6. Run BFS with the hybrid engine: it picks full or incremental
+    //    retrieval per iteration with the paper's T = A/E, threshold 0.02.
+    let mut engine = Engine::new(Bfs::new(0), ModePolicy::hybrid());
+    let report = engine.run_from_roots(&graph);
+    println!(
+        "BFS finished in {} iterations ({} edges processed)",
+        report.num_iterations(),
+        report.total_edges_processed
+    );
+    for (v, &level) in engine.values().iter().enumerate() {
+        if level != Bfs::UNREACHED {
+            println!("  vertex {v}: level {level}");
+        }
+    }
+
+    // 7. Structure statistics: occupancy, block counts, probe costs.
+    let st = graph.structure_stats();
+    println!(
+        "structure: {} live edges, {} main + {} overflow blocks, occupancy {:.2}",
+        st.live_edges, st.main_blocks, st.overflow_blocks, st.occupancy
+    );
+    let ps = graph.stats();
+    println!("updates: mean probe distance {:.2} cells/op", ps.mean_probe());
+}

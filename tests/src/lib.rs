@@ -1,0 +1,7 @@
+//! Host crate for the workspace's integration tests (see `tests/`), plus
+//! reference implementations the tests check the real system against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reference;

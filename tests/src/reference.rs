@@ -1,0 +1,126 @@
+//! Independent reference implementations of the benchmark algorithms,
+//! written against a plain edge list with textbook data structures. The
+//! integration tests compare every engine/store/policy combination against
+//! these.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gtinker_types::{Edge, VertexId};
+
+/// Adjacency list built from an edge list (deduplicated on `(src, dst)`
+/// keeping the **last** weight, matching the stores' update-in-place
+/// semantics).
+pub fn adjacency(edges: &[Edge], n: u32) -> Vec<Vec<(VertexId, u32)>> {
+    use std::collections::HashMap;
+    let mut last: HashMap<(u32, u32), u32> = HashMap::new();
+    for e in edges {
+        last.insert((e.src, e.dst), e.weight);
+    }
+    let mut adj = vec![Vec::new(); n as usize];
+    for ((s, d), w) in last {
+        adj[s as usize].push((d, w));
+    }
+    adj
+}
+
+/// Textbook queue-based BFS levels; `u32::MAX` = unreached.
+pub fn bfs_levels(edges: &[Edge], n: u32, root: VertexId) -> Vec<u32> {
+    let adj = adjacency(edges, n);
+    let mut level = vec![u32::MAX; n as usize];
+    if root >= n {
+        return level;
+    }
+    level[root as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        for &(d, _) in &adj[v as usize] {
+            if level[d as usize] == u32::MAX {
+                level[d as usize] = level[v as usize] + 1;
+                queue.push_back(d);
+            }
+        }
+    }
+    level
+}
+
+/// Textbook Dijkstra distances; `u32::MAX` = unreached.
+pub fn sssp_distances(edges: &[Edge], n: u32, root: VertexId) -> Vec<u32> {
+    let adj = adjacency(edges, n);
+    let mut dist = vec![u32::MAX; n as usize];
+    if root >= n {
+        return dist;
+    }
+    dist[root as usize] = 0;
+    let mut heap = BinaryHeap::from([(Reverse(0u32), root)]);
+    while let Some((Reverse(d), v)) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for &(u, w) in &adj[v as usize] {
+            let nd = d.saturating_add(w);
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push((Reverse(nd), u));
+            }
+        }
+    }
+    dist
+}
+
+/// Union-find weakly-connected components, labelled by the smallest vertex
+/// id in each component (matching the CC GAS program's fixpoint).
+pub fn cc_labels(edges: &[Edge], n: u32) -> Vec<u32> {
+    let mut parent: Vec<u32> = (0..n).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for e in edges {
+        let (a, b) = (find(&mut parent, e.src), find(&mut parent, e.dst));
+        if a != b {
+            // Union by smaller label so roots end up minimal.
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            parent[hi as usize] = lo;
+        }
+    }
+    (0..n).map(|v| find(&mut parent, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(s: u32, d: u32, w: u32) -> Edge {
+        Edge::new(s, d, w)
+    }
+
+    #[test]
+    fn bfs_reference_on_chain() {
+        let edges = [e(0, 1, 1), e(1, 2, 1), e(2, 3, 1)];
+        assert_eq!(bfs_levels(&edges, 4, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_levels(&edges, 4, 3), vec![u32::MAX, u32::MAX, u32::MAX, 0]);
+    }
+
+    #[test]
+    fn sssp_reference_prefers_cheap_path() {
+        let edges = [e(0, 1, 10), e(0, 2, 1), e(2, 1, 2)];
+        assert_eq!(sssp_distances(&edges, 3, 0), vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn cc_reference_min_labels() {
+        let edges = [e(0, 1, 1), e(1, 0, 1), e(2, 3, 1), e(3, 2, 1)];
+        assert_eq!(cc_labels(&edges, 5), vec![0, 0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn adjacency_keeps_last_weight() {
+        let edges = [e(0, 1, 5), e(0, 1, 9)];
+        let adj = adjacency(&edges, 2);
+        assert_eq!(adj[0], vec![(1, 9)]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests (proptest) for the core invariants listed in
+//! DESIGN.md §6.
+
+use std::collections::BTreeMap;
+
+use gtinker_core::{rhh, sgh::SghUnit, CellState, EdgeCell, GraphTinker};
+use gtinker_types::{DeleteMode, Edge, TinkerConfig, NIL_U32};
+use proptest::prelude::*;
+
+/// An abstract operation for the model-based tests.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u32, u32, u32),
+    Delete(u32, u32),
+}
+
+fn op_strategy(v_range: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..v_range, 0..v_range, 1..100u32).prop_map(|(s, d, w)| Op::Insert(s, d, w)),
+        1 => (0..v_range, 0..v_range).prop_map(|(s, d)| Op::Delete(s, d)),
+    ]
+}
+
+fn apply_ops(g: &mut GraphTinker, model: &mut BTreeMap<(u32, u32), u32>, ops: &[Op]) {
+    for &op in ops {
+        match op {
+            Op::Insert(s, d, w) => {
+                let fresh = model.insert((s, d), w).is_none();
+                assert_eq!(g.insert_edge(Edge::new(s, d, w)), fresh);
+            }
+            Op::Delete(s, d) => {
+                let existed = model.remove(&(s, d)).is_some();
+                assert_eq!(g.delete_edge(s, d), existed);
+            }
+        }
+    }
+}
+
+fn assert_matches_model(g: &GraphTinker, model: &BTreeMap<(u32, u32), u32>) {
+    assert_eq!(g.num_edges() as usize, model.len());
+    let mut cal: Vec<(u32, u32, u32)> = Vec::new();
+    g.for_each_edge(|s, d, w| cal.push((s, d, w)));
+    cal.sort_unstable();
+    let mut main: Vec<(u32, u32, u32)> = Vec::new();
+    g.for_each_edge_main(|s, d, w| main.push((s, d, w)));
+    main.sort_unstable();
+    let want: Vec<(u32, u32, u32)> = model.iter().map(|(&(s, d), &w)| (s, d, w)).collect();
+    // No loss, no duplication, and CAL copy == main structure.
+    assert_eq!(cal, want);
+    assert_eq!(main, want);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary operation sequences preserve exact set semantics, and the
+    /// CAL copy stays consistent with the main structure, in both delete
+    /// modes.
+    #[test]
+    fn tinker_agrees_with_model(ops in prop::collection::vec(op_strategy(48), 1..800),
+                                compact in any::<bool>()) {
+        let mode = if compact { DeleteMode::DeleteAndCompact } else { DeleteMode::DeleteOnly };
+        let cfg = TinkerConfig { pagewidth: 16, subblock: 8, workblock: 4, ..TinkerConfig::default() }
+            .delete_mode(mode);
+        let mut g = GraphTinker::new(cfg).unwrap();
+        let mut model = BTreeMap::new();
+        apply_ops(&mut g, &mut model, &ops);
+        assert_matches_model(&g, &model);
+    }
+
+    /// The RHH probe invariant: after any insertion sequence into one
+    /// subblock, every occupied cell's stored probe distance equals its
+    /// circular distance from the bucket its destination hashes to.
+    #[test]
+    fn rhh_probe_invariant(dsts in prop::collection::vec(0..10_000u32, 1..24)) {
+        let n = 8usize;
+        let mut cells = vec![EdgeCell::EMPTY; n];
+        let mut inspected = 0u64;
+        let mut buckets: std::collections::HashMap<u32, usize> = Default::default();
+        for &d in &dsts {
+            let bucket = gtinker_core::hash::cell_bucket(d, 0, n);
+            buckets.insert(d, bucket);
+            // Ignore overflowed edges; placed/displaced ones must keep the
+            // invariant.
+            let _ = rhh::rhh_insert(&mut cells, bucket, rhh::Floating {
+                dst: d, weight: 1, cal_ptr: NIL_U32,
+            }, &mut inspected);
+        }
+        for (pos, c) in cells.iter().enumerate() {
+            if c.state == CellState::Occupied {
+                let b = buckets[&c.dst];
+                let dist = (pos + n - b) % n;
+                prop_assert_eq!(dist, c.probe as usize,
+                    "cell {} (dst {}) bucket {}", pos, c.dst, b);
+            }
+        }
+    }
+
+    /// RHH never loses or duplicates an edge within a subblock: the stored
+    /// multiset plus overflowed edges equals the inserted multiset.
+    #[test]
+    fn rhh_conserves_edges(dsts in prop::collection::vec(0..1_000u32, 1..32)) {
+        // Distinct destinations so multiset equality is meaningful.
+        let mut uniq = dsts.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let n = 8usize;
+        let mut cells = vec![EdgeCell::EMPTY; n];
+        let mut inspected = 0u64;
+        let mut overflowed = Vec::new();
+        for &d in &uniq {
+            let bucket = gtinker_core::hash::cell_bucket(d, 0, n);
+            match rhh::rhh_insert(&mut cells, bucket, rhh::Floating {
+                dst: d, weight: d, cal_ptr: NIL_U32,
+            }, &mut inspected) {
+                rhh::RhhOutcome::Placed => {}
+                rhh::RhhOutcome::Overflow(f) => overflowed.push(f.dst),
+            }
+        }
+        let mut stored: Vec<u32> = cells.iter()
+            .filter(|c| c.state == CellState::Occupied)
+            .map(|c| c.dst).collect();
+        stored.extend(&overflowed);
+        stored.sort_unstable();
+        prop_assert_eq!(stored, uniq);
+    }
+
+    /// SGH is a bijection between presented originals and 0..len, stable
+    /// across re-presentation and growth.
+    #[test]
+    fn sgh_bijectivity(origs in prop::collection::vec(0..1_000_000u32, 1..400)) {
+        let mut sgh = SghUnit::with_capacity(16);
+        let mut expected: Vec<u32> = Vec::new(); // dense -> orig
+        for &o in &origs {
+            let dense = sgh.get_or_insert(o);
+            if dense as usize == expected.len() {
+                expected.push(o);
+            } else {
+                prop_assert_eq!(expected[dense as usize], o, "remap changed");
+            }
+        }
+        prop_assert_eq!(sgh.len(), expected.len());
+        for (dense, &o) in expected.iter().enumerate() {
+            prop_assert_eq!(sgh.get(o), Some(dense as u32));
+            prop_assert_eq!(sgh.original_of(dense as u32), o);
+        }
+    }
+
+    /// Delete-and-compact: after deleting every edge the structure has no
+    /// overflow blocks left and its CAL has bounded garbage.
+    #[test]
+    fn compaction_fully_drains(count in 50..400usize, fan in 1..8u32) {
+        let cfg = TinkerConfig { pagewidth: 16, subblock: 8, workblock: 4, ..TinkerConfig::default() }
+            .delete_mode(DeleteMode::DeleteAndCompact);
+        let mut g = GraphTinker::new(cfg).unwrap();
+        for i in 0..count as u32 {
+            g.insert_edge(Edge::unit(i % fan, i));
+        }
+        for i in 0..count as u32 {
+            prop_assert!(g.delete_edge(i % fan, i));
+        }
+        let st = g.structure_stats();
+        prop_assert_eq!(g.num_edges(), 0);
+        prop_assert_eq!(st.overflow_blocks, 0, "stats: {:?}", st);
+        prop_assert!(st.cal_invalid <= 1024 + st.live_edges);
+    }
+
+    /// Batch partitioning is a partition: ops preserved, shards disjoint by
+    /// source.
+    #[test]
+    fn partition_is_sound(srcs in prop::collection::vec(0..5_000u32, 1..300), n in 1..9usize) {
+        let batch = gtinker_types::EdgeBatch::inserts(
+            &srcs.iter().map(|&s| Edge::unit(s, s ^ 1)).collect::<Vec<_>>());
+        let parts = batch.partition(n);
+        prop_assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), batch.len());
+        for (i, p) in parts.iter().enumerate() {
+            for op in p.iter() {
+                prop_assert_eq!(gtinker_types::partition_of(op.src(), n), i);
+            }
+        }
+    }
+}

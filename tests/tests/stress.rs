@@ -1,0 +1,162 @@
+//! Long-haul stress scenarios: sustained churn with periodic analytics,
+//! verifying that every component (store, CAL, compaction, engine,
+//! parallel wrapper) stays consistent over many epochs — the usage pattern
+//! of a long-lived deployment rather than a single experiment.
+
+use std::collections::BTreeMap;
+
+use gtinker_core::{GraphTinker, ParallelTinker};
+use gtinker_engine::{algorithms::Bfs, Engine, GraphStore, ModePolicy};
+use gtinker_integration::reference;
+use gtinker_stinger::Stinger;
+use gtinker_types::{DeleteMode, Edge, EdgeBatch, TinkerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 30 epochs of mixed churn; after each epoch the store must equal the
+/// model, and a BFS over the live graph must equal the reference.
+#[test]
+fn churn_with_periodic_analytics_stays_consistent() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let cfg = TinkerConfig { pagewidth: 16, subblock: 8, workblock: 4, ..TinkerConfig::default() }
+        .delete_mode(DeleteMode::DeleteAndCompact);
+    let mut g = GraphTinker::new(cfg).unwrap();
+    let mut model: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+
+    for epoch in 0..30 {
+        let mut batch = EdgeBatch::new();
+        for _ in 0..600 {
+            let (s, d) = (rng.gen_range(0..48u32), rng.gen_range(0..96u32));
+            if rng.gen_bool(0.35) {
+                batch.push_delete(s, d);
+                model.remove(&(s, d));
+            } else {
+                let w = rng.gen_range(1..16);
+                batch.push_insert(Edge::new(s, d, w));
+                model.insert((s, d), w);
+            }
+        }
+        g.apply_batch(&batch);
+        assert_eq!(g.num_edges() as usize, model.len(), "epoch {epoch}");
+
+        if epoch % 5 == 4 {
+            // Full content check + analytics check.
+            let mut got: Vec<(u32, u32, u32)> = Vec::new();
+            g.for_each_edge(|s, d, w| got.push((s, d, w)));
+            got.sort_unstable();
+            let want: Vec<(u32, u32, u32)> =
+                model.iter().map(|(&(s, d), &w)| (s, d, w)).collect();
+            assert_eq!(got, want, "epoch {epoch} content drift");
+
+            let live: Vec<Edge> =
+                want.iter().map(|&(s, d, w)| Edge::new(s, d, w)).collect();
+            let n = GraphStore::vertex_space(&g);
+            let expected = reference::bfs_levels(&live, n, 0);
+            let mut e = Engine::new(Bfs::new(0), ModePolicy::hybrid());
+            e.run_from_roots(&g);
+            assert_eq!(e.values(), &expected[..], "epoch {epoch} BFS drift");
+        }
+    }
+    // Compaction must have recycled blocks across 30 epochs of churn.
+    let st = g.structure_stats();
+    assert!(st.free_blocks > 0, "no blocks recycled under churn: {st:?}");
+}
+
+/// The same churn stream applied to GraphTinker, STINGER and a 4-way
+/// ParallelTinker must agree at every epoch.
+#[test]
+fn three_structures_stay_in_lockstep_under_churn() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut gt = GraphTinker::with_defaults();
+    let mut st = Stinger::with_defaults();
+    let mut pt = ParallelTinker::new(TinkerConfig::default(), 4).unwrap();
+    for epoch in 0..15 {
+        let mut batch = EdgeBatch::new();
+        for _ in 0..800 {
+            let (s, d) = (rng.gen_range(0..120u32), rng.gen_range(0..300u32));
+            if rng.gen_bool(0.3) {
+                batch.push_delete(s, d);
+            } else {
+                batch.push_insert(Edge::new(s, d, epoch + 1));
+            }
+        }
+        gt.apply_batch(&batch);
+        st.apply_batch(&batch);
+        pt.apply_batch(&batch);
+        assert_eq!(gt.num_edges(), st.num_edges(), "epoch {epoch}");
+        assert_eq!(gt.num_edges(), pt.num_edges(), "epoch {epoch}");
+    }
+    let mut a: Vec<(u32, u32, u32)> = Vec::new();
+    gt.for_each_edge(|s, d, w| a.push((s, d, w)));
+    let mut b: Vec<(u32, u32, u32)> = Vec::new();
+    st.for_each_edge(|s, d, w| b.push((s, d, w)));
+    let mut c: Vec<(u32, u32, u32)> = Vec::new();
+    pt.for_each_edge(|s, d, w| c.push((s, d, w)));
+    a.sort_unstable();
+    b.sort_unstable();
+    c.sort_unstable();
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+}
+
+/// Alternating full-load / full-drain cycles with analytics in between:
+/// the delete-and-compact structure must return to a small footprint every
+/// cycle instead of ratcheting up.
+#[test]
+fn repeated_drain_cycles_do_not_leak_blocks() {
+    let cfg = TinkerConfig::default().delete_mode(DeleteMode::DeleteAndCompact);
+    let mut g = GraphTinker::new(cfg).unwrap();
+    let edges: Vec<Edge> = (0..5_000u32).map(|i| Edge::new(i % 64, i, 1 + i % 9)).collect();
+    let pairs: Vec<(u32, u32)> = {
+        let mut p: Vec<_> = edges.iter().map(|e| (e.src, e.dst)).collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    };
+    let mut peak_blocks = 0usize;
+    for cycle in 0..5 {
+        g.apply_batch(&EdgeBatch::inserts(&edges));
+        let loaded = g.structure_stats();
+        peak_blocks = peak_blocks.max(loaded.main_blocks + loaded.overflow_blocks);
+
+        let mut e = Engine::new(Bfs::new(0), ModePolicy::hybrid());
+        e.run_from_roots(&g);
+
+        g.apply_batch(&EdgeBatch::deletes(&pairs));
+        assert_eq!(g.num_edges(), 0, "cycle {cycle} drain incomplete");
+        let drained = g.structure_stats();
+        assert_eq!(drained.overflow_blocks, 0, "cycle {cycle}: {drained:?}");
+    }
+    // The arena never grows beyond the single-cycle peak (free list reuse).
+    let final_total = g.structure_stats().main_blocks
+        + g.structure_stats().overflow_blocks
+        + g.structure_stats().free_blocks;
+    assert!(
+        final_total <= peak_blocks + 8,
+        "arena ratcheted: {final_total} blocks vs peak {peak_blocks}"
+    );
+}
+
+/// Vertex ids at the top of the supported range work (NIL sentinel is
+/// u32::MAX; MAX-1 is a legal vertex).
+#[test]
+fn extreme_vertex_ids() {
+    let mut g = GraphTinker::with_defaults();
+    let big = u32::MAX - 1;
+    assert!(g.insert_edge(Edge::new(big, 0, 7)));
+    assert!(g.insert_edge(Edge::new(0, big, 8)));
+    assert_eq!(g.edge_weight(big, 0), Some(7));
+    assert_eq!(g.edge_weight(0, big), Some(8));
+    assert_eq!(g.vertex_space(), u32::MAX);
+    assert!(g.delete_edge(big, 0));
+    assert!(!g.contains_edge(big, 0));
+}
+
+/// NIL_VERTEX endpoints are rejected loudly rather than corrupting the
+/// sentinel-based scan invariant.
+#[test]
+#[should_panic(expected = "reserved")]
+fn nil_vertex_insert_panics() {
+    let mut g = GraphTinker::with_defaults();
+    g.insert_edge(Edge::new(u32::MAX, 0, 1));
+}
