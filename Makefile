@@ -1,0 +1,20 @@
+# Convenience targets; `make ci` mirrors the hosted pipeline.
+.PHONY: ci build test lint fmt bench
+
+ci:
+	./scripts/ci.sh
+
+build:
+	cargo build --release --workspace
+
+test:
+	cargo test -q --workspace
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+fmt:
+	cargo fmt --all
+
+bench:
+	cargo bench --workspace

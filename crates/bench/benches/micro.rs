@@ -5,7 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use gtinker_core::{sgh::SghUnit, GraphTinker};
 use gtinker_datasets::RmatConfig;
 use gtinker_engine::{
-    algorithms::{Bfs, TriangleCount},
+    algorithms::{Bfs, PageRank, TriangleCount},
     dynamic::symmetrize,
     CsrSnapshot, Engine, ModePolicy, VertexCentricEngine,
 };
@@ -99,8 +99,7 @@ fn bench_delete(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut g =
-                    GraphTinker::new(TinkerConfig::default().delete_mode(mode)).unwrap();
+                let mut g = GraphTinker::new(TinkerConfig::default().delete_mode(mode)).unwrap();
                 g.apply_batch(&EdgeBatch::inserts(&edges));
                 for &(s, d) in &pairs {
                     g.delete_edge(s, d);
@@ -240,9 +239,7 @@ fn bench_csr_rebuild(c: &mut Criterion) {
     let mut group = c.benchmark_group("csr_snapshot");
     group.throughput(Throughput::Elements(gt.num_edges()));
     group.sample_size(20);
-    group.bench_function("rebuild_from_store", |b| {
-        b.iter(|| black_box(CsrSnapshot::build(&gt)))
-    });
+    group.bench_function("rebuild_from_store", |b| b.iter(|| black_box(CsrSnapshot::build(&gt))));
     group.finish();
 }
 
@@ -258,12 +255,35 @@ fn bench_triangles(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("triangle_count");
     group.sample_size(10);
-    group.bench_function("graphtinker", |b| {
-        b.iter(|| black_box(TriangleCount::new().count(&gt)))
-    });
-    group.bench_function("stinger", |b| {
-        b.iter(|| black_box(TriangleCount::new().count(&st)))
-    });
+    group.bench_function("graphtinker", |b| b.iter(|| black_box(TriangleCount::new().count(&gt))));
+    group.bench_function("stinger", |b| b.iter(|| black_box(TriangleCount::new().count(&st))));
+    group.finish();
+}
+
+fn bench_parallel_gas(c: &mut Criterion) {
+    // BFS/PageRank over the sharded engine path vs shard (thread) count.
+    let edges = workload(100_000, 9);
+    let root = edges[0].src;
+    let mut gt = GraphTinker::with_defaults();
+    gt.apply_batch(&EdgeBatch::inserts(&edges));
+
+    let mut group = c.benchmark_group("parallel_gas");
+    group.throughput(Throughput::Elements(gt.num_edges()));
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        gt.set_analytics_shards(shards);
+        group.bench_with_input(BenchmarkId::new("bfs_full", shards), &gt, |b, g| {
+            b.iter(|| {
+                let mut e = Engine::new(Bfs::new(root), ModePolicy::AlwaysFull);
+                let r = e.run_from_roots(g);
+                black_box(r.total_edges_processed)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pagerank_5it", shards), &gt, |b, g| {
+            b.iter(|| black_box(PageRank::new(0.85, 5).run(g)))
+        });
+    }
+    gt.set_analytics_shards(1);
     group.finish();
 }
 
@@ -277,6 +297,7 @@ criterion_group!(
     bench_bfs_modes,
     bench_vc_vs_ec,
     bench_csr_rebuild,
-    bench_triangles
+    bench_triangles,
+    bench_parallel_gas
 );
 criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Fig. 10 companion: analytics (BFS/PageRank) throughput vs shard count.
+fn main() {
+    let args = gtinker_bench::Args::parse();
+    let table = gtinker_bench::experiments::fig10_analytics::run(&args);
+    table.print();
+    if let Err(e) = table.write_tsv(&args.out_dir) {
+        eprintln!("warning: could not write TSV: {e}");
+    }
+}

@@ -1,7 +1,10 @@
 //! Fig. 13: CC processing throughput per dataset.
 fn main() {
     let args = gtinker_bench::Args::parse();
-    let table = gtinker_bench::experiments::fig11_13::run(&args, gtinker_bench::experiments::common::Algo::Cc);
+    let table = gtinker_bench::experiments::fig11_13::run(
+        &args,
+        gtinker_bench::experiments::common::Algo::Cc,
+    );
     table.print();
     if let Err(e) = table.write_tsv(&args.out_dir) {
         eprintln!("warning: could not write TSV: {e}");

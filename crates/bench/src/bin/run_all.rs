@@ -17,6 +17,7 @@ fn main() {
         ("Fig 8", Box::new(experiments::fig08::run)),
         ("Fig 9", Box::new(experiments::fig09::run)),
         ("Fig 10", Box::new(experiments::fig10::run)),
+        ("Fig 10 analytics", Box::new(experiments::fig10_analytics::run)),
         ("Fig 11", Box::new(|a: &Args| experiments::fig11_13::run(a, Algo::Bfs))),
         ("Fig 12", Box::new(|a: &Args| experiments::fig11_13::run(a, Algo::Sssp))),
         ("Fig 13", Box::new(|a: &Args| experiments::fig11_13::run(a, Algo::Cc))),

@@ -51,7 +51,9 @@ impl Args {
         let mut i = 1;
         while i + 1 < argv.len() {
             match argv[i].as_str() {
-                "--scale-factor" => args.scale_factor = argv[i + 1].parse().unwrap_or(args.scale_factor),
+                "--scale-factor" => {
+                    args.scale_factor = argv[i + 1].parse().unwrap_or(args.scale_factor)
+                }
                 "--batches" => args.batches = argv[i + 1].parse().unwrap_or(args.batches),
                 "--threads" => args.threads = parse_list(&argv[i + 1]),
                 "--out-dir" => args.out_dir = argv[i + 1].clone(),

@@ -31,8 +31,7 @@ pub fn run(args: &Args) -> Table {
     for spec in [hollywood(args.scale_factor), rmat_2m_32m(args.scale_factor)] {
         let batches = dataset_batches(&spec, args.batches, false);
         let root = pick_root(&batches);
-        let st =
-            run_analytics(fresh_stinger(), &batches, Algo::Bfs, Series::FullProcessing, root);
+        let st = run_analytics(fresh_stinger(), &batches, Algo::Bfs, Series::FullProcessing, root);
         let st_meps = st.throughput_meps();
         let mut full_meps = 0.0;
         for (i, (name, cfg)) in configs.into_iter().enumerate() {
@@ -47,8 +46,7 @@ pub fn run(args: &Args) -> Table {
             if i == 0 {
                 full_meps = m;
             }
-            let contribution =
-                if full_meps > 0.0 { 100.0 * (1.0 - m / full_meps) } else { 0.0 };
+            let contribution = if full_meps > 0.0 { 100.0 * (1.0 - m / full_meps) } else { 0.0 };
             t.push_row(vec![
                 spec.name.to_string(),
                 name.to_string(),

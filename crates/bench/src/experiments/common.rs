@@ -15,7 +15,7 @@ use gtinker_types::{EdgeBatch, TinkerConfig, VertexId};
 pub use gtinker_datasets::catalog::scaled_datasets;
 
 /// A store the dynamic experiments can both update and analyze.
-pub trait DynStore: GraphStore {
+pub trait DynStore: GraphStore + Sync {
     /// Applies an update batch.
     fn apply(&mut self, batch: &EdgeBatch);
 }
@@ -124,9 +124,7 @@ impl Series {
         match self {
             Series::Hybrid => (ModePolicy::hybrid(), RestartPolicy::Incremental),
             Series::FullProcessing => (ModePolicy::AlwaysFull, RestartPolicy::StaticRecompute),
-            Series::Incremental => {
-                (ModePolicy::AlwaysIncremental, RestartPolicy::Incremental)
-            }
+            Series::Incremental => (ModePolicy::AlwaysIncremental, RestartPolicy::Incremental),
             Series::DegreeAware => (ModePolicy::degree_aware(), RestartPolicy::Incremental),
         }
     }
@@ -205,12 +203,7 @@ pub fn run_analytics<S: DynStore>(
 /// A root vertex guaranteed to have outgoing edges: the first batch's first
 /// insert source.
 pub fn pick_root(batches: &[EdgeBatch]) -> VertexId {
-    batches
-        .iter()
-        .flat_map(|b| b.iter())
-        .find(|op| op.is_insert())
-        .map(|op| op.src())
-        .unwrap_or(0)
+    batches.iter().flat_map(|b| b.iter()).find(|op| op.is_insert()).map(|op| op.src()).unwrap_or(0)
 }
 
 /// Fresh GraphTinker with the paper-default configuration.

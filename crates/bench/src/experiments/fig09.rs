@@ -10,10 +10,7 @@ use gtinker_datasets::scaled_datasets;
 pub fn run(args: &Args) -> Table {
     let mut t = Table::new(
         "fig09_insert_datasets",
-        &format!(
-            "Insertion throughput (Medges/s) per dataset, scale factor {}",
-            args.scale_factor
-        ),
+        &format!("Insertion throughput (Medges/s) per dataset, scale factor {}", args.scale_factor),
         &["dataset", "edges", "GraphTinker", "STINGER", "GT_speedup"],
     );
     for spec in scaled_datasets(args.scale_factor) {

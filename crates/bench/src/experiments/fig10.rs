@@ -64,15 +64,7 @@ pub fn run(args: &Args) -> Table {
         let st_total = meps(total_ops, st.iter().map(|x| x.1).sum());
         let (gf, gl) = first_last(&gt);
         let (sf, sl) = first_last(&st);
-        t.push_row(vec![
-            n.to_string(),
-            f3(gt_total),
-            f3(gf),
-            f3(gl),
-            f3(st_total),
-            f3(sf),
-            f3(sl),
-        ]);
+        t.push_row(vec![n.to_string(), f3(gt_total), f3(gf), f3(gl), f3(st_total), f3(sf), f3(sl)]);
     }
     t
 }

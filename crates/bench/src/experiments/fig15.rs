@@ -16,7 +16,7 @@ use crate::experiments::common::{fresh_stinger, fresh_tinker_with, rmat_2m_32m, 
 use crate::report::{f3, meps, Table};
 use gtinker_datasets::{deletion_batches, insertion_batches, top_degree_vertices};
 
-fn bfs_fp_throughput<S: GraphStore>(store: &S, root: u32) -> f64 {
+fn bfs_fp_throughput<S: GraphStore + Sync>(store: &S, root: u32) -> f64 {
     let mut engine = Engine::new(Bfs::new(root), ModePolicy::AlwaysFull);
     let t0 = Instant::now();
     let report = engine.run_from_roots(store);
@@ -44,10 +44,7 @@ pub fn run(args: &Args) -> Table {
 
     let mut t = Table::new(
         "fig15_bfs_after_delete",
-        &format!(
-            "BFS (FP) processing throughput (Medges/s) vs edges deleted, {}",
-            spec.name
-        ),
+        &format!("BFS (FP) processing throughput (Medges/s) vs edges deleted, {}", spec.name),
         &["batch", "cum_deleted", "live_edges", "GT_delete_only", "GT_compact", "STINGER"],
     );
     let mut cum = 0u64;

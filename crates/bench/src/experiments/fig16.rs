@@ -15,14 +15,14 @@ use crate::experiments::common::{fresh_stinger, fresh_tinker_with, rmat_2m_32m, 
 use crate::report::{f3, meps, Table};
 use gtinker_datasets::{deletion_batches, insertion_batches, top_degree_vertices};
 
-fn fp_run<S: GraphStore, P: GasProgram>(store: &S, program: P) -> (u64, Duration) {
+fn fp_run<S: GraphStore + Sync, P: GasProgram>(store: &S, program: P) -> (u64, Duration) {
     let mut engine = Engine::new(program, ModePolicy::AlwaysFull);
     let t0 = Instant::now();
     let report = engine.run_from_roots(store);
     (report.total_edges_processed, t0.elapsed())
 }
 
-fn fp_by_algo<S: GraphStore>(store: &S, algo: Algo, root: u32) -> (u64, Duration) {
+fn fp_by_algo<S: GraphStore + Sync>(store: &S, algo: Algo, root: u32) -> (u64, Duration) {
     match algo {
         Algo::Bfs => fp_run(store, Bfs::new(root)),
         Algo::Sssp => fp_run(store, Sssp::new(root)),
@@ -40,10 +40,7 @@ pub fn run(args: &Args) -> Table {
 
     let mut t = Table::new(
         "fig16_delete_analytics",
-        &format!(
-            "Average processing throughput (Medges/s) under deletions, {}",
-            spec.name
-        ),
+        &format!("Average processing throughput (Medges/s) under deletions, {}", spec.name),
         &["algorithm", "GT_compact", "GT_delete_only", "STINGER"],
     );
 

@@ -60,10 +60,7 @@ pub fn run(args: &Args) -> Table {
 
     let mut t = Table::new(
         "fig19_pagewidth_optimal",
-        &format!(
-            "Mean elapsed ms across update:analytics ratios {:?} (lower is better)",
-            RATIOS
-        ),
+        &format!("Mean elapsed ms across update:analytics ratios {:?} (lower is better)", RATIOS),
         &["dataset", "PW8", "PW16", "PW32", "PW64", "PW128", "PW256"],
     );
     for spec in &datasets {

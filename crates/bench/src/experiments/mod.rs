@@ -7,9 +7,9 @@ pub mod ablation;
 pub mod cal_vs_csr;
 pub mod common;
 pub mod fig08;
-pub mod geometry;
 pub mod fig09;
 pub mod fig10;
+pub mod fig10_analytics;
 pub mod fig11_13;
 pub mod fig14;
 pub mod fig15;
@@ -17,5 +17,6 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod geometry;
 pub mod hybrid_accuracy;
 pub mod table1;

@@ -17,24 +17,14 @@ pub struct Series {
 /// inclusion.
 pub fn parse_tsv(content: &str) -> Result<(String, Vec<String>, Vec<Series>), String> {
     let mut lines = content.lines();
-    let caption = lines
-        .next()
-        .and_then(|l| l.strip_prefix("# "))
-        .unwrap_or("")
-        .to_string();
-    let header: Vec<&str> = lines
-        .next()
-        .ok_or("missing header row")?
-        .split('\t')
-        .collect();
+    let caption = lines.next().and_then(|l| l.strip_prefix("# ")).unwrap_or("").to_string();
+    let header: Vec<&str> = lines.next().ok_or("missing header row")?.split('\t').collect();
     if header.len() < 2 {
         return Err("need at least two columns".into());
     }
     let mut xs = Vec::new();
-    let mut series: Vec<Series> = header[1..]
-        .iter()
-        .map(|h| Series { name: h.to_string(), values: Vec::new() })
-        .collect();
+    let mut series: Vec<Series> =
+        header[1..].iter().map(|h| Series { name: h.to_string(), values: Vec::new() }).collect();
     for line in lines {
         let cells: Vec<&str> = line.split('\t').collect();
         if cells.len() != header.len() {
@@ -42,8 +32,7 @@ pub fn parse_tsv(content: &str) -> Result<(String, Vec<String>, Vec<Series>), St
         }
         // Keep only fully-numeric data rows (skips summary rows like
         // "degradation_pct" whose cells contain '-' or 'x' suffixes).
-        let parsed: Option<Vec<f64>> =
-            cells[1..].iter().map(|c| c.parse::<f64>().ok()).collect();
+        let parsed: Option<Vec<f64>> = cells[1..].iter().map(|c| c.parse::<f64>().ok()).collect();
         if let Some(nums) = parsed {
             xs.push(cells[0].to_string());
             for (s, v) in series.iter_mut().zip(nums) {
@@ -93,10 +82,8 @@ pub fn render_chart(
     let mut out = String::new();
     out.push_str(caption);
     out.push('\n');
-    let max = series
-        .iter()
-        .flat_map(|s| s.values.iter().copied())
-        .fold(f64::NEG_INFINITY, f64::max);
+    let max =
+        series.iter().flat_map(|s| s.values.iter().copied()).fold(f64::NEG_INFINITY, f64::max);
     let n = xs.len();
     if n == 0 || !max.is_finite() || max <= 0.0 {
         out.push_str("(no numeric data)\n");

@@ -30,9 +30,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, String> 
             if BARE_FLAGS.contains(&key) {
                 parsed.options.insert(key.to_string(), String::new());
             } else {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| format!("option --{key} expects a value"))?;
+                let value = iter.next().ok_or_else(|| format!("option --{key} expects a value"))?;
                 parsed.options.insert(key.to_string(), value);
             }
         } else if parsed.command.is_empty() {

@@ -99,8 +99,10 @@ fn generate(parsed: &Parsed) -> Result<(), String> {
         let sf = parsed.num("scale-factor", 64u32)?;
         let spec = dataset_by_name(name, sf)
             .ok_or_else(|| format!("unknown dataset '{name}' (see 'gtinker help')"))?;
-        eprintln!("generating {} at scale factor {sf}: {} vertices, {} edges",
-            spec.name, spec.vertices, spec.edges);
+        eprintln!(
+            "generating {} at scale factor {sf}: {} vertices, {} edges",
+            spec.name, spec.vertices, spec.edges
+        );
         spec.generate()
     } else {
         let scale = parsed.num("rmat-scale", 0u32)?;
@@ -163,8 +165,7 @@ fn sssp(parsed: &Parsed) -> Result<(), String> {
     let mut e = Engine::new(Sssp::new(root), mode_policy(parsed)?);
     let t0 = Instant::now();
     let r = e.run_from_roots(&g);
-    let reached: Vec<u32> =
-        e.values().iter().copied().filter(|&v| v != u32::MAX).collect();
+    let reached: Vec<u32> = e.values().iter().copied().filter(|&v| v != u32::MAX).collect();
     let max = reached.iter().max().copied().unwrap_or(0);
     println!(
         "SSSP from {root}: {} reached, max distance {max}, {} iterations in {:.2?}",
@@ -225,8 +226,7 @@ fn bench_insert(parsed: &Parsed) -> Result<(), String> {
     let path = parsed.input()?;
     let edges = io::read_edge_list(path).map_err(|e| e.to_string())?;
     let batch_size = parsed.num("batch", 1_000_000usize)?;
-    let batches: Vec<EdgeBatch> =
-        edges.chunks(batch_size.max(1)).map(EdgeBatch::inserts).collect();
+    let batches: Vec<EdgeBatch> = edges.chunks(batch_size.max(1)).map(EdgeBatch::inserts).collect();
 
     let mut g = GraphTinker::new(config(parsed)?).map_err(|e| e.to_string())?;
     let t0 = Instant::now();
@@ -293,8 +293,8 @@ mod tests {
 
     #[test]
     fn config_flags() {
-        let c = config(&parsed(&["stats", "f", "--no-cal", "--compact", "--pagewidth", "32"]))
-            .unwrap();
+        let c =
+            config(&parsed(&["stats", "f", "--no-cal", "--compact", "--pagewidth", "32"])).unwrap();
         assert!(!c.enable_cal);
         assert!(c.enable_sgh);
         assert_eq!(c.pagewidth, 32);
@@ -305,9 +305,7 @@ mod tests {
     #[test]
     fn generate_requires_out_and_source() {
         assert!(run(&parsed(&["generate"])).unwrap_err().contains("--out"));
-        assert!(run(&parsed(&["generate", "--out", "/tmp/x"]))
-            .unwrap_err()
-            .contains("--dataset"));
+        assert!(run(&parsed(&["generate", "--out", "/tmp/x"])).unwrap_err().contains("--dataset"));
     }
 
     #[test]
@@ -317,7 +315,15 @@ mod tests {
         let file = dir.join("g.txt");
         let file_s = file.to_str().unwrap();
         run(&parsed(&[
-            "generate", "--rmat-scale", "8", "--edges", "2000", "--seed", "7", "--out", file_s,
+            "generate",
+            "--rmat-scale",
+            "8",
+            "--edges",
+            "2000",
+            "--seed",
+            "7",
+            "--out",
+            file_s,
         ]))
         .unwrap();
         run(&parsed(&["stats", file_s])).unwrap();

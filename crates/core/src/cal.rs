@@ -124,7 +124,13 @@ impl CalArray {
     ///
     /// This is the "look up the last assigned edgeblock of the group and the
     /// last unoccupied slot" path of the paper — O(1), no edge traversal.
-    pub fn insert(&mut self, dense_src: u32, src: VertexId, dst: VertexId, weight: Weight) -> CalPtr {
+    pub fn insert(
+        &mut self,
+        dense_src: u32,
+        src: VertexId,
+        dst: VertexId,
+        weight: Weight,
+    ) -> CalPtr {
         let group = self.group_of(dense_src);
         if group >= self.group_head.len() {
             self.group_head.resize(group + 1, NIL_U32);
@@ -176,8 +182,27 @@ impl CalArray {
     /// group's chain in order, each block front-to-fill. This is the
     /// full-processing retrieval path — the accesses walk the record arena
     /// chain-contiguously instead of hopping per-vertex.
-    pub fn for_each_edge<F: FnMut(VertexId, VertexId, Weight)>(&self, mut f: F) {
-        for g in 0..self.group_head.len() {
+    pub fn for_each_edge<F: FnMut(VertexId, VertexId, Weight)>(&self, f: F) {
+        self.for_each_edge_in_groups(0..self.group_head.len(), f);
+    }
+
+    /// Number of source groups currently tracked (the unit sharded
+    /// streaming splits over).
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.group_head.len()
+    }
+
+    /// Streams the live edge copies of a contiguous group range, in the
+    /// same order [`for_each_edge`](Self::for_each_edge) visits them.
+    /// Concatenating disjoint adjacent ranges therefore reproduces the
+    /// full stream exactly.
+    pub fn for_each_edge_in_groups<F: FnMut(VertexId, VertexId, Weight)>(
+        &self,
+        groups: std::ops::Range<usize>,
+        mut f: F,
+    ) {
+        for g in groups {
             let mut b = self.group_head[g];
             while b != NIL_U32 {
                 let base = b as usize * self.block_size;

@@ -54,10 +54,7 @@ pub fn subblock_and_bucket(
 ) -> (usize, usize) {
     debug_assert!(subblocks_per_block.is_power_of_two() && subblock_len.is_power_of_two());
     let h = edge_hash(dst, depth);
-    (
-        ((h >> 32) as usize) & (subblocks_per_block - 1),
-        (h as u32 as usize) & (subblock_len - 1),
-    )
+    (((h >> 32) as usize) & (subblocks_per_block - 1), (h as u32 as usize) & (subblock_len - 1))
 }
 
 #[cfg(test)]

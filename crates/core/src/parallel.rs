@@ -6,7 +6,7 @@
 //! *intervals* by where the source id hashes, and each interval is loaded
 //! into its own GraphTinker instance on its own core. Each instance is a
 //! single-writer structure, so there is no shared mutable state, no locks
-//! on the hot path, and no `unsafe` — crossbeam's scoped threads hand each
+//! on the hot path, and no `unsafe` — `std::thread::scope` hands each
 //! worker a disjoint `&mut GraphTinker`.
 
 use gtinker_types::{partition_of, EdgeBatch, Result, TinkerConfig, VertexId, Weight};
@@ -17,6 +17,9 @@ use crate::tinker::{BatchResult, GraphTinker};
 /// A set of interval-partitioned GraphTinker instances updated in parallel.
 pub struct ParallelTinker {
     instances: Vec<GraphTinker>,
+    /// Per-instance partition scratch reused across batches, so
+    /// steady-state ingestion allocates no per-batch partition buffers.
+    parts: Vec<EdgeBatch>,
 }
 
 impl ParallelTinker {
@@ -27,7 +30,8 @@ impl ParallelTinker {
         for _ in 0..n {
             instances.push(GraphTinker::new(config)?);
         }
-        Ok(ParallelTinker { instances })
+        let parts = (0..n).map(|_| EdgeBatch::new()).collect();
+        Ok(ParallelTinker { instances, parts })
     }
 
     /// Number of parallel instances (one per intended core).
@@ -44,18 +48,17 @@ impl ParallelTinker {
     /// Applies a batch: partitions it by source interval and updates all
     /// instances concurrently on scoped threads.
     pub fn apply_batch(&mut self, batch: &EdgeBatch) -> BatchResult {
-        let parts = batch.partition(self.instances.len());
+        batch.partition_into(&mut self.parts);
+        let parts = &self.parts;
         let mut results = vec![BatchResult::default(); self.instances.len()];
-        crossbeam::thread::scope(|scope| {
-            for ((inst, part), slot) in
-                self.instances.iter_mut().zip(&parts).zip(results.iter_mut())
+        std::thread::scope(|scope| {
+            for ((inst, part), slot) in self.instances.iter_mut().zip(parts).zip(results.iter_mut())
             {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     *slot = inst.apply_batch(part);
                 });
             }
-        })
-        .expect("update worker panicked");
+        });
         let mut total = BatchResult::default();
         for r in results {
             total.inserted += r.inserted;
@@ -141,9 +144,7 @@ mod tests {
     use gtinker_types::Edge;
 
     fn batch(n: u32) -> EdgeBatch {
-        EdgeBatch::inserts(
-            &(0..n).map(|i| Edge::new(i % 101, i % 257, i)).collect::<Vec<_>>(),
-        )
+        EdgeBatch::inserts(&(0..n).map(|i| Edge::new(i % 101, i % 257, i)).collect::<Vec<_>>())
     }
 
     #[test]
@@ -188,12 +189,38 @@ mod tests {
         let mut par = ParallelTinker::new(Default::default(), 4).unwrap();
         par.apply_batch(&batch(1_000));
         let before = par.num_edges();
-        let dels = EdgeBatch::deletes(
-            &(0..500u32).map(|i| (i % 101, i % 257)).collect::<Vec<_>>(),
-        );
+        let dels = EdgeBatch::deletes(&(0..500u32).map(|i| (i % 101, i % 257)).collect::<Vec<_>>());
         let r = par.apply_batch(&dels);
         assert!(r.deleted > 0);
         assert_eq!(par.num_edges(), before - r.deleted);
+    }
+
+    #[test]
+    fn scratch_reuse_across_shrinking_batches_matches_sequential() {
+        // Later batches are smaller than earlier ones: stale ops left in
+        // the reused partition scratch would surface as phantom edges.
+        let mut seq = GraphTinker::with_defaults();
+        let mut par = ParallelTinker::new(Default::default(), 4).unwrap();
+        for round in 0..5u32 {
+            let n = 1_000 - round * 190;
+            let edges: Vec<Edge> =
+                (0..n).map(|i| Edge::new((i * 3 + round) % 97, i % 211, i + round)).collect();
+            let b = EdgeBatch::inserts(&edges);
+            seq.apply_batch(&b);
+            par.apply_batch(&b);
+        }
+        let dels =
+            EdgeBatch::deletes(&(0..300u32).map(|i| ((i * 3) % 97, i % 211)).collect::<Vec<_>>());
+        seq.apply_batch(&dels);
+        par.apply_batch(&dels);
+        assert_eq!(par.num_edges(), seq.num_edges());
+        let mut a: Vec<(u32, u32, u32)> = Vec::new();
+        seq.for_each_edge(|s, d, w| a.push((s, d, w)));
+        let mut b: Vec<(u32, u32, u32)> = Vec::new();
+        par.for_each_edge(|s, d, w| b.push((s, d, w)));
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
     }
 
     #[test]

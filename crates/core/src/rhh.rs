@@ -48,9 +48,7 @@ pub enum RhhOutcome {
 /// per cell suffices. Returns the offset of the matching cell.
 #[inline]
 pub fn find_in_subblock(cells: &[EdgeCell], dst: VertexId) -> Option<usize> {
-    debug_assert!(cells
-        .iter()
-        .all(|c| c.is_occupied() || c.dst == gtinker_types::NIL_VERTEX));
+    debug_assert!(cells.iter().all(|c| c.is_occupied() || c.dst == gtinker_types::NIL_VERTEX));
     cells.iter().position(|c| c.dst == dst)
 }
 
@@ -193,7 +191,7 @@ mod tests {
         rhh_insert(&mut cells, 0, fl(10), &mut ins); // at 0, probe 0
         rhh_insert(&mut cells, 0, fl(11), &mut ins); // at 1, probe 1
         rhh_insert(&mut cells, 1, fl(12), &mut ins); // bucket 1 taken by probe-1 edge
-        // Edge 12 (probe 0 at pos 1) loses to 11 (probe 1); steps to pos 2.
+                                                     // Edge 12 (probe 0 at pos 1) loses to 11 (probe 1); steps to pos 2.
         assert_eq!(cells[1].dst, 11);
         assert_eq!(cells[2].dst, 12);
         assert_eq!(cells[2].probe, 1);
@@ -218,7 +216,7 @@ mod tests {
         }
         rhh_insert(&mut cells, 3, fl(99), &mut ins);
         rhh_insert(&mut cells, 3, fl(100), &mut ins); // wraps to 0.. all full? no: 4 cells, 4 edges -> 5th overflows
-        // 4 edges fill the subblock; the fifth must overflow.
+                                                      // 4 edges fill the subblock; the fifth must overflow.
         let mut occupied = cells.iter().filter(|c| c.is_occupied()).count();
         assert_eq!(occupied, 4);
         let out = rhh_insert(&mut cells, 1, fl(101), &mut ins);

@@ -49,12 +49,7 @@ impl SghUnit {
     /// Creates an empty unit sized for at least `cap` vertices.
     pub fn with_capacity(cap: usize) -> Self {
         let n = cap.next_power_of_two().max(16);
-        SghUnit {
-            slots: vec![EMPTY_SLOT; n],
-            reverse: Vec::new(),
-            mask: n - 1,
-            len: 0,
-        }
+        SghUnit { slots: vec![EMPTY_SLOT; n], reverse: Vec::new(), mask: n - 1, len: 0 }
     }
 
     /// Number of distinct source vertices hashed so far (= number of

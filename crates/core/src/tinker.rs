@@ -77,6 +77,10 @@ pub struct GraphTinker {
     vertex_space: u32,
     /// Blocks currently serving as top-parents (main region size).
     main_blocks: usize,
+    /// Logical shard count for parallel analytics streaming (see
+    /// [`for_each_edge_shard`](Self::for_each_edge_shard)). Purely a read
+    /// path setting; ingestion is unaffected.
+    analytics_shards: usize,
 }
 
 impl GraphTinker {
@@ -88,11 +92,14 @@ impl GraphTinker {
             top_blocks: Vec::new(),
             sgh: config.enable_sgh.then(SghUnit::new),
             props: VertexPropertyArray::new(),
-            cal: config.enable_cal.then(|| CalArray::new(config.cal_group_size, config.cal_block_size)),
+            cal: config
+                .enable_cal
+                .then(|| CalArray::new(config.cal_group_size, config.cal_block_size)),
             stats: ProbeStats::default(),
             live_edges: 0,
             vertex_space: 0,
             main_blocks: 0,
+            analytics_shards: 1,
             config,
         })
     }
@@ -178,10 +185,7 @@ impl GraphTinker {
     }
 
     fn top_block(&self, dense: u32) -> Option<BlockId> {
-        self.top_blocks
-            .get(dense as usize)
-            .copied()
-            .filter(|&b| b != NIL_U32)
+        self.top_blocks.get(dense as usize).copied().filter(|&b| b != NIL_U32)
     }
 
     fn ensure_top_block(&mut self, dense: u32) -> BlockId {
@@ -539,8 +543,18 @@ impl GraphTinker {
 
     /// Visits every live edge by scanning the main EdgeblockArray,
     /// regardless of CAL availability (used by tests and the CAL ablation).
-    pub fn for_each_edge_main<F: FnMut(VertexId, VertexId, Weight)>(&self, mut f: F) {
-        for dense in 0..self.top_blocks.len() as u32 {
+    pub fn for_each_edge_main<F: FnMut(VertexId, VertexId, Weight)>(&self, f: F) {
+        self.for_each_edge_main_range(0..self.top_blocks.len() as u32, f);
+    }
+
+    /// Main-structure scan restricted to a contiguous dense-source range,
+    /// in [`for_each_edge_main`](Self::for_each_edge_main) order.
+    pub fn for_each_edge_main_range<F: FnMut(VertexId, VertexId, Weight)>(
+        &self,
+        dense_range: std::ops::Range<u32>,
+        mut f: F,
+    ) {
+        for dense in dense_range {
             let Some(top) = self.top_block(dense) else { continue };
             let src = self.original_of(dense);
             let mut stack = vec![top];
@@ -559,14 +573,69 @@ impl GraphTinker {
         }
     }
 
+    /// Logical shard count used by the sharded analytics read path.
+    #[inline]
+    pub fn analytics_shards(&self) -> usize {
+        self.analytics_shards
+    }
+
+    /// Sets the logical shard count for parallel analytics streaming.
+    /// The edges are split into `n` balanced, contiguous intervals of the
+    /// streaming order (CAL groups when the CAL is enabled, dense source
+    /// ids otherwise); ingestion and point queries are unaffected.
+    pub fn set_analytics_shards(&mut self, n: usize) {
+        assert!(n > 0, "shard count must be positive");
+        self.analytics_shards = n;
+    }
+
+    /// Streams the edges owned by one analytics shard.
+    ///
+    /// Concatenating shards `0..analytics_shards()` in order visits exactly
+    /// the edges of [`for_each_edge`](Self::for_each_edge), in the same
+    /// order — the contract parallel full-processing analytics rely on to
+    /// reproduce sequential results.
+    pub fn for_each_edge_shard<F: FnMut(VertexId, VertexId, Weight)>(&self, shard: usize, f: F) {
+        let n = self.analytics_shards;
+        match &self.cal {
+            Some(cal) => {
+                let r = gtinker_types::shard_range(cal.num_groups(), n, shard);
+                cal.for_each_edge_in_groups(r, f);
+            }
+            None => {
+                let r = gtinker_types::shard_range(self.top_blocks.len(), n, shard);
+                self.for_each_edge_main_range(r.start as u32..r.end as u32, f);
+            }
+        }
+    }
+
+    /// The analytics shard owning the out-edges of `src` (vertices not in
+    /// the store map to shard 0). Matches the intervals streamed by
+    /// [`for_each_edge_shard`](Self::for_each_edge_shard).
+    pub fn shard_of_source(&self, src: VertexId) -> usize {
+        if self.analytics_shards == 1 {
+            return 0;
+        }
+        let Some(dense) = self.dense_lookup(src) else { return 0 };
+        let (index, items) = match &self.cal {
+            Some(cal) => (cal.group_of(dense), cal.num_groups()),
+            None => (dense as usize, self.top_blocks.len()),
+        };
+        if index >= items {
+            // A CAL rebuild drops trailing groups whose edges were all
+            // deleted; such sources own no edges, any shard serves.
+            return 0;
+        }
+        gtinker_types::shard_of_index(index, items, self.analytics_shards)
+    }
+
     /// Iterates the original ids of all non-empty source vertices, in SGH
     /// (arrival) order.
     pub fn sources(&self) -> Vec<VertexId> {
         match &self.sgh {
             Some(sgh) => sgh.iter_dense().map(|(_, o)| o).collect(),
-            None => (0..self.top_blocks.len() as u32)
-                .filter(|&d| self.top_block(d).is_some())
-                .collect(),
+            None => {
+                (0..self.top_blocks.len() as u32).filter(|&d| self.top_block(d).is_some()).collect()
+            }
         }
     }
 
@@ -832,10 +901,7 @@ mod tests {
 
     #[test]
     fn delete_and_compact_shrinks_structure() {
-        let cfg = TinkerConfig {
-            delete_mode: DeleteMode::DeleteAndCompact,
-            ..tiny_config()
-        };
+        let cfg = TinkerConfig { delete_mode: DeleteMode::DeleteAndCompact, ..tiny_config() };
         let mut g = GraphTinker::new(cfg).unwrap();
         for d in 0..300u32 {
             g.insert_edge(Edge::unit(0, d + 1));
@@ -1097,8 +1163,7 @@ mod tests {
         let mut got: Vec<(u32, u32, u32)> = Vec::new();
         g.for_each_edge(|s, d, w| got.push((s, d, w)));
         got.sort_unstable();
-        let want: Vec<(u32, u32, u32)> =
-            model.iter().map(|(&(s, d), &w)| (s, d, w)).collect();
+        let want: Vec<(u32, u32, u32)> = model.iter().map(|(&(s, d), &w)| (s, d, w)).collect();
         assert_eq!(got, want);
         // Degrees agree with the model.
         for src in 0..211u32 {

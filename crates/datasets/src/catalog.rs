@@ -125,9 +125,7 @@ pub fn scaled_datasets(scale_factor: u32) -> Vec<DatasetSpec> {
 
 /// Looks up a dataset by (case-insensitive) name.
 pub fn dataset_by_name(name: &str, scale_factor: u32) -> Option<DatasetSpec> {
-    scaled_datasets(scale_factor)
-        .into_iter()
-        .find(|d| d.name.eq_ignore_ascii_case(name))
+    scaled_datasets(scale_factor).into_iter().find(|d| d.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -58,7 +58,11 @@ impl GridConfig {
         for y in 0..self.height {
             for x in 0..self.width {
                 if x + 1 < self.width {
-                    edges.push(Edge::new(self.node(x, y), self.node(x + 1, y), self.weight(x, y, 0)));
+                    edges.push(Edge::new(
+                        self.node(x, y),
+                        self.node(x + 1, y),
+                        self.weight(x, y, 0),
+                    ));
                     if self.bidirectional {
                         edges.push(Edge::new(
                             self.node(x + 1, y),
@@ -68,7 +72,11 @@ impl GridConfig {
                     }
                 }
                 if y + 1 < self.height {
-                    edges.push(Edge::new(self.node(x, y), self.node(x, y + 1), self.weight(x, y, 2)));
+                    edges.push(Edge::new(
+                        self.node(x, y),
+                        self.node(x, y + 1),
+                        self.weight(x, y, 2),
+                    ));
                     if self.bidirectional {
                         edges.push(Edge::new(
                             self.node(x, y + 1),

@@ -37,10 +37,9 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<Vec<Edge>> {
         let src = parse(it.next(), "source")?;
         let dst = parse(it.next(), "destination")?;
         let weight = match it.next() {
-            Some(tok) => tok.parse().map_err(|_| GraphError::Parse {
-                line: i + 1,
-                message: "bad weight".into(),
-            })?,
+            Some(tok) => tok
+                .parse()
+                .map_err(|_| GraphError::Parse { line: i + 1, message: "bad weight".into() })?,
             None => 1,
         };
         edges.push(Edge::new(src, dst, weight));
@@ -67,10 +66,7 @@ mod tests {
     fn parse_basic_and_comments() {
         let text = "# comment\n1 2 7\n\n3 4\n  5 6 9  \n";
         let edges = parse_edge_list(Cursor::new(text)).unwrap();
-        assert_eq!(
-            edges,
-            vec![Edge::new(1, 2, 7), Edge::new(3, 4, 1), Edge::new(5, 6, 9)]
-        );
+        assert_eq!(edges, vec![Edge::new(1, 2, 7), Edge::new(3, 4, 1), Edge::new(5, 6, 9)]);
     }
 
     #[test]

@@ -95,10 +95,8 @@ mod tests {
         let batches = deletion_batches(&e, 17, 3);
         let total: usize = batches.iter().map(|b| b.len()).sum();
         assert_eq!(total as u64, distinct);
-        let mut pairs: Vec<(u32, u32)> = batches
-            .iter()
-            .flat_map(|b| b.iter().map(|op| (op.src(), op.dst())))
-            .collect();
+        let mut pairs: Vec<(u32, u32)> =
+            batches.iter().flat_map(|b| b.iter().map(|op| (op.src(), op.dst()))).collect();
         pairs.sort_unstable();
         pairs.dedup();
         assert_eq!(pairs.len() as u64, distinct, "a pair was deleted twice");

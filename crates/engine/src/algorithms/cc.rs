@@ -89,10 +89,7 @@ mod tests {
     #[test]
     fn inconsistency_unit_uses_both_endpoints() {
         let cc = Cc::new();
-        let ops = [
-            UpdateOp::Insert(Edge::unit(5, 9)),
-            UpdateOp::Delete { src: 2, dst: 5 },
-        ];
+        let ops = [UpdateOp::Insert(Edge::unit(5, 9)), UpdateOp::Delete { src: 2, dst: 5 }];
         assert_eq!(cc.inconsistent_vertices(&ops), vec![2, 5, 9]);
     }
 }

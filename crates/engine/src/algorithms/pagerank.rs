@@ -33,26 +33,58 @@ impl PageRank {
 
     /// Runs power iteration; returns the rank vector (sums to 1 for a
     /// non-empty graph; dangling mass is redistributed uniformly).
-    pub fn run<S: GraphStore>(&self, store: &S) -> Vec<f64> {
+    ///
+    /// When the store reports more than one shard, each iteration's edge
+    /// pass streams the shards on scoped worker threads into per-shard
+    /// contribution vectors, merged in shard order afterwards. Floating-
+    /// point addition is not associative, so the parallel ranks can differ
+    /// from the sequential ones in the last few ulps (well inside the
+    /// power-iteration convergence tolerance); within a fixed shard count
+    /// the result is deterministic.
+    pub fn run<S: GraphStore + Sync>(&self, store: &S) -> Vec<f64> {
         let n = store.vertex_space() as usize;
         if n == 0 {
             return Vec::new();
         }
+        let num_shards = store.num_shards().max(1);
         let degrees: Vec<u32> = (0..n as u32).map(|v| store.out_degree(v)).collect();
         let mut ranks = vec![1.0 / n as f64; n];
         let mut contrib = vec![0.0f64; n];
+        // Per-shard partial contribution buffers, reused across iterations.
+        let mut partials: Vec<Vec<f64>> =
+            if num_shards > 1 { vec![vec![0.0f64; n]; num_shards] } else { Vec::new() };
         for _ in 0..self.iterations {
             contrib.fill(0.0);
-            // Full-processing phase: one sequential pass over all edges.
-            store.stream_edges(|src, dst, _| {
-                contrib[dst as usize] += ranks[src as usize] / degrees[src as usize] as f64;
-            });
+            if num_shards > 1 {
+                // Parallel full-processing phase: one worker per shard.
+                let ranks_ref = &ranks[..];
+                let degrees_ref = &degrees[..];
+                std::thread::scope(|scope| {
+                    for (shard, part) in partials.iter_mut().enumerate() {
+                        scope.spawn(move || {
+                            part.fill(0.0);
+                            store.stream_shard_edges(shard, |src, dst, _| {
+                                part[dst as usize] +=
+                                    ranks_ref[src as usize] / degrees_ref[src as usize] as f64;
+                            });
+                        });
+                    }
+                });
+                // Deterministic shard-order merge.
+                for part in &partials {
+                    for (c, p) in contrib.iter_mut().zip(part) {
+                        *c += p;
+                    }
+                }
+            } else {
+                // Full-processing phase: one sequential pass over all edges.
+                store.stream_edges(|src, dst, _| {
+                    contrib[dst as usize] += ranks[src as usize] / degrees[src as usize] as f64;
+                });
+            }
             // Dangling vertices spread their rank uniformly.
-            let dangling: f64 = (0..n)
-                .filter(|&v| degrees[v] == 0)
-                .map(|v| ranks[v])
-                .sum::<f64>()
-                / n as f64;
+            let dangling: f64 =
+                (0..n).filter(|&v| degrees[v] == 0).map(|v| ranks[v]).sum::<f64>() / n as f64;
             let base = (1.0 - self.damping) / n as f64;
             for v in 0..n {
                 ranks[v] = base + self.damping * (contrib[v] + dangling);
@@ -62,7 +94,7 @@ impl PageRank {
     }
 
     /// The `k` highest-ranked vertices, descending.
-    pub fn top_k<S: GraphStore>(&self, store: &S, k: usize) -> Vec<(VertexId, f64)> {
+    pub fn top_k<S: GraphStore + Sync>(&self, store: &S, k: usize) -> Vec<(VertexId, f64)> {
         let ranks = self.run(store);
         let mut idx: Vec<(VertexId, f64)> =
             ranks.iter().enumerate().map(|(v, &r)| (v as u32, r)).collect();
@@ -121,8 +153,7 @@ mod tests {
 
     #[test]
     fn stores_agree_on_pagerank() {
-        let edges: Vec<Edge> =
-            (0..500u32).map(|i| Edge::unit(i % 37, (i * 7) % 41)).collect();
+        let edges: Vec<Edge> = (0..500u32).map(|i| Edge::unit(i % 37, (i * 7) % 41)).collect();
         let batch = EdgeBatch::inserts(&edges);
         let mut gt = GraphTinker::with_defaults();
         gt.apply_batch(&batch);
@@ -134,6 +165,26 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-12, "stores diverged: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sharded_pagerank_matches_sequential() {
+        let edges: Vec<Edge> = (0..500u32).map(|i| Edge::unit(i % 37, (i * 7) % 41)).collect();
+        let batch = EdgeBatch::inserts(&edges);
+        let mut seq = GraphTinker::with_defaults();
+        seq.apply_batch(&batch);
+        let pr = PageRank::new(0.85, 30);
+        let baseline = pr.run(&seq);
+        for shards in [2, 3, 4] {
+            let mut g = GraphTinker::with_defaults();
+            g.apply_batch(&batch);
+            g.set_analytics_shards(shards);
+            let ranks = pr.run(&g);
+            assert_eq!(ranks.len(), baseline.len());
+            for (x, y) in baseline.iter().zip(&ranks) {
+                assert!((x - y).abs() < 1e-12, "shards={shards} diverged: {x} vs {y}");
+            }
         }
     }
 

@@ -4,8 +4,6 @@
 //! paths. Not a GAS program — the workload is edge-existence queries, the
 //! third retrieval pattern a production graph store must serve well.
 
-use gtinker_types::VertexId;
-
 use crate::store::GraphStore;
 
 /// Undirected triangle counter over a *symmetrized* store (every edge
@@ -104,12 +102,8 @@ mod tests {
 
     #[test]
     fn square_without_diagonal_has_none() {
-        let g = sym_store(&[
-            Edge::unit(0, 1),
-            Edge::unit(1, 2),
-            Edge::unit(2, 3),
-            Edge::unit(3, 0),
-        ]);
+        let g =
+            sym_store(&[Edge::unit(0, 1), Edge::unit(1, 2), Edge::unit(2, 3), Edge::unit(3, 0)]);
         assert_eq!(TriangleCount::new().count(&g), 0);
         // Adding one diagonal creates two triangles.
         let g2 = sym_store(&[

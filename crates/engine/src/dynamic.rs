@@ -36,7 +36,7 @@ impl<P: GasProgram> DynamicRunner<P> {
     }
 
     /// Re-runs the analysis after `batch` has been applied to `store`.
-    pub fn after_batch<S: GraphStore>(&mut self, store: &S, batch: &EdgeBatch) -> RunReport {
+    pub fn after_batch<S: GraphStore + Sync>(&mut self, store: &S, batch: &EdgeBatch) -> RunReport {
         match self.restart {
             RestartPolicy::StaticRecompute => self.engine.run_from_roots(store),
             RestartPolicy::Incremental => {
@@ -141,7 +141,8 @@ mod tests {
         ];
         let mut g_inc = GraphTinker::with_defaults();
         let mut g_st = GraphTinker::with_defaults();
-        let mut inc = DynamicRunner::new(Bfs::new(0), ModePolicy::hybrid(), RestartPolicy::Incremental);
+        let mut inc =
+            DynamicRunner::new(Bfs::new(0), ModePolicy::hybrid(), RestartPolicy::Incremental);
         let mut st =
             DynamicRunner::new(Bfs::new(0), ModePolicy::hybrid(), RestartPolicy::StaticRecompute);
         for b in &batches {

@@ -10,13 +10,15 @@ use crate::gas::{ExecMode, GasProgram, ModePolicy};
 use crate::store::GraphStore;
 
 /// Record of one engine iteration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IterationStats {
     /// Mode the inference box (or fixed policy) chose.
     pub mode: ExecMode,
     /// Active vertices processed this iteration (the formula's `A`).
     pub active_vertices: usize,
     /// Sum of the active vertices' out-degrees (what IP mode would touch).
+    /// Computed only when the policy consumes it (degree-aware); recorded
+    /// as 0 otherwise to keep forced-mode iterations scan-free.
     pub active_degree: u64,
     /// Edges loaded in the store at decision time (the formula's `E`;
     /// what FP mode streams).
@@ -27,6 +29,9 @@ pub struct IterationStats {
     pub messages: u64,
     /// Wall-clock duration of the iteration.
     pub duration: Duration,
+    /// Processing-phase wall-clock per shard worker, in shard order.
+    /// Empty when the iteration ran on the single-shard sequential path.
+    pub shard_times: Vec<Duration>,
 }
 
 /// Summary of one run to fixpoint.
@@ -52,6 +57,22 @@ impl RunReport {
         (full, self.iterations.len() - full)
     }
 
+    /// Total processing-phase time spent in each shard across all parallel
+    /// iterations, in shard order (longest vector over the run). Empty for
+    /// fully sequential runs — the load-imbalance view of a parallel run.
+    pub fn shard_time_totals(&self) -> Vec<Duration> {
+        let mut totals: Vec<Duration> = Vec::new();
+        for it in &self.iterations {
+            if it.shard_times.len() > totals.len() {
+                totals.resize(it.shard_times.len(), Duration::ZERO);
+            }
+            for (t, &d) in totals.iter_mut().zip(&it.shard_times) {
+                *t += d;
+            }
+        }
+        totals
+    }
+
     /// Processing throughput in edges per second (edges visited / elapsed).
     pub fn throughput_eps(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
@@ -70,12 +91,47 @@ impl RunReport {
     }
 }
 
+/// Reusable per-shard scratch for the parallel processing phase: a
+/// thread-local VTempProperty accumulator with its touched list, the
+/// shard's slice of the active frontier, and the counters the merge step
+/// folds back into the iteration stats. Kept on the engine so steady-state
+/// parallel iterations allocate nothing.
+struct WorkerScratch<V> {
+    temp: Vec<Option<V>>,
+    touched: Vec<VertexId>,
+    frontier: Vec<VertexId>,
+    edges_processed: u64,
+    messages: u64,
+    elapsed: Duration,
+}
+
+impl<V> Default for WorkerScratch<V> {
+    fn default() -> Self {
+        WorkerScratch {
+            temp: Vec::new(),
+            touched: Vec::new(),
+            frontier: Vec::new(),
+            edges_processed: 0,
+            messages: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
 /// The edge-centric GAS engine (paper Fig. 7), generic over the graph store
 /// and the algorithm.
 ///
 /// Holds the VPropertyArray (`values`), the VTempProperty buffer (`temp`)
 /// and the active set between runs, so incremental processing can continue
 /// from a previous analysis after more batches arrive.
+///
+/// When the store exposes more than one shard (see
+/// [`GraphStore::num_shards`]), each iteration's processing phase runs one
+/// scoped worker thread per shard: full mode streams each shard's edge
+/// interval, incremental mode routes the frontier to the shard owning each
+/// source. Workers deposit into private accumulators that are merged in
+/// shard order through the program's commutative [`GasProgram::reduce`],
+/// so the committed result is identical to the sequential engine's.
 pub struct Engine<P: GasProgram> {
     program: P,
     policy: ModePolicy,
@@ -94,6 +150,9 @@ pub struct Engine<P: GasProgram> {
     /// Iteration budget per run; guards against programs that never
     /// converge (only monotone programs are guaranteed to).
     max_iterations: usize,
+    /// Per-shard scratch pool for the parallel processing phase, reused
+    /// across iterations and runs.
+    workers: Vec<WorkerScratch<P::Value>>,
 }
 
 impl<P: GasProgram> Engine<P> {
@@ -109,6 +168,7 @@ impl<P: GasProgram> Engine<P> {
             active_bits: Vec::new(),
             seeded: false,
             max_iterations: usize::MAX,
+            workers: Vec::new(),
         }
     }
 
@@ -182,7 +242,7 @@ impl<P: GasProgram> Engine<P> {
 
     /// Runs to fixpoint from the program's roots over a fresh (or reset)
     /// state — the static model's full recomputation.
-    pub fn run_from_roots<S: GraphStore>(&mut self, store: &S) -> RunReport {
+    pub fn run_from_roots<S: GraphStore + Sync>(&mut self, store: &S) -> RunReport {
         self.ensure_capacity(store.vertex_space());
         self.reset();
         self.seed_roots(store.vertex_space());
@@ -199,7 +259,11 @@ impl<P: GasProgram> Engine<P> {
     /// deletions and adverse weight changes can invalidate committed
     /// properties and require [`run_from_roots`](Self::run_from_roots) —
     /// the same restriction the paper's incremental-compute model carries.
-    pub fn run_incremental<S: GraphStore>(&mut self, store: &S, seeds: &[VertexId]) -> RunReport {
+    pub fn run_incremental<S: GraphStore + Sync>(
+        &mut self,
+        store: &S,
+        seeds: &[VertexId],
+    ) -> RunReport {
         self.ensure_capacity(store.vertex_space());
         if !self.seeded {
             self.seed_roots(store.vertex_space());
@@ -214,66 +278,35 @@ impl<P: GasProgram> Engine<P> {
         self.run_to_fixpoint(store)
     }
 
-    /// The GAS iteration loop: decide mode, processing phase, apply phase,
-    /// until no vertex is active.
-    fn run_to_fixpoint<S: GraphStore>(&mut self, store: &S) -> RunReport {
+    /// The GAS iteration loop: decide mode, processing phase (sequential
+    /// or one worker per store shard), apply phase, until no vertex is
+    /// active.
+    fn run_to_fixpoint<S: GraphStore + Sync>(&mut self, store: &S) -> RunReport {
         let mut report = RunReport::default();
         let run_start = Instant::now();
+        // The store is borrowed for the whole run, so its edge count (the
+        // formula's `E`) is loop-invariant: hoist it out of the iterations.
+        let store_edges = store.num_edges();
+        // The full-frontier degree scan costs one random lookup per active
+        // vertex; only the degree-aware policy consumes it, so forced and
+        // hybrid policies skip it entirely.
+        let needs_degree = matches!(self.policy, ModePolicy::DegreeAware { .. });
+        let num_shards = store.num_shards().max(1);
         while !self.active.is_empty() && report.iterations.len() < self.max_iterations {
             let iter_start = Instant::now();
-            let store_edges = store.num_edges();
-            let active_degree: u64 =
-                self.active.iter().map(|&v| store.out_degree(v) as u64).sum();
+            let active_degree: u64 = if needs_degree {
+                self.active.iter().map(|&v| store.out_degree(v) as u64).sum()
+            } else {
+                0
+            };
             let mode = self.policy.decide(self.active.len(), active_degree, store_edges);
 
             // --- Processing phase -------------------------------------
-            let mut edges_processed: u64 = 0;
-            let mut messages: u64 = 0;
-            {
-                let program = &self.program;
-                let values = &self.values;
-                let temp = &mut self.temp;
-                let touched = &mut self.touched;
-                let active_bits = &self.active_bits;
-                let mut deposit = |dst: VertexId, msg: P::Value| {
-                    messages += 1;
-                    let slot = &mut temp[dst as usize];
-                    *slot = Some(match slot.take() {
-                        Some(prev) => program.reduce(prev, msg),
-                        None => {
-                            touched.push(dst);
-                            msg
-                        }
-                    });
-                };
-                match mode {
-                    ExecMode::Full => {
-                        // Stream every edge sequentially; only edges whose
-                        // source is active contribute.
-                        store.stream_edges(|src, dst, w| {
-                            edges_processed += 1;
-                            if active_bits[src as usize] {
-                                if let Some(m) =
-                                    program.process_edge(values[src as usize], dst, w)
-                                {
-                                    deposit(dst, m);
-                                }
-                            }
-                        });
-                    }
-                    ExecMode::Incremental => {
-                        for &v in &self.active {
-                            let sv = values[v as usize];
-                            store.for_each_out_edge(v, |dst, w| {
-                                edges_processed += 1;
-                                if let Some(m) = program.process_edge(sv, dst, w) {
-                                    deposit(dst, m);
-                                }
-                            });
-                        }
-                    }
-                }
-            }
+            let (edges_processed, messages, shard_times) = if num_shards > 1 {
+                self.process_sharded(store, mode, num_shards)
+            } else {
+                self.process_sequential(store, mode)
+            };
 
             // --- Apply phase -------------------------------------------
             let active_vertices = self.active.len();
@@ -302,11 +335,184 @@ impl<P: GasProgram> Engine<P> {
                 edges_processed,
                 messages,
                 duration: iter_start.elapsed(),
+                shard_times,
             });
             report.total_edges_processed += edges_processed;
         }
         report.elapsed = run_start.elapsed();
         report
+    }
+
+    /// Single-shard processing phase: the original in-place sequential
+    /// path, depositing straight into the engine's VTempProperty buffer.
+    fn process_sequential<S: GraphStore>(
+        &mut self,
+        store: &S,
+        mode: ExecMode,
+    ) -> (u64, u64, Vec<Duration>) {
+        let mut edges_processed: u64 = 0;
+        let mut messages: u64 = 0;
+        let program = &self.program;
+        let values = &self.values;
+        let temp = &mut self.temp;
+        let touched = &mut self.touched;
+        let active_bits = &self.active_bits;
+        let mut deposit = |dst: VertexId, msg: P::Value| {
+            messages += 1;
+            let slot = &mut temp[dst as usize];
+            *slot = Some(match slot.take() {
+                Some(prev) => program.reduce(prev, msg),
+                None => {
+                    touched.push(dst);
+                    msg
+                }
+            });
+        };
+        match mode {
+            ExecMode::Full => {
+                // Stream every edge sequentially; only edges whose
+                // source is active contribute.
+                store.stream_edges(|src, dst, w| {
+                    edges_processed += 1;
+                    if active_bits[src as usize] {
+                        if let Some(m) = program.process_edge(values[src as usize], dst, w) {
+                            deposit(dst, m);
+                        }
+                    }
+                });
+            }
+            ExecMode::Incremental => {
+                for &v in &self.active {
+                    let sv = values[v as usize];
+                    store.for_each_out_edge(v, |dst, w| {
+                        edges_processed += 1;
+                        if let Some(m) = program.process_edge(sv, dst, w) {
+                            deposit(dst, m);
+                        }
+                    });
+                }
+            }
+        }
+        (edges_processed, messages, Vec::new())
+    }
+
+    /// Sharded processing phase: one scoped worker thread per store shard.
+    ///
+    /// Full mode streams each shard's edge interval; incremental mode
+    /// walks the frontier slice routed to each shard (every source's
+    /// out-edges live in exactly one shard). Workers deposit into private
+    /// accumulators; the merge folds them into the engine's buffer in
+    /// shard order via the program's commutative, associative `reduce`, so
+    /// the committed messages — and therefore the run's results — match
+    /// the sequential path's exactly.
+    fn process_sharded<S: GraphStore + Sync>(
+        &mut self,
+        store: &S,
+        mode: ExecMode,
+        num_shards: usize,
+    ) -> (u64, u64, Vec<Duration>) {
+        if self.workers.len() < num_shards {
+            self.workers.resize_with(num_shards, WorkerScratch::default);
+        }
+        let space = self.temp.len();
+        for w in &mut self.workers[..num_shards] {
+            if w.temp.len() < space {
+                w.temp.resize(space, None);
+            }
+        }
+        if mode == ExecMode::Incremental {
+            for &v in &self.active {
+                let s = store.shard_of_source(v).min(num_shards - 1);
+                self.workers[s].frontier.push(v);
+            }
+        }
+        {
+            let program = &self.program;
+            let values = &self.values[..];
+            let active_bits = &self.active_bits[..];
+            let workers = &mut self.workers[..num_shards];
+            std::thread::scope(|scope| {
+                for (shard, scratch) in workers.iter_mut().enumerate() {
+                    scope.spawn(move || {
+                        let start = Instant::now();
+                        let WorkerScratch {
+                            temp,
+                            touched,
+                            frontier,
+                            edges_processed,
+                            messages,
+                            elapsed,
+                        } = scratch;
+                        let mut edges: u64 = 0;
+                        let mut msgs: u64 = 0;
+                        let mut deposit = |dst: VertexId, msg: P::Value| {
+                            msgs += 1;
+                            let slot = &mut temp[dst as usize];
+                            *slot = Some(match slot.take() {
+                                Some(prev) => program.reduce(prev, msg),
+                                None => {
+                                    touched.push(dst);
+                                    msg
+                                }
+                            });
+                        };
+                        match mode {
+                            ExecMode::Full => {
+                                store.stream_shard_edges(shard, |src, dst, w| {
+                                    edges += 1;
+                                    if active_bits[src as usize] {
+                                        if let Some(m) =
+                                            program.process_edge(values[src as usize], dst, w)
+                                        {
+                                            deposit(dst, m);
+                                        }
+                                    }
+                                });
+                            }
+                            ExecMode::Incremental => {
+                                for &v in frontier.iter() {
+                                    let sv = values[v as usize];
+                                    store.for_each_out_edge(v, |dst, w| {
+                                        edges += 1;
+                                        if let Some(m) = program.process_edge(sv, dst, w) {
+                                            deposit(dst, m);
+                                        }
+                                    });
+                                }
+                            }
+                        }
+                        *edges_processed = edges;
+                        *messages = msgs;
+                        *elapsed = start.elapsed();
+                    });
+                }
+            });
+        }
+        // Deterministic merge: fold the workers' accumulators in shard
+        // order, independent of thread scheduling.
+        let mut edges_total: u64 = 0;
+        let mut msg_total: u64 = 0;
+        let mut shard_times = Vec::with_capacity(num_shards);
+        for scratch in &mut self.workers[..num_shards] {
+            edges_total += scratch.edges_processed;
+            msg_total += scratch.messages;
+            shard_times.push(scratch.elapsed);
+            for &d in &scratch.touched {
+                if let Some(msg) = scratch.temp[d as usize].take() {
+                    let slot = &mut self.temp[d as usize];
+                    *slot = Some(match slot.take() {
+                        Some(prev) => self.program.reduce(prev, msg),
+                        None => {
+                            self.touched.push(d);
+                            msg
+                        }
+                    });
+                }
+            }
+            scratch.touched.clear();
+            scratch.frontier.clear();
+        }
+        (edges_total, msg_total, shard_times)
     }
 }
 

@@ -91,9 +91,16 @@ impl ModePolicy {
 /// processEdge, reduce and apply functions"; the engine supplies the rest.
 /// All three algorithms the paper evaluates (BFS, SSSP, CC) are monotone
 /// min-propagations, but the trait does not assume that.
-pub trait GasProgram {
+///
+/// Programs must be `Sync` and their values `Send + Sync`: the engine
+/// shares both across the scoped worker threads of its sharded processing
+/// phase. [`reduce`](Self::reduce) must be commutative and associative —
+/// already implicit in the sequential engine (FP and IP modes deliver the
+/// same messages in different orders), and what lets the parallel merge
+/// combine per-shard partial reductions deterministically.
+pub trait GasProgram: Sync {
     /// Per-vertex property type (the VPropertyArray element).
-    type Value: Copy + PartialEq + std::fmt::Debug;
+    type Value: Copy + PartialEq + std::fmt::Debug + Send + Sync;
 
     /// Property of a vertex before it is reached.
     fn initial_value(&self) -> Self::Value;

@@ -37,6 +37,35 @@ pub trait GraphStore {
         self.for_each_out_edge(src, |d, _| found |= d == dst);
         found
     }
+
+    /// Number of edge shards the store exposes for parallel streaming.
+    ///
+    /// Sharded stores split their edge stream into `num_shards` pieces
+    /// whose concatenation, in shard order, is exactly the
+    /// [`stream_edges`](Self::stream_edges) order — the property that lets
+    /// a parallel full-processing pass reproduce the sequential result.
+    /// All of one source's out-edges live in a single shard (the
+    /// single-writer interval rule of paper §III.D). Default: 1.
+    fn num_shards(&self) -> usize {
+        1
+    }
+
+    /// The shard owning the out-edges of `v` (for routing an active
+    /// frontier to shard-local workers). Vertices absent from the store
+    /// may map anywhere; the result is always `< num_shards()`.
+    fn shard_of_source(&self, _v: VertexId) -> usize {
+        0
+    }
+
+    /// Streams the edges of one shard (see [`num_shards`](Self::num_shards)
+    /// for the ordering contract). The default serves the single-shard
+    /// case by streaming everything.
+    fn stream_shard_edges(&self, shard: usize, f: impl FnMut(VertexId, VertexId, Weight)) {
+        debug_assert!(shard < self.num_shards(), "shard {shard} out of range");
+        if shard == 0 {
+            self.stream_edges(f);
+        }
+    }
 }
 
 impl GraphStore for GraphTinker {
@@ -59,6 +88,15 @@ impl GraphStore for GraphTinker {
     }
     fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
         GraphTinker::contains_edge(self, src, dst)
+    }
+    fn num_shards(&self) -> usize {
+        GraphTinker::analytics_shards(self)
+    }
+    fn shard_of_source(&self, v: VertexId) -> usize {
+        GraphTinker::shard_of_source(self, v)
+    }
+    fn stream_shard_edges(&self, shard: usize, f: impl FnMut(VertexId, VertexId, Weight)) {
+        GraphTinker::for_each_edge_shard(self, shard, f)
     }
 }
 
@@ -83,6 +121,15 @@ impl GraphStore for Stinger {
     fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
         Stinger::contains_edge(self, src, dst)
     }
+    fn num_shards(&self) -> usize {
+        Stinger::analytics_shards(self)
+    }
+    fn shard_of_source(&self, v: VertexId) -> usize {
+        Stinger::shard_of_source(self, v)
+    }
+    fn stream_shard_edges(&self, shard: usize, f: impl FnMut(VertexId, VertexId, Weight)) {
+        Stinger::for_each_edge_shard(self, shard, f)
+    }
 }
 
 impl GraphStore for ParallelTinker {
@@ -104,6 +151,17 @@ impl GraphStore for ParallelTinker {
     fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
         ParallelTinker::contains_edge(self, src, dst)
     }
+    // One shard per interval-partitioned instance: each instance streams
+    // its own CAL, so sharded analytics mirror the ingestion layout.
+    fn num_shards(&self) -> usize {
+        ParallelTinker::num_instances(self)
+    }
+    fn shard_of_source(&self, v: VertexId) -> usize {
+        gtinker_types::partition_of(v, ParallelTinker::num_instances(self))
+    }
+    fn stream_shard_edges(&self, shard: usize, f: impl FnMut(VertexId, VertexId, Weight)) {
+        ParallelTinker::instances(self)[shard].for_each_edge(f)
+    }
 }
 
 impl GraphStore for ParallelStinger {
@@ -124,6 +182,15 @@ impl GraphStore for ParallelStinger {
     }
     fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
         ParallelStinger::contains_edge(self, src, dst)
+    }
+    fn num_shards(&self) -> usize {
+        ParallelStinger::num_instances(self)
+    }
+    fn shard_of_source(&self, v: VertexId) -> usize {
+        gtinker_types::partition_of(v, ParallelStinger::num_instances(self))
+    }
+    fn stream_shard_edges(&self, shard: usize, f: impl FnMut(VertexId, VertexId, Weight)) {
+        ParallelStinger::instances(self)[shard].for_each_edge(f)
     }
 }
 
@@ -154,11 +221,87 @@ mod tests {
         assert!(!s.has_edge(9, 9));
     }
 
+    /// Verifies the sharding contract: concatenating the shard streams in
+    /// order reproduces `stream_edges` exactly, and every streamed source
+    /// is routed back to the shard that streamed it.
+    fn check_sharding<S: GraphStore>(s: &S) {
+        let mut whole = Vec::new();
+        s.stream_edges(|a, b, w| whole.push((a, b, w)));
+        let mut cat = Vec::new();
+        for shard in 0..s.num_shards() {
+            s.stream_shard_edges(shard, |a, b, w| {
+                assert_eq!(s.shard_of_source(a), shard, "source {a} routed off-shard");
+                cat.push((a, b, w));
+            });
+        }
+        assert_eq!(cat, whole, "shard concatenation must equal the full stream");
+    }
+
+    fn bigger_batch() -> EdgeBatch {
+        EdgeBatch::inserts(
+            &(0..500u32).map(|i| Edge::new(i % 61, (i * 13) % 67, i + 1)).collect::<Vec<_>>(),
+        )
+    }
+
     #[test]
     fn graphtinker_implements_store() {
         let mut g = GraphTinker::with_defaults();
         g.apply_batch(&sample_batch());
         check_store(&g);
+    }
+
+    #[test]
+    fn sharded_streaming_contract_holds_for_all_stores() {
+        for shards in [1usize, 2, 3, 4, 7] {
+            let mut g = GraphTinker::with_defaults();
+            g.apply_batch(&bigger_batch());
+            g.set_analytics_shards(shards);
+            check_sharding(&g);
+
+            let mut no_cal = GraphTinker::new(gtinker_types::TinkerConfig {
+                enable_cal: false,
+                ..Default::default()
+            })
+            .unwrap();
+            no_cal.apply_batch(&bigger_batch());
+            no_cal.set_analytics_shards(shards);
+            check_sharding(&no_cal);
+
+            let mut s = Stinger::with_defaults();
+            s.apply_batch(&bigger_batch());
+            s.set_analytics_shards(shards);
+            check_sharding(&s);
+
+            let mut csr_src = GraphTinker::with_defaults();
+            csr_src.apply_batch(&bigger_batch());
+            let mut csr = crate::CsrSnapshot::build(&csr_src);
+            csr.set_analytics_shards(shards);
+            check_sharding(&csr);
+
+            let mut pt = ParallelTinker::new(Default::default(), shards).unwrap();
+            pt.apply_batch(&bigger_batch());
+            check_sharding(&pt);
+
+            let mut ps = ParallelStinger::new(Default::default(), shards).unwrap();
+            ps.apply_batch(&bigger_batch());
+            check_sharding(&ps);
+        }
+    }
+
+    #[test]
+    fn sharding_survives_deletions_and_cal_rebuild() {
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&bigger_batch());
+        let mut pairs = Vec::new();
+        g.for_each_edge(|s, d, _| pairs.push((s, d)));
+        // Delete two thirds of the edges to force invalid records.
+        let dels: Vec<_> =
+            pairs.iter().enumerate().filter(|(i, _)| i % 3 != 0).map(|(_, &p)| p).collect();
+        g.apply_batch(&EdgeBatch::deletes(&dels));
+        g.set_analytics_shards(4);
+        check_sharding(&g);
+        g.rebuild_cal();
+        check_sharding(&g);
     }
 
     #[test]

@@ -9,6 +9,9 @@ use crate::store::{Stinger, StingerStats};
 /// Interval-partitioned STINGER instances updated in parallel.
 pub struct ParallelStinger {
     instances: Vec<Stinger>,
+    /// Per-instance partition scratch reused across batches, so
+    /// steady-state ingestion allocates no per-batch partition buffers.
+    parts: Vec<EdgeBatch>,
 }
 
 impl ParallelStinger {
@@ -19,7 +22,8 @@ impl ParallelStinger {
         for _ in 0..n {
             instances.push(Stinger::new(config)?);
         }
-        Ok(ParallelStinger { instances })
+        let parts = (0..n).map(|_| EdgeBatch::new()).collect();
+        Ok(ParallelStinger { instances, parts })
     }
 
     /// Number of parallel instances.
@@ -35,15 +39,15 @@ impl ParallelStinger {
 
     /// Applies a batch across all instances on scoped threads.
     pub fn apply_batch(&mut self, batch: &EdgeBatch) {
-        let parts = batch.partition(self.instances.len());
-        crossbeam::thread::scope(|scope| {
-            for (inst, part) in self.instances.iter_mut().zip(&parts) {
-                scope.spawn(move |_| {
+        batch.partition_into(&mut self.parts);
+        let parts = &self.parts;
+        std::thread::scope(|scope| {
+            for (inst, part) in self.instances.iter_mut().zip(parts) {
+                scope.spawn(move || {
                     inst.apply_batch(part);
                 });
             }
-        })
-        .expect("update worker panicked");
+        });
     }
 
     /// Total live edges.
@@ -83,6 +87,11 @@ impl ParallelStinger {
         }
     }
 
+    /// Immutable access to the underlying instances.
+    pub fn instances(&self) -> &[Stinger] {
+        &self.instances
+    }
+
     /// Merged probe counters.
     pub fn stats(&self) -> StingerStats {
         let mut t = StingerStats::default();
@@ -106,6 +115,28 @@ mod tests {
         seq.apply_batch(&b);
         let mut par = ParallelStinger::new(StingerConfig::default(), 4).unwrap();
         par.apply_batch(&b);
+        assert_eq!(par.num_edges(), seq.num_edges());
+        let mut a: Vec<(u32, u32, u32)> = Vec::new();
+        seq.for_each_edge(|s, d, w| a.push((s, d, w)));
+        let mut c: Vec<(u32, u32, u32)> = Vec::new();
+        par.for_each_edge(|s, d, w| c.push((s, d, w)));
+        a.sort_unstable();
+        c.sort_unstable();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn scratch_reuse_across_shrinking_batches_matches_sequential() {
+        let mut seq = Stinger::with_defaults();
+        let mut par = ParallelStinger::new(StingerConfig::default(), 3).unwrap();
+        for round in 0..4u32 {
+            let n = 2_000 - round * 600;
+            let edges: Vec<Edge> =
+                (0..n).map(|i| Edge::new((i * 5 + round) % 89, i % 157, i + 1)).collect();
+            let b = EdgeBatch::inserts(&edges);
+            seq.apply_batch(&b);
+            par.apply_batch(&b);
+        }
         assert_eq!(par.num_edges(), seq.num_edges());
         let mut a: Vec<(u32, u32, u32)> = Vec::new();
         seq.for_each_edge(|s, d, w| a.push((s, d, w)));

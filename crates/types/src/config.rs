@@ -194,7 +194,7 @@ mod tests {
             TinkerConfig { pagewidth: 0, ..TinkerConfig::default() },
             TinkerConfig { cal_block_size: 0, ..TinkerConfig::default() },
             TinkerConfig { subblock: 512, pagewidth: 1024, ..TinkerConfig::default() }, // probe > u8
-            TinkerConfig { subblock: 128, pagewidth: 64, ..TinkerConfig::default() }, // sb > pw
+            TinkerConfig { subblock: 128, pagewidth: 64, ..TinkerConfig::default() },   // sb > pw
         ];
         for c in cases {
             assert!(c.validate().is_err(), "{c:?} should be invalid");
@@ -203,10 +203,8 @@ mod tests {
 
     #[test]
     fn builder_helpers() {
-        let c = TinkerConfig::default()
-            .cal(false)
-            .sgh(false)
-            .delete_mode(DeleteMode::DeleteAndCompact);
+        let c =
+            TinkerConfig::default().cal(false).sgh(false).delete_mode(DeleteMode::DeleteAndCompact);
         assert!(!c.enable_cal);
         assert!(!c.enable_sgh);
         assert_eq!(c.delete_mode, DeleteMode::DeleteAndCompact);

@@ -103,9 +103,7 @@ impl EdgeBatch {
 
     /// Builds a deletion batch from `(src, dst)` pairs.
     pub fn deletes(pairs: &[(VertexId, VertexId)]) -> Self {
-        EdgeBatch {
-            ops: pairs.iter().map(|&(src, dst)| UpdateOp::Delete { src, dst }).collect(),
-        }
+        EdgeBatch { ops: pairs.iter().map(|&(src, dst)| UpdateOp::Delete { src, dst }).collect() }
     }
 
     /// Appends an insertion.
@@ -165,17 +163,35 @@ impl EdgeBatch {
         out
     }
 
+    /// Empties the batch, keeping its allocation for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
     /// Splits the batch into `n` sub-batches by `hash(src) % n`, the
     /// interval partitioning the paper uses to shard updates across
     /// parallel GraphTinker instances (Fig. 6).
     pub fn partition(&self, n: usize) -> Vec<EdgeBatch> {
         assert!(n > 0, "partition count must be positive");
         let mut parts = vec![EdgeBatch::with_capacity(self.len() / n + 1); n];
+        self.partition_into(&mut parts);
+        parts
+    }
+
+    /// [`partition`](Self::partition) into caller-owned sub-batches,
+    /// clearing each first. Steady-state ingestion loops keep the `parts`
+    /// vector across batches so re-partitioning allocates nothing once the
+    /// sub-batches have grown to their working size.
+    pub fn partition_into(&self, parts: &mut [EdgeBatch]) {
+        assert!(!parts.is_empty(), "partition count must be positive");
+        for p in parts.iter_mut() {
+            p.clear();
+        }
         for &op in &self.ops {
-            let idx = partition_of(op.src(), n);
+            let idx = partition_of(op.src(), parts.len());
             parts[idx].ops.push(op);
         }
-        parts
     }
 }
 
@@ -201,6 +217,25 @@ pub fn partition_of(src: VertexId, n: usize) -> usize {
     // Fibonacci hashing: golden-ratio multiplier spreads consecutive ids.
     let h = (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     ((h >> 32) as usize) % n
+}
+
+/// The contiguous index range shard `shard` of `num_shards` owns when
+/// `items` sequential positions are split into balanced intervals: shard
+/// `i` owns `[i*items/n, (i+1)*items/n)`. Concatenating the ranges for
+/// shards `0..num_shards` covers `0..items` exactly once, in order — the
+/// property sharded edge streaming relies on.
+#[inline]
+pub fn shard_range(items: usize, num_shards: usize, shard: usize) -> std::ops::Range<usize> {
+    assert!(num_shards > 0, "shard count must be positive");
+    assert!(shard < num_shards, "shard {shard} out of {num_shards}");
+    (shard * items / num_shards)..((shard + 1) * items / num_shards)
+}
+
+/// Inverse of [`shard_range`]: the shard whose range contains `index`.
+#[inline]
+pub fn shard_of_index(index: usize, items: usize, num_shards: usize) -> usize {
+    assert!(index < items, "index {index} out of {items}");
+    (index * num_shards + num_shards - 1) / items
 }
 
 #[cfg(test)]
@@ -270,6 +305,35 @@ mod tests {
         let parts = batch.partition(8);
         let nonempty = parts.iter().filter(|p| !p.is_empty()).count();
         assert_eq!(nonempty, 1);
+    }
+
+    #[test]
+    fn shard_ranges_concatenate_and_invert() {
+        for items in [1usize, 2, 3, 7, 10, 100] {
+            for n in [1usize, 2, 3, 4, 8] {
+                let mut covered = 0;
+                for s in 0..n {
+                    let r = shard_range(items, n, s);
+                    assert_eq!(r.start, covered, "ranges must concatenate in order");
+                    covered = r.end;
+                    for i in r {
+                        assert_eq!(shard_of_index(i, items, n), s);
+                    }
+                }
+                assert_eq!(covered, items, "ranges must cover all items");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_into_matches_partition_and_clears_stale_ops() {
+        let batch = EdgeBatch::inserts(&(0..100).map(|i| Edge::unit(i, i + 1)).collect::<Vec<_>>());
+        let mut parts = vec![EdgeBatch::new(); 4];
+        batch.partition_into(&mut parts);
+        assert_eq!(parts, batch.partition(4));
+        let small = EdgeBatch::inserts(&[Edge::unit(1, 2)]);
+        small.partition_into(&mut parts);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 1);
     }
 
     #[test]

@@ -76,7 +76,10 @@ mod tests {
             GraphError::VertexOutOfRange { vertex: 9, limit: 4 }.to_string(),
             "vertex 9 out of range (limit 4)"
         );
-        assert_eq!(GraphError::EdgeNotFound { src: 1, dst: 2 }.to_string(), "edge (1, 2) not found");
+        assert_eq!(
+            GraphError::EdgeNotFound { src: 1, dst: 2 }.to_string(),
+            "edge (1, 2) not found"
+        );
         assert!(GraphError::Parse { line: 3, message: "x".into() }.to_string().contains("line 3"));
     }
 

@@ -36,7 +36,8 @@ fn main() {
     .generate();
 
     let mut graph = GraphTinker::with_defaults();
-    let mut tracker = DynamicRunner::new(Cc::new(), ModePolicy::hybrid(), RestartPolicy::Incremental);
+    let mut tracker =
+        DynamicRunner::new(Cc::new(), ModePolicy::hybrid(), RestartPolicy::Incremental);
 
     let chunk = follows.len() / BATCHES;
     println!("streaming {} follow events in {BATCHES} batches of ~{chunk}\n", follows.len());

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint, format — exactly what a hosted pipeline
+# would run. Fails fast on the first broken step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI gate passed."

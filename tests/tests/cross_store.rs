@@ -91,10 +91,9 @@ fn ablated_configs_agree_with_full_config() {
 fn delete_modes_agree_under_interleaved_churn() {
     let mut rng = StdRng::seed_from_u64(5);
     let mut tomb = GraphTinker::new(TinkerConfig::default()).unwrap();
-    let mut comp = GraphTinker::new(
-        TinkerConfig::default().delete_mode(DeleteMode::DeleteAndCompact),
-    )
-    .unwrap();
+    let mut comp =
+        GraphTinker::new(TinkerConfig::default().delete_mode(DeleteMode::DeleteAndCompact))
+            .unwrap();
     for round in 0..20 {
         let mut batch = EdgeBatch::new();
         for _ in 0..1_000 {

@@ -72,14 +72,9 @@ fn sssp_matches_dijkstra() {
 
 #[test]
 fn cc_matches_union_find() {
-    let edges = PowerLawConfig {
-        num_vertices: 512,
-        num_edges: 3_000,
-        alpha: 0.5,
-        seed: 11,
-        max_weight: 1,
-    }
-    .generate();
+    let edges =
+        PowerLawConfig { num_vertices: 512, num_edges: 3_000, alpha: 0.5, seed: 11, max_weight: 1 }
+            .generate();
     let batch = symmetrize(&EdgeBatch::inserts(&edges));
 
     let mut gt = GraphTinker::with_defaults();

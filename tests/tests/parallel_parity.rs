@@ -1,0 +1,207 @@
+//! Parallel/sequential parity: the sharded processing phase must produce
+//! exactly the results of the sequential engine — same algorithms, same
+//! stores, same policies — because the merge folds per-shard partials in
+//! shard order through the programs' commutative, associative `reduce`.
+//! PageRank (f64 sums, not associative) gets a tight tolerance instead.
+
+use gtinker_core::{GraphTinker, ParallelTinker};
+use gtinker_datasets::RmatConfig;
+use gtinker_engine::{
+    algorithms::{Bfs, Cc, PageRank, Sssp},
+    dynamic::symmetrize,
+    CsrSnapshot, DynamicRunner, Engine, GraphStore, ModePolicy, RestartPolicy,
+};
+use gtinker_stinger::Stinger;
+use gtinker_types::{Edge, EdgeBatch, TinkerConfig};
+
+const SHARD_COUNTS: [usize; 2] = [2, 4];
+
+fn rmat(scale: u32, edges: u64, seed: u64) -> Vec<Edge> {
+    RmatConfig::graph500(scale, edges, seed).generate()
+}
+
+fn modes() -> [ModePolicy; 3] {
+    [ModePolicy::AlwaysFull, ModePolicy::AlwaysIncremental, ModePolicy::hybrid()]
+}
+
+/// Runs `make_engine`'s program from roots on a 1-shard store and on each
+/// sharded clone, asserting bit-identical vertex values.
+fn assert_parity_tinker<P, F>(edges: &[Edge], policy: ModePolicy, make_engine: F)
+where
+    P: gtinker_engine::GasProgram,
+    F: Fn() -> Engine<P>,
+{
+    let batch = EdgeBatch::inserts(edges);
+    let mut seq = GraphTinker::with_defaults();
+    seq.apply_batch(&batch);
+    let mut base = make_engine();
+    base.run_from_roots(&seq);
+
+    for &shards in &SHARD_COUNTS {
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&batch);
+        g.set_analytics_shards(shards);
+        let mut e = make_engine();
+        e.run_from_roots(&g);
+        assert_eq!(e.values(), base.values(), "GraphTinker {shards} shards, {policy:?}");
+
+        let mut st = Stinger::with_defaults();
+        st.apply_batch(&batch);
+        st.set_analytics_shards(shards);
+        let mut e = make_engine();
+        e.run_from_roots(&st);
+        assert_eq!(e.values(), base.values(), "Stinger {shards} shards, {policy:?}");
+
+        let mut csr = CsrSnapshot::build(&seq);
+        csr.set_analytics_shards(shards);
+        let mut e = make_engine();
+        e.run_from_roots(&csr);
+        assert_eq!(e.values(), base.values(), "CSR {shards} shards, {policy:?}");
+    }
+}
+
+#[test]
+fn bfs_parallel_matches_sequential_across_stores_and_modes() {
+    let edges = rmat(10, 6_000, 71);
+    let root = edges[0].src;
+    for policy in modes() {
+        assert_parity_tinker(&edges, policy, || Engine::new(Bfs::new(root), policy));
+    }
+}
+
+#[test]
+fn sssp_parallel_matches_sequential() {
+    let edges = rmat(10, 6_000, 72);
+    let root = edges[0].src;
+    for policy in modes() {
+        assert_parity_tinker(&edges, policy, || Engine::new(Sssp::new(root), policy));
+    }
+}
+
+#[test]
+fn cc_parallel_matches_sequential() {
+    // CC wants undirected semantics: symmetrize the batch first.
+    let raw = rmat(9, 4_000, 73);
+    let sym = symmetrize(&EdgeBatch::inserts(&raw));
+    let edges: Vec<Edge> = sym
+        .iter()
+        .filter_map(|op| match *op {
+            gtinker_types::UpdateOp::Insert(e) => Some(e),
+            _ => None,
+        })
+        .collect();
+    for policy in modes() {
+        assert_parity_tinker(&edges, policy, || Engine::new(Cc::new(), policy));
+    }
+}
+
+#[test]
+fn parallel_tinker_store_is_itself_sharded() {
+    // ParallelTinker exposes one shard per instance; the engine's sharded
+    // path must agree with a sequential GraphTinker holding the same edges.
+    let edges = rmat(10, 6_000, 74);
+    let batch = EdgeBatch::inserts(&edges);
+    let root = edges[0].src;
+    let mut seq = GraphTinker::with_defaults();
+    seq.apply_batch(&batch);
+    for policy in modes() {
+        let mut base = Engine::new(Bfs::new(root), policy);
+        base.run_from_roots(&seq);
+        for n in [2usize, 4] {
+            let mut pt = ParallelTinker::new(TinkerConfig::default(), n).unwrap();
+            pt.apply_batch(&batch);
+            assert_eq!(GraphStore::num_shards(&pt), n);
+            let mut e = Engine::new(Bfs::new(root), policy);
+            e.run_from_roots(&pt);
+            assert_eq!(e.values(), base.values(), "ParallelTinker n={n} {policy:?}");
+        }
+    }
+}
+
+#[test]
+fn incremental_updates_stay_in_parity_after_deletes() {
+    // Drive sequential and sharded runners through the same insert/delete
+    // batch stream with incremental restarts; values must stay identical.
+    let edges = rmat(10, 8_000, 75);
+    let root = edges[0].src;
+    let chunks: Vec<EdgeBatch> = edges.chunks(2_000).map(EdgeBatch::inserts).collect();
+    // Delete a third of the first chunk afterwards.
+    let dels = EdgeBatch::deletes(
+        &edges[..2_000].iter().step_by(3).map(|e| (e.src, e.dst)).collect::<Vec<_>>(),
+    );
+    let stream: Vec<&EdgeBatch> = chunks.iter().chain(std::iter::once(&dels)).collect();
+
+    for policy in modes() {
+        let mut g_seq = GraphTinker::with_defaults();
+        let mut seq = DynamicRunner::new(Bfs::new(root), policy, RestartPolicy::Incremental);
+        let mut g_par = GraphTinker::with_defaults();
+        g_par.set_analytics_shards(4);
+        let mut par = DynamicRunner::new(Bfs::new(root), policy, RestartPolicy::Incremental);
+        // Deletions can orphan previously-reached vertices, which
+        // incremental BFS cannot lower; recompute from roots after the
+        // delete batch on both sides so the comparison stays meaningful.
+        for (i, b) in stream.iter().enumerate() {
+            g_seq.apply_batch(b);
+            g_par.apply_batch(b);
+            if i + 1 == stream.len() {
+                seq.engine_mut().run_from_roots(&g_seq);
+                par.engine_mut().run_from_roots(&g_par);
+            } else {
+                seq.after_batch(&g_seq, b);
+                par.after_batch(&g_par, b);
+            }
+            assert_eq!(
+                par.engine().values(),
+                seq.engine().values(),
+                "diverged at batch {i} under {policy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pagerank_parallel_matches_sequential_within_tolerance() {
+    let edges = rmat(10, 6_000, 76);
+    let batch = EdgeBatch::inserts(&edges);
+    let mut seq = GraphTinker::with_defaults();
+    seq.apply_batch(&batch);
+    let pr = PageRank::new(0.85, 25);
+    let baseline = pr.run(&seq);
+
+    for &shards in &SHARD_COUNTS {
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&batch);
+        g.set_analytics_shards(shards);
+        let ranks = pr.run(&g);
+        assert_eq!(ranks.len(), baseline.len());
+        for (v, (a, b)) in baseline.iter().zip(&ranks).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-12,
+                "PageRank diverged at v{v} with {shards} shards: {a} vs {b}"
+            );
+        }
+
+        let mut st = Stinger::with_defaults();
+        st.apply_batch(&batch);
+        st.set_analytics_shards(shards);
+        let ranks = pr.run(&st);
+        for (a, b) in baseline.iter().zip(&ranks) {
+            assert!((a - b).abs() < 1e-12, "Stinger PageRank diverged: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn shard_reports_record_per_shard_times() {
+    let edges = rmat(9, 4_000, 77);
+    let mut g = GraphTinker::with_defaults();
+    g.apply_batch(&EdgeBatch::inserts(&edges));
+    g.set_analytics_shards(3);
+    let mut e = Engine::new(Bfs::new(edges[0].src), ModePolicy::AlwaysFull);
+    let report = e.run_from_roots(&g);
+    assert!(!report.iterations.is_empty());
+    for it in &report.iterations {
+        assert_eq!(it.shard_times.len(), 3, "full iterations run all shards");
+    }
+    assert_eq!(report.shard_time_totals().len(), 3);
+}

@@ -44,12 +44,10 @@ fn churn_with_periodic_analytics_stays_consistent() {
             let mut got: Vec<(u32, u32, u32)> = Vec::new();
             g.for_each_edge(|s, d, w| got.push((s, d, w)));
             got.sort_unstable();
-            let want: Vec<(u32, u32, u32)> =
-                model.iter().map(|(&(s, d), &w)| (s, d, w)).collect();
+            let want: Vec<(u32, u32, u32)> = model.iter().map(|(&(s, d), &w)| (s, d, w)).collect();
             assert_eq!(got, want, "epoch {epoch} content drift");
 
-            let live: Vec<Edge> =
-                want.iter().map(|&(s, d, w)| Edge::new(s, d, w)).collect();
+            let live: Vec<Edge> = want.iter().map(|&(s, d, w)| Edge::new(s, d, w)).collect();
             let n = GraphStore::vertex_space(&g);
             let expected = reference::bfs_levels(&live, n, 0);
             let mut e = Engine::new(Bfs::new(0), ModePolicy::hybrid());

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde` (see `vendor/serde_derive` for the why).
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros so
+//! `use serde::{Deserialize, Serialize};` + `#[derive(...)]` compile
+//! unchanged. No trait machinery is provided because nothing in this
+//! workspace serializes through serde at runtime.
+
+pub use serde_derive::{Deserialize, Serialize};

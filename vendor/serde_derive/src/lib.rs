@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This container has no network access and no crates.io mirror, so the real
+//! serde cannot be fetched. The workspace only uses `Serialize` /
+//! `Deserialize` in derive position (no `#[serde(...)]` attributes, no
+//! runtime serialization through serde), which means a derive that accepts
+//! the syntax and expands to nothing is behaviour-preserving: every type
+//! still compiles, and the JSON the bench harness emits is hand-written.
+//!
+//! If real serialization is ever needed, swap this for the upstream crate —
+//! the dependency name and derive spelling are identical.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts any item, emits no impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts any item, emits no impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
