@@ -1,8 +1,18 @@
 # Convenience targets; `make ci` mirrors the hosted pipeline.
-.PHONY: ci build test lint fmt bench
+.PHONY: ci build test lint fmt bench doc smoke
 
 ci:
 	./scripts/ci.sh
+
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Ingest -> recover round-trip against the release binary (also part of ci).
+smoke: build
+	@SMOKE=$$(mktemp -d); trap 'rm -rf "$$SMOKE"' EXIT; \
+	target/release/gtinker generate --dataset Hollywood-2009 --scale-factor 512 --out "$$SMOKE/g.txt"; \
+	target/release/gtinker ingest "$$SMOKE/g.txt" --wal "$$SMOKE/db" --batch 1024 --snapshot-every 4; \
+	target/release/gtinker recover "$$SMOKE/db" --root 0
 
 build:
 	cargo build --release --workspace

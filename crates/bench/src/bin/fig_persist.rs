@@ -1,0 +1,10 @@
+//! Durability benchmark: snapshot bandwidth, WAL append throughput,
+//! recovery time vs log length.
+fn main() {
+    let args = gtinker_bench::Args::parse();
+    let table = gtinker_bench::experiments::fig_persist::run(&args);
+    table.print();
+    if let Err(e) = table.write_tsv(&args.out_dir) {
+        eprintln!("warning: could not write TSV: {e}");
+    }
+}

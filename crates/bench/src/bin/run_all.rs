@@ -31,6 +31,7 @@ fn main() {
         ("CAL vs CSR", Box::new(experiments::cal_vs_csr::run)),
         ("Geometry ablation", Box::new(experiments::geometry::run)),
         ("Hybrid accuracy", Box::new(experiments::hybrid_accuracy::run)),
+        ("Persistence", Box::new(experiments::fig_persist::run)),
     ];
     for (label, f) in suite {
         let t0 = std::time::Instant::now();

@@ -1,16 +1,21 @@
 //! Implementation of the `gtinker` subcommands.
 
+use std::path::Path;
 use std::time::Instant;
 
-use gtinker_core::GraphTinker;
+use gtinker_core::{GraphTinker, ParallelTinker};
 use gtinker_datasets::{dataset_by_name, io, RmatConfig};
 use gtinker_engine::{
     algorithms::{Bfs, Cc, PageRank, Sssp, TriangleCount},
     dynamic::symmetrize,
-    Engine, ModePolicy,
+    Engine, GraphStore, ModePolicy,
+};
+use gtinker_persist::{
+    recover_stinger, recover_tinker, write_stinger_snapshot, write_tinker_snapshot, DurableTinker,
+    SyncPolicy, WalOptions,
 };
 use gtinker_stinger::Stinger;
-use gtinker_types::{DeleteMode, Edge, EdgeBatch, TinkerConfig};
+use gtinker_types::{DeleteMode, Edge, EdgeBatch, StingerConfig, TinkerConfig};
 
 use crate::args::Parsed;
 
@@ -22,12 +27,16 @@ USAGE:
   gtinker generate (--dataset NAME | --rmat-scale N --edges M) [--seed S]
                    [--scale-factor F] --out FILE
   gtinker stats FILE [--pagewidth N] [--no-sgh] [--no-cal] [--compact]
-  gtinker bfs FILE --root R [--mode hybrid|da|fp|ip]
-  gtinker sssp FILE --root R [--mode hybrid|da|fp|ip]
-  gtinker cc FILE [--mode hybrid|da|fp|ip]
-  gtinker pagerank FILE [--iterations N] [--top K]
+  gtinker bfs FILE --root R [--mode hybrid|da|fp|ip] [--shards N]
+  gtinker sssp FILE --root R [--mode hybrid|da|fp|ip] [--shards N]
+  gtinker cc FILE [--mode hybrid|da|fp|ip] [--shards N]
+  gtinker pagerank FILE [--iterations N] [--top K] [--shards N]
   gtinker triangles FILE
   gtinker bench-insert FILE [--batch N] [--baseline]
+  gtinker ingest FILE --wal DIR [--batch N] [--sync never|always|N]
+                 [--snapshot-every K] [--final-snapshot]
+  gtinker snapshot FILE --dir DIR [--baseline]
+  gtinker recover DIR [--baseline] [--root R]
   gtinker help
 
 Datasets for --dataset: RMAT_1M_10M, RMAT_500K_8M, RMAT_1M_16M,
@@ -35,6 +44,9 @@ RMAT_2M_32M, Hollywood-2009, Kron_g500-logn21 (paper Table 1; scaled by
 --scale-factor, default 64).
 
 FILE is a plain edge list: 'src dst [weight]' per line, '#' comments.
+--shards N (> 1) runs the analytic over an interval-partitioned parallel
+store. 'ingest' streams FILE through a write-ahead log in DIR so a crash
+at any point recovers via 'gtinker recover DIR'.
 ";
 
 /// Runs a parsed command; returns an error message on failure.
@@ -48,6 +60,9 @@ pub fn run(parsed: &Parsed) -> Result<(), String> {
         "pagerank" => pagerank(parsed),
         "triangles" => triangles(parsed),
         "bench-insert" => bench_insert(parsed),
+        "ingest" => ingest(parsed),
+        "snapshot" => snapshot(parsed),
+        "recover" => recover(parsed),
         "help" | "" => {
             print!("{USAGE}");
             Ok(())
@@ -141,12 +156,49 @@ fn stats(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// Number of shards requested via `--shards` (1 = single store).
+fn shards(parsed: &Parsed) -> Result<usize, String> {
+    let n = parsed.num("shards", 1usize)?;
+    if n == 0 {
+        return Err("option --shards: must be at least 1".into());
+    }
+    Ok(n)
+}
+
+/// Loads the input edge list into an interval-partitioned parallel store
+/// of `n` shards (symmetrizing first when `sym` is set, for the
+/// undirected analytics).
+fn load_parallel(parsed: &Parsed, n: usize, sym: bool) -> Result<ParallelTinker, String> {
+    let path = parsed.input()?;
+    let edges = io::read_edge_list(path).map_err(|e| e.to_string())?;
+    let mut batch = EdgeBatch::inserts(&edges);
+    if sym {
+        batch = symmetrize(&batch);
+    }
+    let mut g = ParallelTinker::new(config(parsed)?, n).map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    g.apply_batch(&batch);
+    eprintln!(
+        "loaded {} ops into {n} shards ({} live) from {path} in {:.2?}",
+        batch.len(),
+        g.num_edges(),
+        t0.elapsed()
+    );
+    Ok(g)
+}
+
 fn bfs(parsed: &Parsed) -> Result<(), String> {
-    let (g, _) = load_graph(parsed)?;
+    match shards(parsed)? {
+        1 => bfs_on(&load_graph(parsed)?.0, parsed),
+        n => bfs_on(&load_parallel(parsed, n, false)?, parsed),
+    }
+}
+
+fn bfs_on<S: GraphStore + Sync>(g: &S, parsed: &Parsed) -> Result<(), String> {
     let root = parsed.num("root", 0u32)?;
     let mut e = Engine::new(Bfs::new(root), mode_policy(parsed)?);
     let t0 = Instant::now();
-    let r = e.run_from_roots(&g);
+    let r = e.run_from_roots(g);
     let reached = e.values().iter().filter(|&&v| v != u32::MAX).count();
     let max_level = e.values().iter().filter(|&&v| v != u32::MAX).max().copied().unwrap_or(0);
     let (fp, ip) = r.mode_counts();
@@ -160,11 +212,17 @@ fn bfs(parsed: &Parsed) -> Result<(), String> {
 }
 
 fn sssp(parsed: &Parsed) -> Result<(), String> {
-    let (g, _) = load_graph(parsed)?;
+    match shards(parsed)? {
+        1 => sssp_on(&load_graph(parsed)?.0, parsed),
+        n => sssp_on(&load_parallel(parsed, n, false)?, parsed),
+    }
+}
+
+fn sssp_on<S: GraphStore + Sync>(g: &S, parsed: &Parsed) -> Result<(), String> {
     let root = parsed.num("root", 0u32)?;
     let mut e = Engine::new(Sssp::new(root), mode_policy(parsed)?);
     let t0 = Instant::now();
-    let r = e.run_from_roots(&g);
+    let r = e.run_from_roots(g);
     let reached: Vec<u32> = e.values().iter().copied().filter(|&v| v != u32::MAX).collect();
     let max = reached.iter().max().copied().unwrap_or(0);
     println!(
@@ -177,13 +235,22 @@ fn sssp(parsed: &Parsed) -> Result<(), String> {
 }
 
 fn cc(parsed: &Parsed) -> Result<(), String> {
-    let path = parsed.input()?;
-    let edges = io::read_edge_list(path).map_err(|e| e.to_string())?;
-    let mut g = GraphTinker::new(config(parsed)?).map_err(|e| e.to_string())?;
-    g.apply_batch(&symmetrize(&EdgeBatch::inserts(&edges)));
+    match shards(parsed)? {
+        1 => {
+            let path = parsed.input()?;
+            let edges = io::read_edge_list(path).map_err(|e| e.to_string())?;
+            let mut g = GraphTinker::new(config(parsed)?).map_err(|e| e.to_string())?;
+            g.apply_batch(&symmetrize(&EdgeBatch::inserts(&edges)));
+            cc_on(&g, parsed)
+        }
+        n => cc_on(&load_parallel(parsed, n, true)?, parsed),
+    }
+}
+
+fn cc_on<S: GraphStore + Sync>(g: &S, parsed: &Parsed) -> Result<(), String> {
     let mut e = Engine::new(Cc::new(), mode_policy(parsed)?);
     let t0 = Instant::now();
-    let r = e.run_from_roots(&g);
+    let r = e.run_from_roots(g);
     let mut labels: Vec<u32> = e.values().to_vec();
     labels.sort_unstable();
     labels.dedup();
@@ -198,12 +265,18 @@ fn cc(parsed: &Parsed) -> Result<(), String> {
 }
 
 fn pagerank(parsed: &Parsed) -> Result<(), String> {
-    let (g, _) = load_graph(parsed)?;
+    match shards(parsed)? {
+        1 => pagerank_on(&load_graph(parsed)?.0, parsed),
+        n => pagerank_on(&load_parallel(parsed, n, false)?, parsed),
+    }
+}
+
+fn pagerank_on<S: GraphStore + Sync>(g: &S, parsed: &Parsed) -> Result<(), String> {
     let iterations = parsed.num("iterations", 20usize)?;
     let k = parsed.num("top", 10usize)?;
     let pr = PageRank::new(0.85, iterations);
     let t0 = Instant::now();
-    let top = pr.top_k(&g, k);
+    let top = pr.top_k(g, k);
     println!("PageRank ({iterations} iterations) in {:.2?}; top {k}:", t0.elapsed());
     for (v, rank) in top {
         println!("  vertex {v:>10}  {rank:.6}");
@@ -256,6 +329,129 @@ fn bench_insert(parsed: &Parsed) -> Result<(), String> {
             s.stats().mean_probe()
         );
         println!("speedup    : {:.2}x", st_dur.as_secs_f64() / gt_dur.as_secs_f64());
+    }
+    Ok(())
+}
+
+/// `--sync never|always|N` → a WAL [`SyncPolicy`].
+fn sync_policy(parsed: &Parsed) -> Result<SyncPolicy, String> {
+    match parsed.get("sync").unwrap_or("always") {
+        "never" => Ok(SyncPolicy::Never),
+        "always" | "record" => Ok(SyncPolicy::EveryRecord),
+        n => n
+            .parse::<u64>()
+            .map(SyncPolicy::EveryN)
+            .map_err(|_| format!("option --sync: expected never|always|N, got '{n}'")),
+    }
+}
+
+fn ingest(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.input()?;
+    let dir = parsed.get("wal").ok_or("ingest requires --wal DIR")?;
+    let batch_size = parsed.num("batch", 100_000usize)?.max(1);
+    let snapshot_every = parsed.num("snapshot-every", 0u64)?;
+    let opts = WalOptions { sync: sync_policy(parsed)?, ..WalOptions::default() };
+    let edges = io::read_edge_list(path).map_err(|e| e.to_string())?;
+    let (mut d, report) =
+        DurableTinker::open(Path::new(dir), config(parsed)?, opts).map_err(|e| e.to_string())?;
+    if report.next_lsn > 0 {
+        eprintln!(
+            "recovered {} edges at lsn {} ({} records replayed)",
+            d.store().num_edges(),
+            report.next_lsn,
+            report.replayed_records
+        );
+    }
+    let t0 = Instant::now();
+    let mut batches = 0u64;
+    for chunk in edges.chunks(batch_size) {
+        d.apply_batch(&EdgeBatch::inserts(chunk)).map_err(|e| e.to_string())?;
+        batches += 1;
+        if snapshot_every > 0 && batches.is_multiple_of(snapshot_every) {
+            let p = d.snapshot().map_err(|e| e.to_string())?;
+            eprintln!("snapshot at lsn {}: {}", d.next_lsn(), p.display());
+        }
+    }
+    d.sync().map_err(|e| e.to_string())?;
+    if parsed.flag("final-snapshot") {
+        let p = d.snapshot().map_err(|e| e.to_string())?;
+        eprintln!("final snapshot: {}", p.display());
+    }
+    let dur = t0.elapsed();
+    println!(
+        "ingested {} edges in {batches} batches in {dur:.2?} \
+         ({:.3} Medges/s durable), {} live, next lsn {}",
+        edges.len(),
+        edges.len() as f64 / dur.as_secs_f64() / 1e6,
+        d.store().num_edges(),
+        d.next_lsn()
+    );
+    Ok(())
+}
+
+fn snapshot(parsed: &Parsed) -> Result<(), String> {
+    let dir = parsed.get("dir").ok_or("snapshot requires --dir DIR")?;
+    let dir = Path::new(dir);
+    let t0 = Instant::now();
+    let out = if parsed.flag("baseline") {
+        let path = parsed.input()?;
+        let edges = io::read_edge_list(path).map_err(|e| e.to_string())?;
+        let mut s = Stinger::with_defaults();
+        s.apply_batch(&EdgeBatch::inserts(&edges));
+        write_stinger_snapshot(dir, &s, 0).map_err(|e| e.to_string())?
+    } else {
+        let (g, _) = load_graph(parsed)?;
+        write_tinker_snapshot(dir, &g, 0).map_err(|e| e.to_string())?
+    };
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    let dur = t0.elapsed();
+    println!(
+        "snapshot {} ({bytes} bytes) in {dur:.2?} ({:.1} MB/s)",
+        out.display(),
+        bytes as f64 / dur.as_secs_f64() / 1e6
+    );
+    Ok(())
+}
+
+fn recover(parsed: &Parsed) -> Result<(), String> {
+    let dir = Path::new(parsed.input()?);
+    let t0 = Instant::now();
+    if parsed.flag("baseline") {
+        let (s, report) =
+            recover_stinger(dir, StingerConfig::default()).map_err(|e| e.to_string())?;
+        println!(
+            "recovered STINGER: {} edges, snapshot lsn {}, {} records replayed{} in {:.2?}",
+            s.num_edges(),
+            report.snapshot_lsn,
+            report.replayed_records,
+            if report.wal_truncated { " (torn tail truncated)" } else { "" },
+            t0.elapsed()
+        );
+        return Ok(());
+    }
+    let (g, report) = recover_tinker(dir, config(parsed)?).map_err(|e| e.to_string())?;
+    println!(
+        "recovered GraphTinker: {} edges, {} sources, snapshot lsn {}{}, \
+         {} records replayed{}{} in {:.2?}",
+        g.num_edges(),
+        g.sources().len(),
+        report.snapshot_lsn,
+        report.snapshot_path.as_deref().map(|p| format!(" ({})", p.display())).unwrap_or_default(),
+        report.replayed_records,
+        if report.wal_truncated { " (torn tail truncated)" } else { "" },
+        if report.snapshots_skipped > 0 {
+            format!(" ({} corrupt snapshot(s) skipped)", report.snapshots_skipped)
+        } else {
+            String::new()
+        },
+        t0.elapsed()
+    );
+    if let Some(root) = parsed.get("root") {
+        let root: u32 = root.parse().map_err(|_| format!("option --root: bad value '{root}'"))?;
+        let mut e = Engine::new(Bfs::new(root), mode_policy(parsed)?);
+        let r = e.run_from_roots(&g);
+        let reached = e.values().iter().filter(|&&v| v != u32::MAX).count();
+        println!("BFS from {root}: {reached} reached, {} iterations", r.num_iterations());
     }
     Ok(())
 }
@@ -332,6 +528,96 @@ mod tests {
         run(&parsed(&["pagerank", file_s, "--iterations", "5", "--top", "3"])).unwrap();
         run(&parsed(&["triangles", file_s])).unwrap();
         run(&parsed(&["bench-insert", file_s, "--baseline", "--batch", "500"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_analytics_run() {
+        let dir = std::env::temp_dir().join("gtinker_cli_shards");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("g.txt");
+        let file_s = file.to_str().unwrap();
+        run(&parsed(&[
+            "generate",
+            "--rmat-scale",
+            "8",
+            "--edges",
+            "1500",
+            "--seed",
+            "3",
+            "--out",
+            file_s,
+        ]))
+        .unwrap();
+        run(&parsed(&["bfs", file_s, "--root", "0", "--shards", "4"])).unwrap();
+        run(&parsed(&["sssp", file_s, "--root", "0", "--shards", "2"])).unwrap();
+        run(&parsed(&["cc", file_s, "--shards", "3"])).unwrap();
+        run(&parsed(&["pagerank", file_s, "--iterations", "3", "--shards", "2"])).unwrap();
+        assert!(run(&parsed(&["bfs", file_s, "--shards", "0"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_policy_parsing() {
+        assert_eq!(sync_policy(&parsed(&["ingest", "f"])).unwrap(), SyncPolicy::EveryRecord);
+        assert_eq!(
+            sync_policy(&parsed(&["ingest", "f", "--sync", "never"])).unwrap(),
+            SyncPolicy::Never
+        );
+        assert_eq!(
+            sync_policy(&parsed(&["ingest", "f", "--sync", "8"])).unwrap(),
+            SyncPolicy::EveryN(8)
+        );
+        assert!(sync_policy(&parsed(&["ingest", "f", "--sync", "sometimes"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_ingest_snapshot_recover() {
+        let dir = std::env::temp_dir().join("gtinker_cli_persist");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("g.txt");
+        let file_s = file.to_str().unwrap();
+        let db = dir.join("db");
+        let db_s = db.to_str().unwrap();
+        run(&parsed(&[
+            "generate",
+            "--rmat-scale",
+            "8",
+            "--edges",
+            "1200",
+            "--seed",
+            "9",
+            "--out",
+            file_s,
+        ]))
+        .unwrap();
+        run(&parsed(&[
+            "ingest",
+            file_s,
+            "--wal",
+            db_s,
+            "--batch",
+            "300",
+            "--sync",
+            "never",
+            "--snapshot-every",
+            "2",
+        ]))
+        .unwrap();
+        run(&parsed(&["recover", db_s, "--root", "0"])).unwrap();
+        // A direct snapshot of the same input, both store kinds (separate
+        // dirs: both would publish under the same lsn-0 name).
+        let sd = dir.join("snaps");
+        let sd_s = sd.to_str().unwrap();
+        run(&parsed(&["snapshot", file_s, "--dir", sd_s])).unwrap();
+        run(&parsed(&["recover", sd_s])).unwrap();
+        let bd = dir.join("snaps_baseline");
+        let bd_s = bd.to_str().unwrap();
+        run(&parsed(&["snapshot", file_s, "--dir", bd_s, "--baseline"])).unwrap();
+        run(&parsed(&["recover", bd_s, "--baseline"])).unwrap();
+        assert!(run(&parsed(&["ingest", file_s])).unwrap_err().contains("--wal"));
+        assert!(run(&parsed(&["snapshot", file_s])).unwrap_err().contains("--dir"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

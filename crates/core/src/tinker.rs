@@ -639,6 +639,31 @@ impl GraphTinker {
         }
     }
 
+    /// Pre-assigns dense source ids in the given order, as if each source
+    /// had streamed one edge in. Snapshot import calls this with the saved
+    /// SGH arrival order before replaying the edge payload, so the restored
+    /// store reproduces the original dense remapping (and therefore the
+    /// original CAL grouping, shard intervals and analytics stream order).
+    /// With SGH disabled the ids are their own dense index and this only
+    /// widens the observed vertex space.
+    pub fn import_sources(&mut self, sources: &[VertexId]) {
+        for &src in sources {
+            self.note_vertex(src);
+            self.dense_of_mut(src);
+        }
+    }
+
+    /// Widens the observed vertex id space to at least `space` (one past
+    /// the largest id). Snapshot import restores the space recorded at
+    /// save time: endpoints of since-deleted edges are not recoverable
+    /// from the live edge payload, yet analytics array sizing depends on
+    /// them. Never shrinks.
+    pub fn expand_vertex_space(&mut self, space: u32) {
+        if space > self.vertex_space {
+            self.vertex_space = space;
+        }
+    }
+
     /// Rebuilds the CAL from the live edges in the main structure,
     /// discarding accumulated invalid records and refreshing every
     /// CAL-pointer. No-op when CAL is disabled.
@@ -1141,6 +1166,39 @@ mod tests {
         assert!(g.depth_histogram().is_empty());
         assert_eq!(g.probe_histogram().iter().sum::<u64>(), 0);
         assert_eq!(g.mean_depth(), 0.0);
+    }
+
+    #[test]
+    fn import_sources_reproduces_dense_order() {
+        // Build a store whose SGH order differs from sorted id order...
+        let mut orig = GraphTinker::with_defaults();
+        for &(s, d) in &[(50u32, 1u32), (3, 2), (97, 3), (3, 4)] {
+            orig.insert_edge(Edge::unit(s, d));
+        }
+        assert_eq!(orig.sources(), vec![50, 3, 97]);
+        // ...then rebuild it the snapshot way: sources first, edges after,
+        // in an order that would otherwise assign different dense ids.
+        let mut restored = GraphTinker::with_defaults();
+        restored.import_sources(&orig.sources());
+        restored.insert_edge(Edge::unit(97, 3));
+        restored.insert_edge(Edge::unit(3, 2));
+        restored.insert_edge(Edge::unit(3, 4));
+        restored.insert_edge(Edge::unit(50, 1));
+        assert_eq!(restored.sources(), orig.sources());
+        assert_eq!(restored.num_sources(), 3);
+        // Idempotent: re-importing known sources allocates nothing new.
+        restored.import_sources(&[3, 50]);
+        assert_eq!(restored.num_sources(), 3);
+    }
+
+    #[test]
+    fn expand_vertex_space_never_shrinks() {
+        let mut g = GraphTinker::with_defaults();
+        g.insert_edge(Edge::unit(1, 500));
+        g.expand_vertex_space(100);
+        assert_eq!(g.vertex_space(), 501, "expand must not shrink");
+        g.expand_vertex_space(1_000);
+        assert_eq!(g.vertex_space(), 1_000);
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Fault injection for durability tests.
+//!
+//! Crash-consistency claims are only as good as the crashes they were
+//! tested against. This module provides two ways to manufacture the
+//! failure modes a real system sees:
+//!
+//! * [`FaultWriter`] wraps any [`io::Write`] and corrupts the byte stream
+//!   *as it is written* — cutting it off at an offset (process killed
+//!   mid-write), silently dropping a span (a short `write(2)` the caller
+//!   never noticed), or flipping a bit (media/bus corruption).
+//! * [`corrupt_file`] applies the same faults to bytes already on disk,
+//!   which is how the crash-point sweep in the recovery tests simulates
+//!   "power failed after byte N of the log".
+//!
+//! Both are deliberately deterministic: a fault is named by its byte
+//! offset, so a failing crash point reproduces exactly.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::format::Result;
+
+/// A single injected fault, addressed by absolute byte offset in the
+/// stream or file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Everything from byte `at` onward is lost (crash / power cut).
+    Truncate {
+        /// Offset of the first lost byte.
+        at: u64,
+    },
+    /// `drop` bytes starting at `at` vanish; later bytes shift down
+    /// (a short write whose error was swallowed).
+    ShortWrite {
+        /// Offset of the first dropped byte.
+        at: u64,
+        /// How many bytes are dropped.
+        drop: u64,
+    },
+    /// Bit `bit` (0–7) of the byte at `at` is inverted (silent media
+    /// corruption).
+    BitFlip {
+        /// Offset of the corrupted byte.
+        at: u64,
+        /// Which bit to invert.
+        bit: u8,
+    },
+}
+
+/// Applies `fault` to a byte vector in place (the file-at-rest view).
+pub fn apply_fault(data: &mut Vec<u8>, fault: Fault) {
+    match fault {
+        Fault::Truncate { at } => {
+            let at = (at as usize).min(data.len());
+            data.truncate(at);
+        }
+        Fault::ShortWrite { at, drop } => {
+            let at = (at as usize).min(data.len());
+            let end = at.saturating_add(drop as usize).min(data.len());
+            data.drain(at..end);
+        }
+        Fault::BitFlip { at, bit } => {
+            if let Some(b) = data.get_mut(at as usize) {
+                *b ^= 1 << (bit & 7);
+            }
+        }
+    }
+}
+
+/// Rewrites the file at `path` with `fault` applied to its bytes.
+pub fn corrupt_file(path: &Path, fault: Fault) -> Result<()> {
+    let mut data = fs::read(path)?;
+    apply_fault(&mut data, fault);
+    fs::write(path, &data)?;
+    Ok(())
+}
+
+/// An [`io::Write`] adapter that injects one [`Fault`] into the stream
+/// passing through it.
+///
+/// After a [`Fault::Truncate`] trips, every further write reports success
+/// while writing nothing — mimicking a process that keeps running after
+/// the plug was pulled on its storage. Byte accounting (`written`) tracks
+/// the *logical* stream position, so the caller's offsets stay meaningful.
+#[derive(Debug)]
+pub struct FaultWriter<W: Write> {
+    inner: W,
+    fault: Fault,
+    /// Logical bytes the caller has pushed through.
+    written: u64,
+    /// Whether the fault has already fired.
+    tripped: bool,
+}
+
+impl<W: Write> FaultWriter<W> {
+    /// Wraps `inner`, arming `fault`.
+    pub fn new(inner: W, fault: Fault) -> Self {
+        FaultWriter { inner, fault, written: 0, tripped: false }
+    }
+
+    /// Logical bytes written by the caller so far (faults included).
+    pub fn logical_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Whether the armed fault has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Unwraps the adapter.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let start = self.written;
+        let end = start + buf.len() as u64;
+        let mut out = buf.to_vec();
+        match self.fault {
+            Fault::Truncate { at } => {
+                if self.tripped || start >= at {
+                    // Storage is gone; pretend everything still works.
+                    self.tripped = true;
+                    self.written = end;
+                    return Ok(buf.len());
+                }
+                if end > at {
+                    self.tripped = true;
+                    out.truncate((at - start) as usize);
+                }
+            }
+            Fault::ShortWrite { at, drop } => {
+                if !self.tripped && start <= at && at < end {
+                    self.tripped = true;
+                    let local = (at - start) as usize;
+                    let stop = local.saturating_add(drop as usize).min(out.len());
+                    out.drain(local..stop);
+                }
+            }
+            Fault::BitFlip { at, bit } => {
+                if !self.tripped && start <= at && at < end {
+                    self.tripped = true;
+                    out[(at - start) as usize] ^= 1 << (bit & 7);
+                }
+            }
+        }
+        self.inner.write_all(&out)?;
+        self.written = end;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn through(fault: Fault, chunks: &[&[u8]]) -> Vec<u8> {
+        let mut w = FaultWriter::new(Vec::new(), fault);
+        for c in chunks {
+            w.write_all(c).unwrap();
+        }
+        w.flush().unwrap();
+        w.into_inner()
+    }
+
+    #[test]
+    fn truncate_cuts_mid_chunk_and_swallows_the_rest() {
+        let out = through(Fault::Truncate { at: 5 }, &[b"abcd", b"efgh", b"ijkl"]);
+        assert_eq!(out, b"abcde");
+    }
+
+    #[test]
+    fn truncate_at_zero_writes_nothing() {
+        let out = through(Fault::Truncate { at: 0 }, &[b"abcd"]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn short_write_drops_a_span_once() {
+        let out = through(Fault::ShortWrite { at: 2, drop: 3 }, &[b"abcdef", b"ghij"]);
+        assert_eq!(out, b"abfghij");
+        // Only the first crossing chunk is affected.
+        let out = through(Fault::ShortWrite { at: 4, drop: 100 }, &[b"abcdef", b"ghij"]);
+        assert_eq!(out, b"abcdghij");
+    }
+
+    #[test]
+    fn bit_flip_inverts_exactly_one_bit() {
+        let out = through(Fault::BitFlip { at: 6, bit: 0 }, &[b"abcd", b"efgh"]);
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[6], b'g' ^ 1);
+        let mut expect = b"abcdefgh".to_vec();
+        expect[6] ^= 1;
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn logical_accounting_ignores_faults() {
+        let mut w = FaultWriter::new(Vec::new(), Fault::Truncate { at: 1 });
+        w.write_all(b"abcdef").unwrap();
+        assert_eq!(w.logical_written(), 6);
+        assert!(w.tripped());
+        assert_eq!(w.into_inner(), b"a");
+    }
+
+    #[test]
+    fn apply_fault_on_buffers() {
+        let base: Vec<u8> = (0..10).collect();
+
+        let mut v = base.clone();
+        apply_fault(&mut v, Fault::Truncate { at: 4 });
+        assert_eq!(v, vec![0, 1, 2, 3]);
+
+        let mut v = base.clone();
+        apply_fault(&mut v, Fault::ShortWrite { at: 3, drop: 4 });
+        assert_eq!(v, vec![0, 1, 2, 7, 8, 9]);
+
+        let mut v = base.clone();
+        apply_fault(&mut v, Fault::BitFlip { at: 9, bit: 7 });
+        assert_eq!(v[9], 9 ^ 0x80);
+
+        // Out-of-range faults are no-ops / clamps, never panics.
+        let mut v = base.clone();
+        apply_fault(&mut v, Fault::Truncate { at: 100 });
+        assert_eq!(v, base);
+        let mut v = base.clone();
+        apply_fault(&mut v, Fault::BitFlip { at: 100, bit: 1 });
+        assert_eq!(v, base);
+    }
+
+    #[test]
+    fn corrupt_file_roundtrip() {
+        let path = std::env::temp_dir().join(format!("gtinker_fault_file_{}", std::process::id()));
+        fs::write(&path, b"0123456789").unwrap();
+        corrupt_file(&path, Fault::Truncate { at: 3 }).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"012");
+        fs::remove_file(&path).ok();
+    }
+}

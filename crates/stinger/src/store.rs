@@ -372,6 +372,20 @@ impl Stinger {
         }
     }
 
+    /// Widens the observed vertex id space (and the LVA) to at least
+    /// `space`. Snapshot import restores the space recorded at save time:
+    /// endpoints of since-deleted edges are not recoverable from the live
+    /// edge payload, yet the LVA length drives analytics array sizing and
+    /// shard intervals. Never shrinks.
+    pub fn expand_vertex_space(&mut self, space: u32) {
+        if space > self.vertex_space {
+            self.vertex_space = space;
+        }
+        if space as usize > self.lva.len() {
+            self.lva.resize(space as usize, EMPTY_VERTEX);
+        }
+    }
+
     /// Heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.slots.capacity() * std::mem::size_of::<Slot>()
@@ -510,6 +524,20 @@ mod tests {
         let mut s = Stinger::with_defaults();
         s.insert_edge(Edge::unit(2, 500));
         assert_eq!(s.vertex_space(), 501);
+    }
+
+    #[test]
+    fn expand_vertex_space_widens_lva_but_never_shrinks() {
+        let mut s = Stinger::with_defaults();
+        s.insert_edge(Edge::unit(2, 500));
+        s.expand_vertex_space(100);
+        assert_eq!(s.vertex_space(), 501, "expand must not shrink");
+        s.expand_vertex_space(2_000);
+        assert_eq!(s.vertex_space(), 2_000);
+        assert_eq!(s.out_degree(1_999), 0, "widened vertices exist and are empty");
+        let mut n = 0;
+        s.for_each_edge(|_, _, _| n += 1);
+        assert_eq!(n, 1, "widening adds no edges");
     }
 
     #[test]

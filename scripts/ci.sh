@@ -11,6 +11,18 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> recovery smoke test (ingest -> crash-free recover round-trip)"
+GT=target/release/gtinker
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+"$GT" generate --dataset Hollywood-2009 --scale-factor 512 --out "$SMOKE/g.txt"
+"$GT" ingest "$SMOKE/g.txt" --wal "$SMOKE/db" --batch 1024 --snapshot-every 4
+"$GT" recover "$SMOKE/db" --root 0 | tee "$SMOKE/recover.out"
+grep -q "replayed" "$SMOKE/recover.out"
+
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
