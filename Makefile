@@ -1,5 +1,5 @@
 # Convenience targets; `make ci` mirrors the hosted pipeline.
-.PHONY: ci build test lint fmt bench doc smoke
+.PHONY: ci build test lint fmt bench doc smoke ingest-smoke
 
 ci:
 	./scripts/ci.sh
@@ -13,6 +13,16 @@ smoke: build
 	target/release/gtinker generate --dataset Hollywood-2009 --scale-factor 512 --out "$$SMOKE/g.txt"; \
 	target/release/gtinker ingest "$$SMOKE/g.txt" --wal "$$SMOKE/db" --batch 1024 --snapshot-every 4; \
 	target/release/gtinker recover "$$SMOKE/db" --root 0
+
+# Pooled+pipelined ingest -> recover round-trip, asserting the recovered
+# edge count matches the ingested live count (also part of ci).
+ingest-smoke: build
+	@SMOKE=$$(mktemp -d); trap 'rm -rf "$$SMOKE"' EXIT; \
+	target/release/gtinker generate --dataset Hollywood-2009 --scale-factor 512 --out "$$SMOKE/g.txt"; \
+	target/release/gtinker ingest "$$SMOKE/g.txt" --wal "$$SMOKE/db" --batch 512 --sync never --pool 4 --pipeline | tee "$$SMOKE/ingest.out"; \
+	LIVE=$$(sed -n 's/.* \([0-9][0-9]*\) live, next lsn.*/\1/p' "$$SMOKE/ingest.out"); test -n "$$LIVE"; \
+	target/release/gtinker recover "$$SMOKE/db" | tee "$$SMOKE/recover.out"; \
+	grep -q "recovered GraphTinker: $$LIVE edges" "$$SMOKE/recover.out"
 
 build:
 	cargo build --release --workspace

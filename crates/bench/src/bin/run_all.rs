@@ -32,6 +32,7 @@ fn main() {
         ("Geometry ablation", Box::new(experiments::geometry::run)),
         ("Hybrid accuracy", Box::new(experiments::hybrid_accuracy::run)),
         ("Persistence", Box::new(experiments::fig_persist::run)),
+        ("Ingest pipeline", Box::new(experiments::fig_ingest_pipeline::run)),
     ];
     for (label, f) in suite {
         let t0 = std::time::Instant::now();

@@ -18,6 +18,14 @@ pub fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Per-source hash, computed once per update and threaded through the SGH
+/// lookup/insert pair so the hot path mixes each source id exactly once
+/// (instead of once in `SghUnit::get` and again in the fresh-insert probe).
+#[inline]
+pub fn source_hash(src: VertexId) -> u64 {
+    mix64(src as u64)
+}
+
 /// Combined per-(destination, depth) hash. The depth is folded in so that a
 /// destination rehashes to a fresh subblock/bucket at every generation of
 /// the branch-out tree — the paper's "rehashing is done again, and the same

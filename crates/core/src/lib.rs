@@ -48,6 +48,7 @@ pub mod cal;
 pub mod edgeblock;
 pub mod hash;
 pub mod parallel;
+pub mod pool;
 pub mod rhh;
 pub mod sgh;
 pub mod stats;
@@ -57,7 +58,8 @@ pub mod vertex;
 pub use cal::{CalArray, CalPtr};
 pub use edgeblock::{BlockArena, CellState, EdgeCell};
 pub use parallel::ParallelTinker;
+pub use pool::{ShardPool, ShardStore};
 pub use sgh::SghUnit;
 pub use stats::{ProbeStats, StructureStats};
-pub use tinker::GraphTinker;
+pub use tinker::{BatchResult, GraphTinker};
 pub use vertex::{VertexProperty, VertexPropertyArray};

@@ -5,25 +5,39 @@
 //! different source vertices: the edge stream is partitioned into
 //! *intervals* by where the source id hashes, and each interval is loaded
 //! into its own GraphTinker instance on its own core. Each instance is a
-//! single-writer structure, so there is no shared mutable state, no locks
-//! on the hot path, and no `unsafe` — `std::thread::scope` hands each
-//! worker a disjoint `&mut GraphTinker`.
+//! single-writer structure, so there is no shared mutable state on the
+//! per-edge path and no `unsafe`.
+//!
+//! Batches are applied through a persistent [`ShardPool`]: workers are
+//! spawned once and fed per-shard queues, each worker claims its own
+//! interval out of the shared batch (parallelizing the partition pass),
+//! and the asynchronous [`submit`](ParallelTinker::submit) /
+//! [`flush`](ParallelTinker::flush) pair double-buffers so batch *k+1*
+//! partitions while batch *k* applies.
+//! The old spawn-a-scope-per-batch strategy survives as
+//! [`apply_batch_spawn`](ParallelTinker::apply_batch_spawn), the baseline
+//! the `fig_ingest_pipeline` benchmark compares against.
+
+use std::sync::Arc;
 
 use gtinker_types::{partition_of, EdgeBatch, Result, TinkerConfig, VertexId, Weight};
 
+use crate::pool::ShardPool;
 use crate::stats::ProbeStats;
 use crate::tinker::{BatchResult, GraphTinker};
 
-/// A set of interval-partitioned GraphTinker instances updated in parallel.
+/// A set of interval-partitioned GraphTinker instances updated in parallel
+/// by a persistent worker pool.
 pub struct ParallelTinker {
-    instances: Vec<GraphTinker>,
-    /// Per-instance partition scratch reused across batches, so
-    /// steady-state ingestion allocates no per-batch partition buffers.
+    pool: ShardPool<GraphTinker>,
+    /// Partition scratch for the spawn-per-batch baseline, reused across
+    /// batches.
     parts: Vec<EdgeBatch>,
 }
 
 impl ParallelTinker {
-    /// Creates `n` empty instances sharing one configuration.
+    /// Creates `n` empty instances sharing one configuration, and spawns
+    /// the `n` worker threads that own them until drop.
     pub fn new(config: TinkerConfig, n: usize) -> Result<Self> {
         assert!(n > 0, "need at least one instance");
         let mut instances = Vec::with_capacity(n);
@@ -31,57 +45,93 @@ impl ParallelTinker {
             instances.push(GraphTinker::new(config)?);
         }
         let parts = (0..n).map(|_| EdgeBatch::new()).collect();
-        Ok(ParallelTinker { instances, parts })
+        Ok(ParallelTinker { pool: ShardPool::new(instances), parts })
     }
 
     /// Number of parallel instances (one per intended core).
     #[inline]
     pub fn num_instances(&self) -> usize {
-        self.instances.len()
+        self.pool.num_shards()
     }
 
     #[inline]
     fn shard(&self, src: VertexId) -> usize {
-        partition_of(src, self.instances.len())
+        partition_of(src, self.num_instances())
     }
 
-    /// Applies a batch: partitions it by source interval and updates all
-    /// instances concurrently on scoped threads.
+    /// Applies a batch synchronously through the worker pool: every worker
+    /// claims its interval from the shared batch and applies it, and the
+    /// merged outcome counts are returned.
     pub fn apply_batch(&mut self, batch: &EdgeBatch) -> BatchResult {
+        self.pool.apply(batch)
+    }
+
+    /// Queues a batch asynchronously (pipelined ingestion): the call
+    /// returns as soon as the batch is staged, so the caller can prepare
+    /// batch *k+1* — and the workers can claim-partition it — while batch
+    /// *k* is still applying. Results are collected by [`flush`]. Queries
+    /// issued before a flush barrier on the in-flight batches themselves.
+    ///
+    /// [`flush`]: Self::flush
+    pub fn submit(&mut self, batch: EdgeBatch) {
+        self.pool.submit(Arc::new(batch));
+    }
+
+    /// [`submit`](Self::submit) without re-owning the batch, for callers
+    /// (e.g. a WAL writer) that keep a reference to it.
+    pub fn submit_shared(&mut self, batch: Arc<EdgeBatch>) {
+        self.pool.submit(batch);
+    }
+
+    /// Drains the pipeline, returning the merged outcome counts of every
+    /// batch submitted since the last flush.
+    pub fn flush(&mut self) -> BatchResult {
+        self.pool.flush()
+    }
+
+    /// The pre-pool strategy, kept as a benchmark baseline: partition the
+    /// batch serially, then spawn one scoped thread per non-empty
+    /// interval. Pays thread creation and a single-threaded partition scan
+    /// on every batch.
+    pub fn apply_batch_spawn(&mut self, batch: &EdgeBatch) -> BatchResult {
         batch.partition_into(&mut self.parts);
         let parts = &self.parts;
-        let mut results = vec![BatchResult::default(); self.instances.len()];
+        let pool = &self.pool;
+        let mut results = vec![BatchResult::default(); self.parts.len()];
         std::thread::scope(|scope| {
-            for ((inst, part), slot) in self.instances.iter_mut().zip(parts).zip(results.iter_mut())
-            {
+            for (i, (part, slot)) in parts.iter().zip(results.iter_mut()).enumerate() {
+                // Skip intervals that received nothing in this batch.
+                if part.is_empty() {
+                    continue;
+                }
                 scope.spawn(move || {
-                    *slot = inst.apply_batch(part);
+                    *slot = pool.with_shard_mut(i, |g| g.apply_batch(part));
                 });
             }
         });
         let mut total = BatchResult::default();
-        for r in results {
-            total.inserted += r.inserted;
-            total.updated += r.updated;
-            total.deleted += r.deleted;
-            total.not_found += r.not_found;
+        for r in &results {
+            total.merge(r);
         }
         total
     }
 
     /// Total live edges across instances.
     pub fn num_edges(&self) -> u64 {
-        self.instances.iter().map(|g| g.num_edges()).sum()
+        (0..self.num_instances()).map(|i| self.pool.with_shard(i, |g| g.num_edges())).sum()
     }
 
     /// One past the largest vertex id seen by any instance.
     pub fn vertex_space(&self) -> u32 {
-        self.instances.iter().map(|g| g.vertex_space()).max().unwrap_or(0)
+        (0..self.num_instances())
+            .map(|i| self.pool.with_shard(i, |g| g.vertex_space()))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Weight of `(src, dst)`, routed to the owning instance.
     pub fn edge_weight(&self, src: VertexId, dst: VertexId) -> Option<Weight> {
-        self.instances[self.shard(src)].edge_weight(src, dst)
+        self.pool.with_shard(self.shard(src), |g| g.edge_weight(src, dst))
     }
 
     /// Whether `(src, dst)` is present.
@@ -91,48 +141,50 @@ impl ParallelTinker {
 
     /// Out-degree of `src`.
     pub fn out_degree(&self, src: VertexId) -> u32 {
-        self.instances[self.shard(src)].out_degree(src)
+        self.pool.with_shard(self.shard(src), |g| g.out_degree(src))
     }
 
     /// Visits the out-edges of `src`.
     pub fn for_each_out_edge<F: FnMut(VertexId, Weight)>(&self, src: VertexId, f: F) {
-        self.instances[self.shard(src)].for_each_out_edge(src, f);
+        self.pool.with_shard(self.shard(src), |g| g.for_each_out_edge(src, f));
     }
 
     /// Visits every live edge, instance by instance (each instance streams
     /// its CAL sequentially).
     pub fn for_each_edge<F: FnMut(VertexId, VertexId, Weight)>(&self, mut f: F) {
-        for g in &self.instances {
-            g.for_each_edge(&mut f);
+        for i in 0..self.num_instances() {
+            self.pool.with_shard(i, |g| g.for_each_edge(&mut f));
         }
+    }
+
+    /// Runs `f` over one instance read-only (shard = instance index).
+    /// Replaces the old `instances()` slice accessor, which is impossible
+    /// now that the worker pool shares ownership of the instances.
+    pub fn with_instance<R>(&self, i: usize, f: impl FnOnce(&GraphTinker) -> R) -> R {
+        self.pool.with_shard(i, f)
     }
 
     /// Merged probe statistics across instances.
     pub fn stats(&self) -> ProbeStats {
         let mut s = ProbeStats::default();
-        for g in &self.instances {
-            s.merge(&g.stats());
+        for i in 0..self.num_instances() {
+            self.pool.with_shard(i, |g| s.merge(&g.stats()));
         }
         s
     }
 
     /// Clears probe statistics on all instances.
     pub fn reset_stats(&mut self) {
-        for g in &mut self.instances {
-            g.reset_stats();
+        for i in 0..self.num_instances() {
+            self.pool.with_shard_mut(i, |g| g.reset_stats());
         }
-    }
-
-    /// Immutable access to the underlying instances.
-    pub fn instances(&self) -> &[GraphTinker] {
-        &self.instances
     }
 }
 
 impl std::fmt::Debug for ParallelTinker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ParallelTinker")
-            .field("instances", &self.instances.len())
+            .field("instances", &self.num_instances())
             .field("edges", &self.num_edges())
             .finish()
     }
@@ -167,6 +219,38 @@ mod tests {
     }
 
     #[test]
+    fn spawn_baseline_matches_pool() {
+        let b = batch(4_000);
+        let mut pooled = ParallelTinker::new(Default::default(), 4).unwrap();
+        let mut spawned = ParallelTinker::new(Default::default(), 4).unwrap();
+        assert_eq!(pooled.apply_batch(&b), spawned.apply_batch_spawn(&b));
+        assert_eq!(pooled.num_edges(), spawned.num_edges());
+    }
+
+    #[test]
+    fn pipelined_submit_matches_sync_apply() {
+        let mut sync = ParallelTinker::new(Default::default(), 3).unwrap();
+        let mut pipe = ParallelTinker::new(Default::default(), 3).unwrap();
+        let mut want = BatchResult::default();
+        for round in 0..8u32 {
+            let b = batch(700 + round * 53);
+            want.merge(&sync.apply_batch(&b));
+            pipe.submit(b);
+        }
+        assert_eq!(pipe.flush(), want);
+        assert_eq!(pipe.num_edges(), sync.num_edges());
+    }
+
+    #[test]
+    fn queries_barrier_on_inflight_batches() {
+        let mut par = ParallelTinker::new(Default::default(), 2).unwrap();
+        par.submit(EdgeBatch::inserts(&[Edge::new(7, 8, 9)]));
+        // No flush yet: reads must still observe the submitted batch.
+        assert_eq!(par.edge_weight(7, 8), Some(9));
+        assert_eq!(par.flush().inserted, 1);
+    }
+
+    #[test]
     fn routing_queries() {
         let mut par = ParallelTinker::new(Default::default(), 3).unwrap();
         par.apply_batch(&EdgeBatch::inserts(&[
@@ -198,7 +282,7 @@ mod tests {
     #[test]
     fn scratch_reuse_across_shrinking_batches_matches_sequential() {
         // Later batches are smaller than earlier ones: stale ops left in
-        // the reused partition scratch would surface as phantom edges.
+        // a reused claim scratch would surface as phantom edges.
         let mut seq = GraphTinker::with_defaults();
         let mut par = ParallelTinker::new(Default::default(), 4).unwrap();
         for round in 0..5u32 {

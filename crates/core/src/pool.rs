@@ -1,0 +1,349 @@
+//! Persistent shard worker pool for pipelined ingestion.
+//!
+//! [`ParallelTinker`](crate::ParallelTinker) originally spawned fresh
+//! scoped threads and ran a serial partition pass for every batch, so
+//! steady-state ingestion paid thread creation plus a single-threaded scan
+//! on the hot path. The [`ShardPool`] keeps one long-lived worker per
+//! interval shard instead:
+//!
+//! * **Spawned once, joined on drop.** Workers are created with the pool
+//!   and fed per-shard job queues over channels; dropping the pool closes
+//!   the queues, lets workers drain any queued batches, and joins them.
+//! * **Claim-based partitioning.** There is no serial `partition_into`
+//!   pass: every worker scans the shared batch (an `Arc<EdgeBatch>`) and
+//!   claims the operations whose source hashes to its interval into a
+//!   reusable scratch batch. Partitioning itself is parallelized, and a
+//!   worker whose interval received nothing skips the apply entirely.
+//! * **Double-buffering.** [`submit`](ShardPool::submit) is asynchronous
+//!   with a bounded pipeline depth of 2: while batch *k* is being applied,
+//!   batch *k+1* can already be claimed/partitioned by idle workers, and
+//!   the producer can prepare batch *k+2*. [`flush`](ShardPool::flush)
+//!   drains the pipeline and returns the merged outcome counts.
+//!
+//! Shards live in `Arc<Vec<Mutex<S>>>`: each worker locks only its own
+//! shard, exactly once per non-empty batch, so the locks are uncontended
+//! in steady state; queries lock on demand after a pipeline barrier.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use gtinker_types::{partition_of, EdgeBatch};
+
+use crate::tinker::{BatchResult, GraphTinker};
+
+/// How many batches may be in flight before [`ShardPool::submit`] blocks:
+/// one applying, one staged — classic double-buffering.
+pub const PIPELINE_DEPTH: usize = 2;
+
+/// A store that can own one interval shard of a [`ShardPool`].
+pub trait ShardStore: Send + 'static {
+    /// Applies the claimed sub-batch for this shard, returning outcome
+    /// counts (stores without per-op outcome tracking may return zeros).
+    fn apply_shard_batch(&mut self, batch: &EdgeBatch) -> BatchResult;
+}
+
+impl ShardStore for GraphTinker {
+    fn apply_shard_batch(&mut self, batch: &EdgeBatch) -> BatchResult {
+        self.apply_batch(batch)
+    }
+}
+
+/// Completion tracker for one submitted batch: workers decrement the
+/// remaining count and fold their per-shard results in; waiters block on
+/// the condvar until every shard has reported.
+struct Ticket {
+    state: Mutex<TicketState>,
+    done: Condvar,
+}
+
+struct TicketState {
+    remaining: usize,
+    result: BatchResult,
+}
+
+impl Ticket {
+    fn new(workers: usize) -> Self {
+        Ticket {
+            state: Mutex::new(TicketState { remaining: workers, result: BatchResult::default() }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, r: BatchResult) {
+        let mut s = self.state.lock().expect("ticket state poisoned");
+        s.result.merge(&r);
+        s.remaining -= 1;
+        if s.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> BatchResult {
+        let mut s = self.state.lock().expect("ticket state poisoned");
+        while s.remaining > 0 {
+            s = self.done.wait(s).expect("ticket state poisoned");
+        }
+        s.result
+    }
+}
+
+struct Job {
+    batch: Arc<EdgeBatch>,
+    ticket: Arc<Ticket>,
+}
+
+#[derive(Default)]
+struct Inflight {
+    /// Tickets of submitted batches, oldest first.
+    queue: VecDeque<Arc<Ticket>>,
+    /// Merged results of batches reaped from the queue but not yet
+    /// returned by [`ShardPool::flush`].
+    reaped: BatchResult,
+}
+
+/// A pool of long-lived worker threads, one per interval shard.
+pub struct ShardPool<S> {
+    shards: Arc<Vec<Mutex<S>>>,
+    txs: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    inflight: Mutex<Inflight>,
+    /// Number of submitted-but-unreaped batches; lets the query-side
+    /// pipeline barrier exit with one atomic load when nothing is in
+    /// flight (the common case for read-heavy parallel analytics).
+    pending: AtomicUsize,
+}
+
+fn worker_loop<S: ShardStore>(index: usize, shards: Arc<Vec<Mutex<S>>>, rx: mpsc::Receiver<Job>) {
+    let n = shards.len();
+    let mut claim = EdgeBatch::new();
+    while let Ok(job) = rx.recv() {
+        claim.clear();
+        for &op in job.batch.ops() {
+            if partition_of(op.src(), n) == index {
+                claim.push(op);
+            }
+        }
+        // Empty interval: report without touching (or locking) the shard.
+        let result = if claim.is_empty() {
+            BatchResult::default()
+        } else {
+            shards[index].lock().expect("shard poisoned").apply_shard_batch(&claim)
+        };
+        job.ticket.complete(result);
+    }
+}
+
+impl<S: ShardStore> ShardPool<S> {
+    /// Builds a pool over the given shard stores, spawning one worker per
+    /// shard. Store `i` owns interval `i` of `stores.len()`.
+    pub fn new(stores: Vec<S>) -> Self {
+        assert!(!stores.is_empty(), "need at least one shard");
+        let shards: Arc<Vec<Mutex<S>>> = Arc::new(stores.into_iter().map(Mutex::new).collect());
+        let mut txs = Vec::with_capacity(shards.len());
+        let mut handles = Vec::with_capacity(shards.len());
+        for i in 0..shards.len() {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let shards = Arc::clone(&shards);
+            let handle = std::thread::Builder::new()
+                .name(format!("gtinker-shard-{i}"))
+                .spawn(move || worker_loop(i, shards, rx))
+                .expect("spawn shard worker");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        ShardPool {
+            shards,
+            txs,
+            handles,
+            inflight: Mutex::new(Inflight::default()),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards (= worker threads).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Hands `batch` to every worker under a fresh ticket.
+    fn dispatch(&self, batch: Arc<EdgeBatch>) -> Arc<Ticket> {
+        let ticket = Arc::new(Ticket::new(self.txs.len()));
+        for tx in &self.txs {
+            let job = Job { batch: Arc::clone(&batch), ticket: Arc::clone(&ticket) };
+            tx.send(job).expect("shard worker exited early");
+        }
+        ticket
+    }
+
+    /// Waits until no batch is in flight, folding finished batches into
+    /// the reaped accumulator. When the queue is empty but batches are
+    /// still pending, another thread holds their tickets; yield until it
+    /// finishes reaping so readers never observe a half-applied pipeline.
+    fn settle(&self) {
+        while self.pending.load(Ordering::Acquire) > 0 {
+            let next = self.inflight.lock().expect("inflight poisoned").queue.pop_front();
+            match next {
+                Some(ticket) => {
+                    let r = ticket.wait();
+                    self.inflight.lock().expect("inflight poisoned").reaped.merge(&r);
+                    self.pending.fetch_sub(1, Ordering::Release);
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+    }
+
+    /// Applies one batch synchronously: the batch is claimed, partitioned
+    /// and applied by all workers in parallel, and the merged outcome is
+    /// returned. Any previously [`submit`](Self::submit)ted batches finish
+    /// first (their results stay buffered for [`flush`](Self::flush)).
+    pub fn apply(&self, batch: &EdgeBatch) -> BatchResult {
+        self.settle();
+        self.dispatch(Arc::new(batch.clone())).wait()
+    }
+
+    /// Queues a batch asynchronously. At most [`PIPELINE_DEPTH`] batches
+    /// are in flight; beyond that, `submit` blocks on the oldest one, so
+    /// batch *k+1* partitions while batch *k* applies but the producer can
+    /// never run unboundedly ahead of the workers.
+    pub fn submit(&self, batch: Arc<EdgeBatch>) {
+        loop {
+            let front = {
+                let mut inflight = self.inflight.lock().expect("inflight poisoned");
+                if inflight.queue.len() < PIPELINE_DEPTH {
+                    break;
+                }
+                inflight.queue.pop_front()
+            };
+            if let Some(ticket) = front {
+                let r = ticket.wait();
+                self.inflight.lock().expect("inflight poisoned").reaped.merge(&r);
+                self.pending.fetch_sub(1, Ordering::Release);
+            }
+        }
+        let ticket = self.dispatch(batch);
+        let mut inflight = self.inflight.lock().expect("inflight poisoned");
+        inflight.queue.push_back(ticket);
+        self.pending.fetch_add(1, Ordering::Release);
+    }
+
+    /// Drains the pipeline and returns the merged outcome counts of every
+    /// batch submitted since the last flush.
+    pub fn flush(&self) -> BatchResult {
+        self.settle();
+        let mut inflight = self.inflight.lock().expect("inflight poisoned");
+        std::mem::take(&mut inflight.reaped)
+    }
+
+    /// Runs `f` over shard `i` read-only, after a pipeline barrier so
+    /// every submitted batch is visible.
+    pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&S) -> R) -> R {
+        self.settle();
+        f(&self.shards[i].lock().expect("shard poisoned"))
+    }
+
+    /// Runs `f` over shard `i` mutably, after a pipeline barrier.
+    pub fn with_shard_mut<R>(&self, i: usize, f: impl FnOnce(&mut S) -> R) -> R {
+        self.settle();
+        f(&mut self.shards[i].lock().expect("shard poisoned"))
+    }
+}
+
+impl<S> Drop for ShardPool<S> {
+    /// Closes every job queue and joins the workers. Queued batches are
+    /// still drained (channel receivers yield buffered jobs before
+    /// reporting disconnection), so a pool dropped mid-stream shuts down
+    /// cleanly without deadlocking or losing submitted work.
+    fn drop(&mut self) {
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for ShardPool<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool").field("shards", &self.txs.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtinker_types::Edge;
+
+    fn pool(n: usize) -> ShardPool<GraphTinker> {
+        ShardPool::new((0..n).map(|_| GraphTinker::with_defaults()).collect())
+    }
+
+    fn batch(n: u32, salt: u32) -> EdgeBatch {
+        EdgeBatch::inserts(
+            &(0..n).map(|i| Edge::new((i * 7 + salt) % 113, i % 251, i + 1)).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn apply_counts_match_sequential() {
+        let b = batch(3_000, 0);
+        let mut seq = GraphTinker::with_defaults();
+        let want = seq.apply_batch(&b);
+        let p = pool(4);
+        let got = p.apply(&b);
+        assert_eq!(got, want);
+        let edges: u64 = (0..4).map(|i| p.with_shard(i, |g| g.num_edges())).sum();
+        assert_eq!(edges, seq.num_edges());
+    }
+
+    #[test]
+    fn submit_flush_pipeline_matches_sync_apply() {
+        let p = pool(3);
+        let q = pool(3);
+        let mut want = BatchResult::default();
+        for round in 0..10 {
+            let b = batch(500, round * 31);
+            want.merge(&q.apply(&b));
+            p.submit(Arc::new(b));
+        }
+        assert_eq!(p.flush(), want);
+        for i in 0..3 {
+            let (a, b) = (p.with_shard(i, |g| g.num_edges()), q.with_shard(i, |g| g.num_edges()));
+            assert_eq!(a, b, "shard {i} diverged");
+        }
+    }
+
+    #[test]
+    fn empty_shard_intervals_are_skipped() {
+        // A single-source batch lands in exactly one of 8 intervals; the
+        // other workers must report zero without applying anything.
+        let p = pool(8);
+        let b = EdgeBatch::inserts(&(0..64).map(|d| Edge::unit(42, d)).collect::<Vec<_>>());
+        let r = p.apply(&b);
+        assert_eq!(r.inserted, 64);
+        let owner = partition_of(42, 8);
+        for i in 0..8 {
+            let edges = p.with_shard(i, |g| g.num_edges());
+            assert_eq!(edges, if i == owner { 64 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn drop_mid_stream_joins_cleanly() {
+        let p = pool(4);
+        for round in 0..6 {
+            p.submit(Arc::new(batch(2_000, round * 17)));
+        }
+        // No flush: the pool is dropped with batches still in flight.
+        drop(p);
+    }
+
+    #[test]
+    fn flush_without_submissions_is_zero() {
+        let p = pool(2);
+        assert_eq!(p.flush(), BatchResult::default());
+    }
+}

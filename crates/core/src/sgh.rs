@@ -68,8 +68,16 @@ impl SghUnit {
     /// Looks up the dense id for an original id, if it has been hashed.
     #[inline]
     pub fn get(&self, orig: VertexId) -> Option<u32> {
+        self.get_hashed(mix64(orig as u64), orig)
+    }
+
+    /// [`get`](Self::get) with the `mix64(orig)` hash precomputed by the
+    /// caller, so one mix per update covers both lookup and insert probes.
+    #[inline]
+    pub fn get_hashed(&self, hash: u64, orig: VertexId) -> Option<u32> {
         debug_assert_ne!(orig, NIL_VERTEX, "NIL_VERTEX is reserved");
-        let mut pos = (mix64(orig as u64) as usize) & self.mask;
+        debug_assert_eq!(hash, mix64(orig as u64), "hash must be mix64(orig)");
+        let mut pos = (hash as usize) & self.mask;
         let mut probe: u16 = 0;
         loop {
             let s = &self.slots[pos];
@@ -90,12 +98,18 @@ impl SghUnit {
     /// first sight (the paper's "obtaining the next unused index location in
     /// the EdgeblockArray starting from zero").
     pub fn get_or_insert(&mut self, orig: VertexId) -> u32 {
-        if let Some(v) = self.get(orig) {
+        self.get_or_insert_hashed(mix64(orig as u64), orig)
+    }
+
+    /// [`get_or_insert`](Self::get_or_insert) with the hash precomputed:
+    /// the miss path reuses it for the fresh insert instead of remixing.
+    pub fn get_or_insert_hashed(&mut self, hash: u64, orig: VertexId) -> u32 {
+        if let Some(v) = self.get_hashed(hash, orig) {
             return v;
         }
         let dense = self.reverse.len() as u32;
         self.reverse.push(orig);
-        self.insert_fresh(orig, dense);
+        self.insert_fresh_hashed(hash, orig, dense);
         dense
     }
 
@@ -116,12 +130,17 @@ impl SghUnit {
     }
 
     fn insert_fresh(&mut self, key: VertexId, value: u32) {
+        self.insert_fresh_hashed(mix64(key as u64), key, value);
+    }
+
+    fn insert_fresh_hashed(&mut self, hash: u64, key: VertexId, value: u32) {
         if (self.len + 1) * 4 > self.slots.len() * 3 {
             self.grow();
         }
         self.len += 1;
         let mut floating = Slot { key, value, probe: 0 };
-        let mut pos = (mix64(key as u64) as usize) & self.mask;
+        // The mask may have just changed in `grow`; the hash is mask-free.
+        let mut pos = (hash as usize) & self.mask;
         loop {
             let s = &mut self.slots[pos];
             if s.key == NIL_VERTEX {
@@ -229,6 +248,19 @@ mod tests {
         }
         // Robin Hood at load 0.75 keeps the max probe small; allow slack.
         assert!(sgh.max_probe() < 64, "max probe {} unexpectedly large", sgh.max_probe());
+    }
+
+    #[test]
+    fn hashed_variants_match_unhashed() {
+        let mut a = SghUnit::with_capacity(16);
+        let mut b = SghUnit::with_capacity(16);
+        for i in 0..5_000u32 {
+            let orig = i.wrapping_mul(2_654_435_761) | 1;
+            let h = mix64(orig as u64);
+            assert_eq!(a.get_or_insert(orig), b.get_or_insert_hashed(h, orig));
+            assert_eq!(a.get(orig), b.get_hashed(h, orig));
+        }
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]

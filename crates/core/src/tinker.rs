@@ -20,7 +20,7 @@ use gtinker_types::{
 
 use crate::cal::CalArray;
 use crate::edgeblock::{BlockArena, BlockId, CellState, EdgeCell};
-use crate::hash::subblock_and_bucket;
+use crate::hash::{source_hash, subblock_and_bucket};
 use crate::rhh::{find_in_subblock, linear_insert, rhh_insert, Floating, RhhOutcome};
 use crate::sgh::SghUnit;
 use crate::stats::{ProbeStats, StructureStats};
@@ -43,6 +43,15 @@ impl BatchResult {
     /// Total operations processed.
     pub fn total(&self) -> u64 {
         self.inserted + self.updated + self.deleted + self.not_found
+    }
+
+    /// Folds another result into this one (per-shard results of one batch,
+    /// or per-batch results of one stream, sum componentwise).
+    pub fn merge(&mut self, other: &BatchResult) {
+        self.inserted += other.inserted;
+        self.updated += other.updated;
+        self.deleted += other.deleted;
+        self.not_found += other.not_found;
     }
 }
 
@@ -168,10 +177,12 @@ impl GraphTinker {
         }
     }
 
-    /// Dense id of a source, allocating on first sight.
-    fn dense_of_mut(&mut self, src: VertexId) -> u32 {
+    /// Dense id of a source, allocating on first sight. Takes the
+    /// precomputed [`source_hash`](crate::hash::source_hash) so the update
+    /// path mixes each source id exactly once.
+    fn dense_of_mut(&mut self, src: VertexId, src_hash: u64) -> u32 {
         match &mut self.sgh {
-            Some(sgh) => sgh.get_or_insert(src),
+            Some(sgh) => sgh.get_or_insert_hashed(src_hash, src),
             None => src,
         }
     }
@@ -261,10 +272,43 @@ impl GraphTinker {
         self.note_vertex(e.src);
         self.note_vertex(e.dst);
         self.stats.operations += 1;
-        let dense = self.dense_of_mut(e.src);
-        let top = self.ensure_top_block(dense);
+        let src_hash = source_hash(e.src);
         let spb = self.arena.subblocks_per_block();
         let sublen = self.arena.subblock_len();
+
+        // Existing-edge fast path: a repeat insertion of an un-displaced
+        // edge sits in its home bucket of the top block's depth-0 subblock.
+        // One probe settles it (weight update + CAL refresh) without the
+        // full FIND walk; any miss falls through to the general path. The
+        // SGH lookup is shared with the general path, so a miss costs one
+        // extra cell load, never a second source hash or SGH probe.
+        let known = self.dense_lookup_hashed(e.src, src_hash);
+        if let Some(dense) = known {
+            if let Some(top) = self.top_block(dense) {
+                let (sub, bucket) = subblock_and_bucket(e.dst, 0, spb, sublen);
+                let cell = self.arena.subblock_cells(top, sub)[bucket];
+                if cell.is_occupied() && cell.dst == e.dst {
+                    self.stats.subblocks_visited += 1;
+                    self.stats.cells_inspected += 1;
+                    self.stats.workblocks_fetched += 1;
+                    let hot = self.arena.cell_mut(top, sub * sublen + bucket);
+                    hot.weight = e.weight;
+                    let ptr = hot.cal_ptr;
+                    if ptr != NIL_U32 {
+                        if let Some(cal) = &mut self.cal {
+                            cal.update_weight(ptr, e.weight);
+                        }
+                    }
+                    return false;
+                }
+            }
+        }
+
+        let dense = match known {
+            Some(d) => d,
+            None => self.dense_of_mut(e.src, src_hash),
+        };
+        let top = self.ensure_top_block(dense);
 
         // FIND mode + vacancy scout.
         let mut block = top;
@@ -402,6 +446,16 @@ impl GraphTinker {
     fn dense_lookup(&self, src: VertexId) -> Option<u32> {
         match &self.sgh {
             Some(sgh) => sgh.get(src),
+            None => ((src as usize) < self.top_blocks.len()).then_some(src),
+        }
+    }
+
+    /// [`dense_lookup`](Self::dense_lookup) with the source hash already
+    /// computed by the caller.
+    #[inline]
+    fn dense_lookup_hashed(&self, src: VertexId, src_hash: u64) -> Option<u32> {
+        match &self.sgh {
+            Some(sgh) => sgh.get_hashed(src_hash, src),
             None => ((src as usize) < self.top_blocks.len()).then_some(src),
         }
     }
@@ -649,7 +703,7 @@ impl GraphTinker {
     pub fn import_sources(&mut self, sources: &[VertexId]) {
         for &src in sources {
             self.note_vertex(src);
-            self.dense_of_mut(src);
+            self.dense_of_mut(src, source_hash(src));
         }
     }
 

@@ -160,7 +160,7 @@ impl GraphStore for ParallelTinker {
         gtinker_types::partition_of(v, ParallelTinker::num_instances(self))
     }
     fn stream_shard_edges(&self, shard: usize, f: impl FnMut(VertexId, VertexId, Weight)) {
-        ParallelTinker::instances(self)[shard].for_each_edge(f)
+        ParallelTinker::with_instance(self, shard, |g| g.for_each_edge(f))
     }
 }
 
@@ -190,7 +190,7 @@ impl GraphStore for ParallelStinger {
         gtinker_types::partition_of(v, ParallelStinger::num_instances(self))
     }
     fn stream_shard_edges(&self, shard: usize, f: impl FnMut(VertexId, VertexId, Weight)) {
-        ParallelStinger::instances(self)[shard].for_each_edge(f)
+        ParallelStinger::with_instance(self, shard, |g| g.for_each_edge(f))
     }
 }
 

@@ -1,78 +1,98 @@
 //! Parallel STINGER: the same interval partitioning used for GraphTinker
 //! (one single-writer instance per core, edges sharded by source hash), so
 //! the multicore comparison in Fig. 10 is apples-to-apples.
+//!
+//! Batches flow through the same persistent [`ShardPool`] as
+//! `ParallelTinker`: workers are spawned once, claim their interval out of
+//! the shared batch, and skip batches that put nothing in their interval.
 
+use std::sync::Arc;
+
+use gtinker_core::pool::ShardPool;
+use gtinker_core::tinker::BatchResult;
+use gtinker_core::ShardStore;
 use gtinker_types::{partition_of, EdgeBatch, Result, StingerConfig, VertexId, Weight};
 
 use crate::store::{Stinger, StingerStats};
 
-/// Interval-partitioned STINGER instances updated in parallel.
+impl ShardStore for Stinger {
+    fn apply_shard_batch(&mut self, batch: &EdgeBatch) -> BatchResult {
+        let (ins, del) = self.apply_batch(batch);
+        BatchResult { inserted: ins, deleted: del, ..BatchResult::default() }
+    }
+}
+
+/// Interval-partitioned STINGER instances updated in parallel by a
+/// persistent worker pool.
 pub struct ParallelStinger {
-    instances: Vec<Stinger>,
-    /// Per-instance partition scratch reused across batches, so
-    /// steady-state ingestion allocates no per-batch partition buffers.
-    parts: Vec<EdgeBatch>,
+    pool: ShardPool<Stinger>,
 }
 
 impl ParallelStinger {
-    /// Creates `n` empty instances sharing one configuration.
+    /// Creates `n` empty instances sharing one configuration and spawns
+    /// their worker threads.
     pub fn new(config: StingerConfig, n: usize) -> Result<Self> {
         assert!(n > 0);
         let mut instances = Vec::with_capacity(n);
         for _ in 0..n {
             instances.push(Stinger::new(config)?);
         }
-        let parts = (0..n).map(|_| EdgeBatch::new()).collect();
-        Ok(ParallelStinger { instances, parts })
+        Ok(ParallelStinger { pool: ShardPool::new(instances) })
     }
 
     /// Number of parallel instances.
     #[inline]
     pub fn num_instances(&self) -> usize {
-        self.instances.len()
+        self.pool.num_shards()
     }
 
     #[inline]
     fn shard(&self, src: VertexId) -> usize {
-        partition_of(src, self.instances.len())
+        partition_of(src, self.num_instances())
     }
 
-    /// Applies a batch across all instances on scoped threads.
+    /// Applies a batch across all instances through the worker pool.
     pub fn apply_batch(&mut self, batch: &EdgeBatch) {
-        batch.partition_into(&mut self.parts);
-        let parts = &self.parts;
-        std::thread::scope(|scope| {
-            for (inst, part) in self.instances.iter_mut().zip(parts) {
-                scope.spawn(move || {
-                    inst.apply_batch(part);
-                });
-            }
-        });
+        self.pool.apply(batch);
+    }
+
+    /// Queues a batch asynchronously; [`flush`](Self::flush) drains the
+    /// pipeline. Queries barrier on in-flight batches by themselves.
+    pub fn submit(&mut self, batch: EdgeBatch) {
+        self.pool.submit(Arc::new(batch));
+    }
+
+    /// Drains the pipeline of [`submit`](Self::submit)ted batches.
+    pub fn flush(&mut self) {
+        self.pool.flush();
     }
 
     /// Total live edges.
     pub fn num_edges(&self) -> u64 {
-        self.instances.iter().map(|s| s.num_edges()).sum()
+        (0..self.num_instances()).map(|i| self.pool.with_shard(i, |s| s.num_edges())).sum()
     }
 
     /// One past the largest vertex id observed by any instance.
     pub fn vertex_space(&self) -> u32 {
-        self.instances.iter().map(|s| s.vertex_space()).max().unwrap_or(0)
+        (0..self.num_instances())
+            .map(|i| self.pool.with_shard(i, |s| s.vertex_space()))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Live out-degree of `src` (its shard owns all of its edges).
     pub fn out_degree(&self, src: VertexId) -> u32 {
-        self.instances[self.shard(src)].out_degree(src)
+        self.pool.with_shard(self.shard(src), |s| s.out_degree(src))
     }
 
     /// Visits the out-edges of `src`.
     pub fn for_each_out_edge<F: FnMut(VertexId, Weight)>(&self, src: VertexId, f: F) {
-        self.instances[self.shard(src)].for_each_out_edge(src, f);
+        self.pool.with_shard(self.shard(src), |s| s.for_each_out_edge(src, f));
     }
 
     /// Weight of `(src, dst)`.
     pub fn edge_weight(&self, src: VertexId, dst: VertexId) -> Option<Weight> {
-        self.instances[self.shard(src)].edge_weight(src, dst)
+        self.pool.with_shard(self.shard(src), |s| s.edge_weight(src, dst))
     }
 
     /// Whether `(src, dst)` is present.
@@ -82,23 +102,32 @@ impl ParallelStinger {
 
     /// Visits every live edge across instances.
     pub fn for_each_edge<F: FnMut(VertexId, VertexId, Weight)>(&self, mut f: F) {
-        for s in &self.instances {
-            s.for_each_edge(&mut f);
+        for i in 0..self.num_instances() {
+            self.pool.with_shard(i, |s| s.for_each_edge(&mut f));
         }
     }
 
-    /// Immutable access to the underlying instances.
-    pub fn instances(&self) -> &[Stinger] {
-        &self.instances
+    /// Runs `f` over one instance read-only (shard = instance index).
+    pub fn with_instance<R>(&self, i: usize, f: impl FnOnce(&Stinger) -> R) -> R {
+        self.pool.with_shard(i, f)
     }
 
     /// Merged probe counters.
     pub fn stats(&self) -> StingerStats {
         let mut t = StingerStats::default();
-        for s in &self.instances {
-            t.merge(&s.stats());
+        for i in 0..self.num_instances() {
+            self.pool.with_shard(i, |s| t.merge(&s.stats()));
         }
         t
+    }
+}
+
+impl std::fmt::Debug for ParallelStinger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelStinger")
+            .field("instances", &self.num_instances())
+            .field("edges", &self.num_edges())
+            .finish()
     }
 }
 
@@ -126,7 +155,7 @@ mod tests {
     }
 
     #[test]
-    fn scratch_reuse_across_shrinking_batches_matches_sequential() {
+    fn pipelined_submit_matches_sequential() {
         let mut seq = Stinger::with_defaults();
         let mut par = ParallelStinger::new(StingerConfig::default(), 3).unwrap();
         for round in 0..4u32 {
@@ -135,8 +164,9 @@ mod tests {
                 (0..n).map(|i| Edge::new((i * 5 + round) % 89, i % 157, i + 1)).collect();
             let b = EdgeBatch::inserts(&edges);
             seq.apply_batch(&b);
-            par.apply_batch(&b);
+            par.submit(b);
         }
+        par.flush();
         assert_eq!(par.num_edges(), seq.num_edges());
         let mut a: Vec<(u32, u32, u32)> = Vec::new();
         seq.for_each_edge(|s, d, w| a.push((s, d, w)));

@@ -118,6 +118,12 @@ impl EdgeBatch {
         self.ops.push(UpdateOp::Delete { src, dst });
     }
 
+    /// Appends an arbitrary operation, preserving stream order.
+    #[inline]
+    pub fn push(&mut self, op: UpdateOp) {
+        self.ops.push(op);
+    }
+
     /// Number of operations in the batch.
     #[inline]
     pub fn len(&self) -> usize {
@@ -279,7 +285,9 @@ mod tests {
         assert!(m.is_empty());
         m.push_insert(Edge::unit(1, 1));
         m.push_delete(1, 1);
-        assert_eq!(m.len(), 2);
+        m.push(UpdateOp::Insert(Edge::unit(2, 3)));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.ops()[2], UpdateOp::Insert(Edge::unit(2, 3)));
     }
 
     #[test]

@@ -20,6 +20,14 @@ trap 'rm -rf "$SMOKE"' EXIT
 "$GT" recover "$SMOKE/db" --root 0 | tee "$SMOKE/recover.out"
 grep -q "replayed" "$SMOKE/recover.out"
 
+echo "==> pipeline smoke test (pooled+pipelined ingest -> recover, edge counts agree)"
+"$GT" ingest "$SMOKE/g.txt" --wal "$SMOKE/db_pool" --batch 512 --sync never \
+    --pool 4 --pipeline | tee "$SMOKE/ingest_pool.out"
+LIVE=$(sed -n 's/.* \([0-9][0-9]*\) live, next lsn.*/\1/p' "$SMOKE/ingest_pool.out")
+test -n "$LIVE"
+"$GT" recover "$SMOKE/db_pool" | tee "$SMOKE/recover_pool.out"
+grep -q "recovered GraphTinker: $LIVE edges" "$SMOKE/recover_pool.out"
+
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 

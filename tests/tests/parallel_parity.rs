@@ -12,7 +12,7 @@ use gtinker_engine::{
     CsrSnapshot, DynamicRunner, Engine, GraphStore, ModePolicy, RestartPolicy,
 };
 use gtinker_stinger::Stinger;
-use gtinker_types::{Edge, EdgeBatch, TinkerConfig};
+use gtinker_types::{DeleteMode, Edge, EdgeBatch, TinkerConfig};
 
 const SHARD_COUNTS: [usize; 2] = [2, 4];
 
@@ -189,6 +189,91 @@ fn pagerank_parallel_matches_sequential_within_tolerance() {
             assert!((a - b).abs() < 1e-12, "Stinger PageRank diverged: {a} vs {b}");
         }
     }
+}
+
+/// A mixed insert/delete stream: each round inserts a window of edges,
+/// then deletes every third edge of the previous round's window.
+fn mixed_stream(edges: &[Edge], rounds: usize) -> Vec<EdgeBatch> {
+    let window = edges.len() / rounds;
+    let mut stream = Vec::new();
+    for r in 0..rounds {
+        stream.push(EdgeBatch::inserts(&edges[r * window..(r + 1) * window]));
+        if r > 0 {
+            let prev = &edges[(r - 1) * window..r * window];
+            stream.push(EdgeBatch::deletes(
+                &prev.iter().step_by(3).map(|e| (e.src, e.dst)).collect::<Vec<_>>(),
+            ));
+        }
+    }
+    stream
+}
+
+fn sorted_edges(g: &impl GraphStore) -> Vec<(u32, u32, u32)> {
+    let mut v = Vec::new();
+    for s in 0..GraphStore::num_shards(g) {
+        g.stream_shard_edges(s, &mut |src, dst, w| v.push((src, dst, w)));
+    }
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn pooled_pipeline_mixed_stream_matches_sequential_under_both_delete_modes() {
+    // The tentpole parity test: a multi-batch insert/delete stream pushed
+    // asynchronously through the persistent shard pool must leave exactly
+    // the sequential store's edge set, and BFS/CC over the pooled store
+    // must match the sequential run — under both delete modes.
+    let edges = rmat(10, 8_000, 78);
+    let root = edges[0].src;
+    let stream = mixed_stream(&edges, 4);
+    for delete_mode in [DeleteMode::DeleteOnly, DeleteMode::DeleteAndCompact] {
+        let cfg = TinkerConfig { delete_mode, ..TinkerConfig::default() };
+        let mut seq = GraphTinker::new(cfg).unwrap();
+        for b in &stream {
+            seq.apply_batch(b);
+        }
+        for n in [2usize, 4] {
+            let mut pt = ParallelTinker::new(cfg, n).unwrap();
+            for b in &stream {
+                pt.submit(b.clone());
+            }
+            let res = pt.flush();
+            assert!(res.inserted > 0 && res.deleted > 0, "stream exercises both op kinds");
+            assert_eq!(pt.num_edges(), seq.num_edges(), "{delete_mode:?} n={n}");
+            assert_eq!(sorted_edges(&pt), sorted_edges(&seq), "{delete_mode:?} n={n}");
+
+            let mut base = Engine::new(Bfs::new(root), ModePolicy::hybrid());
+            base.run_from_roots(&seq);
+            let mut e = Engine::new(Bfs::new(root), ModePolicy::hybrid());
+            e.run_from_roots(&pt);
+            assert_eq!(e.values(), base.values(), "BFS {delete_mode:?} n={n}");
+
+            let mut base = Engine::new(Cc::new(), ModePolicy::hybrid());
+            base.run_from_roots(&seq);
+            let mut e = Engine::new(Cc::new(), ModePolicy::hybrid());
+            e.run_from_roots(&pt);
+            assert_eq!(e.values(), base.values(), "CC {delete_mode:?} n={n}");
+        }
+    }
+}
+
+#[test]
+fn dropping_pool_mid_stream_shuts_down_cleanly() {
+    // Dropping the store with batches still queued must drain and join the
+    // workers (no deadlock, no panic) — for both pooled store kinds.
+    let edges = rmat(10, 6_000, 79);
+    let chunks: Vec<EdgeBatch> = edges.chunks(500).map(EdgeBatch::inserts).collect();
+    let mut pt = ParallelTinker::new(TinkerConfig::default(), 4).unwrap();
+    for b in &chunks {
+        pt.submit(b.clone());
+    }
+    drop(pt); // queued work still in flight
+
+    let mut ps = gtinker_stinger::ParallelStinger::new(Default::default(), 4).unwrap();
+    for b in &chunks {
+        ps.submit(b.clone());
+    }
+    drop(ps);
 }
 
 #[test]
