@@ -1,5 +1,5 @@
 # Convenience targets; `make ci` mirrors the hosted pipeline.
-.PHONY: ci build test lint fmt bench doc smoke ingest-smoke
+.PHONY: ci build test lint fmt bench doc smoke ingest-smoke stats-smoke
 
 ci:
 	./scripts/ci.sh
@@ -23,6 +23,21 @@ ingest-smoke: build
 	LIVE=$$(sed -n 's/.* \([0-9][0-9]*\) live, next lsn.*/\1/p' "$$SMOKE/ingest.out"); test -n "$$LIVE"; \
 	target/release/gtinker recover "$$SMOKE/db" | tee "$$SMOKE/recover.out"; \
 	grep -q "recovered GraphTinker: $$LIVE edges" "$$SMOKE/recover.out"
+
+# Ingest with live metrics, then `stats` on the flat file and on the
+# recovered WAL directory; both views must agree on the live edge count
+# (also part of ci).
+stats-smoke: build
+	@SMOKE=$$(mktemp -d); trap 'rm -rf "$$SMOKE"' EXIT; \
+	target/release/gtinker generate --dataset Hollywood-2009 --scale-factor 512 --out "$$SMOKE/g.txt"; \
+	target/release/gtinker ingest "$$SMOKE/g.txt" --wal "$$SMOKE/db" --batch 1024 --stats | tee "$$SMOKE/ingest.out"; \
+	grep -q gtinker_tinker_inserts "$$SMOKE/ingest.out"; \
+	target/release/gtinker stats "$$SMOKE/g.txt" --format json | tee "$$SMOKE/file.json"; \
+	FE=$$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$$SMOKE/file.json" | head -1); \
+	test -n "$$FE"; test "$$FE" -gt 0; \
+	target/release/gtinker stats "$$SMOKE/db" --format json | tee "$$SMOKE/dir.json"; \
+	DE=$$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$$SMOKE/dir.json" | head -1); \
+	test "$$FE" = "$$DE"
 
 build:
 	cargo build --release --workspace

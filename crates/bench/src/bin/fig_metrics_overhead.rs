@@ -1,0 +1,10 @@
+//! Metrics-overhead benchmark: ingest throughput with the hot-path metric
+//! registry collecting vs runtime-disabled, sequential and pooled paths.
+fn main() {
+    let args = gtinker_bench::Args::parse();
+    let table = gtinker_bench::experiments::fig_metrics_overhead::run(&args);
+    table.print();
+    if let Err(e) = table.write_tsv(&args.out_dir) {
+        eprintln!("warning: could not write TSV: {e}");
+    }
+}

@@ -33,6 +33,7 @@ fn main() {
         ("Hybrid accuracy", Box::new(experiments::hybrid_accuracy::run)),
         ("Persistence", Box::new(experiments::fig_persist::run)),
         ("Ingest pipeline", Box::new(experiments::fig_ingest_pipeline::run)),
+        ("Metrics overhead", Box::new(experiments::fig_metrics_overhead::run)),
     ];
     for (label, f) in suite {
         let t0 = std::time::Instant::now();

@@ -1,0 +1,176 @@
+//! Overhead of the hot-path metric instrumentation (no paper counterpart;
+//! acceptance gate for the observability layer): ingest throughput with the
+//! metric registry collecting vs runtime-disabled, on the sequential
+//! single-store path (every insert crosses the RHH/SGH/tinker hooks) and on
+//! the pooled 4-shard path (adds the pool queue/claim hooks).
+//!
+//! Both configurations run in one binary by toggling the registry's runtime
+//! flag ([`gtinker_core::metrics::set_enabled`]); the compile-time `metrics`
+//! feature gate (whose off state is a true zero-cost no-op) is covered
+//! separately by the metrics-off build check in CI. Trials interleave
+//! disabled/enabled and take the best of each so allocator warm-up and CPU
+//! frequency drift do not bias one side.
+//!
+//! Alongside the TSV the run emits `BENCH_metrics_overhead.json` with an
+//! `overhead_pct` field; the acceptance criterion is < 5 % on the
+//! sequential ingest hot path.
+
+use std::time::Instant;
+
+use gtinker_core::{metrics, GraphTinker, ParallelTinker};
+use gtinker_types::{Edge, EdgeBatch, TinkerConfig};
+
+use crate::cli::Args;
+use crate::experiments::common::hollywood;
+use crate::report::{f3, meps, Table};
+
+/// Batch size for the ingest stream: large enough that per-batch fixed
+/// costs vanish and the per-insert hook cost dominates the measurement.
+const OPS_PER_BATCH: usize = 10_000;
+
+/// Interleaved trials per configuration; the best of each side is compared.
+const REPS: usize = 5;
+
+struct Sample {
+    enabled_meps: f64,
+    disabled_meps: f64,
+}
+
+impl Sample {
+    /// Relative throughput cost of collecting: `(off - on) / off`, in
+    /// percent. Negative values are measurement noise (enabled ran faster).
+    fn overhead_pct(&self) -> f64 {
+        (self.disabled_meps - self.enabled_meps) / self.disabled_meps.max(1e-9) * 100.0
+    }
+}
+
+fn slice_batches(edges: &[Edge]) -> Vec<EdgeBatch> {
+    edges.chunks(OPS_PER_BATCH).map(EdgeBatch::inserts).collect()
+}
+
+fn measure_sequential(batches: &[EdgeBatch], ops: u64) -> f64 {
+    let mut g = GraphTinker::with_defaults();
+    let t0 = Instant::now();
+    for b in batches {
+        g.apply_batch(b);
+    }
+    meps(ops, t0.elapsed())
+}
+
+fn measure_pooled(batches: &[EdgeBatch], ops: u64, shards: usize) -> f64 {
+    let mut g = ParallelTinker::new(TinkerConfig::default(), shards).expect("parallel store");
+    let t0 = Instant::now();
+    for b in batches {
+        g.apply_batch(b);
+    }
+    meps(ops, t0.elapsed())
+}
+
+/// Best-of-[`REPS`] for one measurement function, interleaving the
+/// disabled and enabled trials. Restores collection to enabled.
+fn sample(mut measure: impl FnMut() -> f64) -> Sample {
+    let mut s = Sample { enabled_meps: 0.0, disabled_meps: 0.0 };
+    for _ in 0..REPS {
+        metrics::set_enabled(false);
+        s.disabled_meps = s.disabled_meps.max(measure());
+        metrics::set_enabled(true);
+        s.enabled_meps = s.enabled_meps.max(measure());
+    }
+    s
+}
+
+fn to_json(ops: u64, seq: &Sample, pooled: &Sample, samples_recorded: u64) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"metrics_overhead\",\n");
+    out.push_str(&format!("  \"ops\": {ops},\n"));
+    out.push_str(&format!("  \"ops_per_batch\": {OPS_PER_BATCH},\n"));
+    out.push_str(&format!("  \"reps\": {REPS},\n"));
+    out.push_str(&format!("  \"seq_enabled_meps\": {:.3},\n", seq.enabled_meps));
+    out.push_str(&format!("  \"seq_disabled_meps\": {:.3},\n", seq.disabled_meps));
+    out.push_str(&format!("  \"overhead_pct\": {:.3},\n", seq.overhead_pct()));
+    out.push_str(&format!("  \"pooled_enabled_meps\": {:.3},\n", pooled.enabled_meps));
+    out.push_str(&format!("  \"pooled_disabled_meps\": {:.3},\n", pooled.disabled_meps));
+    out.push_str(&format!("  \"pooled_overhead_pct\": {:.3},\n", pooled.overhead_pct()));
+    out.push_str(&format!("  \"samples_recorded\": {samples_recorded}\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// Runs the metrics-overhead benchmark; also writes
+/// `<out-dir>/BENCH_metrics_overhead.json`.
+pub fn run(args: &Args) -> Table {
+    let spec = hollywood(args.scale_factor);
+    let edges = spec.generate();
+    let batches = slice_batches(&edges);
+    let ops = edges.len() as u64;
+
+    let mut t = Table::new(
+        "fig_metrics_overhead",
+        &format!(
+            "Metric instrumentation overhead: Medges/s with collection on vs off \
+             ({}, {} ops, best of {REPS} interleaved trials)",
+            spec.name, ops
+        ),
+        &["path", "enabled_meps", "disabled_meps", "overhead_pct"],
+    );
+
+    let seq = sample(|| measure_sequential(&batches, ops));
+    // Snapshot right after an enabled sequential run: proves the hooks
+    // actually collected (a zero here would mean we measured nothing).
+    let samples_recorded = metrics::global().snapshot().rhh_probe.count();
+    let pooled = sample(|| measure_pooled(&batches, ops, 4));
+    metrics::set_enabled(true);
+
+    for (name, s) in [("sequential", &seq), ("pooled4", &pooled)] {
+        t.push_row(vec![
+            name.into(),
+            f3(s.enabled_meps),
+            f3(s.disabled_meps),
+            format!("{:.2}%", s.overhead_pct()),
+        ]);
+    }
+
+    let json = to_json(ops, &seq, &pooled, samples_recorded);
+    let path = std::path::Path::new(&args.out_dir).join("BENCH_metrics_overhead.json");
+    if let Err(e) =
+        std::fs::create_dir_all(&args.out_dir).and_then(|()| std::fs::write(&path, json))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let s = to_json(
+            80_000,
+            &Sample { enabled_meps: 9.5, disabled_meps: 10.0 },
+            &Sample { enabled_meps: 20.0, disabled_meps: 20.0 },
+            80_000,
+        );
+        assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
+        assert!(s.contains("\"overhead_pct\": 5.000"));
+        assert!(s.contains("\"pooled_overhead_pct\": 0.000"));
+        assert!(s.contains("\"samples_recorded\": 80000"));
+    }
+
+    #[test]
+    fn tiny_end_to_end_run() {
+        let dir =
+            std::env::temp_dir().join(format!("gtinker_fig_metrics_out_{}", std::process::id()));
+        let args = Args {
+            scale_factor: 4096,
+            batches: 4,
+            threads: vec![1],
+            out_dir: dir.to_string_lossy().into_owned(),
+        };
+        let t = run(&args);
+        assert!(metrics::enabled(), "run must leave collection enabled");
+        assert!(t.render().contains("sequential"));
+        assert!(dir.join("BENCH_metrics_overhead.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

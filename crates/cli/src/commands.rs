@@ -26,7 +26,8 @@ gtinker — the GraphTinker dynamic-graph store (IPDPS 2019 reproduction)
 USAGE:
   gtinker generate (--dataset NAME | --rmat-scale N --edges M) [--seed S]
                    [--scale-factor F] --out FILE
-  gtinker stats FILE [--pagewidth N] [--no-sgh] [--no-cal] [--compact]
+  gtinker stats FILE|WALDIR [--format text|json|prom] [--pagewidth N]
+                [--no-sgh] [--no-cal] [--compact]
   gtinker bfs FILE --root R [--mode hybrid|da|fp|ip] [--shards N]
   gtinker sssp FILE --root R [--mode hybrid|da|fp|ip] [--shards N]
   gtinker cc FILE [--mode hybrid|da|fp|ip] [--shards N]
@@ -35,7 +36,7 @@ USAGE:
   gtinker bench-insert FILE [--batch N] [--baseline]
   gtinker ingest FILE --wal DIR [--batch N] [--sync never|always|N]
                  [--snapshot-every K] [--final-snapshot] [--pipeline]
-                 [--pool N]
+                 [--pool N] [--stats]
   gtinker snapshot FILE --dir DIR [--baseline]
   gtinker recover DIR [--baseline] [--root R]
   gtinker help
@@ -50,7 +51,11 @@ store. 'ingest' streams FILE through a write-ahead log in DIR so a crash
 at any point recovers via 'gtinker recover DIR'; --pipeline overlaps WAL
 I/O for batch k+1 with the in-memory apply of batch k (ack stays
 WAL-first), and --pool N applies batches through N interval-partitioned
-shard workers (fresh DIR only; no snapshots).
+shard workers (fresh DIR only; no snapshots). 'stats' reports structure
+stats plus the hot-path metric registry (probe/displacement histograms,
+WAL latencies); give it a WAL DIR to profile recovery instead of a fresh
+ingest, and --format json|prom for machine-readable output. 'ingest
+--stats' dumps the same registry after the run.
 ";
 
 /// Runs a parsed command; returns an error message on failure.
@@ -137,27 +142,122 @@ fn generate(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// `gtinker stats INPUT`: structure statistics plus the hot-path metric
+/// registry accumulated while building the store. INPUT is either an edge
+/// list (live ingest into a fresh store) or a WAL directory (recovery).
 fn stats(parsed: &Parsed) -> Result<(), String> {
-    let (g, _) = load_graph(parsed)?;
-    let st = g.structure_stats();
-    let ps = g.stats();
-    println!("vertices (sources): {}", st.num_sources);
-    println!("vertex space      : {}", g.vertex_space());
-    println!("live edges        : {}", st.live_edges);
-    println!("main blocks       : {}", st.main_blocks);
-    println!("overflow blocks   : {}", st.overflow_blocks);
-    println!("free blocks       : {}", st.free_blocks);
-    println!("tombstones        : {}", st.tombstones);
-    println!("CAL blocks        : {} ({} invalid records)", st.cal_blocks, st.cal_invalid);
-    println!("occupancy         : {:.3}", st.occupancy);
-    println!("memory            : {:.1} MiB", st.memory_bytes as f64 / (1024.0 * 1024.0));
-    println!("mean probe        : {:.2} cells/op", ps.mean_probe());
-    println!("mean tree depth   : {:.3}", g.mean_depth());
-    let hist = g.depth_histogram();
-    for (d, n) in hist.iter().enumerate() {
-        println!("  depth {d}: {n} edges");
+    let format = parsed.get("format").unwrap_or("text");
+    if !matches!(format, "text" | "json" | "prom" | "prometheus") {
+        return Err(format!("option --format: expected text|json|prom, got '{format}'"));
+    }
+    let input = parsed.input()?.to_string();
+    // The registry is process-global; start from zero so the report
+    // covers exactly the ingest/recovery performed by this command.
+    gtinker_core::metrics::global().reset();
+    let recovered = Path::new(&input).is_dir();
+    let g = if recovered {
+        let (g, report) =
+            recover_tinker(Path::new(&input), config(parsed)?).map_err(|e| e.to_string())?;
+        eprintln!(
+            "recovered {} edges from {input} (snapshot lsn {}, {} records replayed)",
+            g.num_edges(),
+            report.snapshot_lsn,
+            report.replayed_records
+        );
+        g
+    } else {
+        load_graph(parsed)?.0
+    };
+    let snap = gtinker_core::metrics::global().snapshot();
+    match format {
+        "json" => println!("{}", stats_json(&g, &input, recovered, &snap)),
+        "prom" | "prometheus" => print!("{}", snap.to_prometheus()),
+        _ => {
+            let st = g.structure_stats();
+            let ps = g.stats();
+            println!("vertices (sources): {}", st.num_sources);
+            println!("vertex space      : {}", g.vertex_space());
+            println!("live edges        : {}", st.live_edges);
+            println!("main blocks       : {}", st.main_blocks);
+            println!("overflow blocks   : {}", st.overflow_blocks);
+            println!("free blocks       : {}", st.free_blocks);
+            println!("tombstones        : {}", st.tombstones);
+            println!("CAL blocks        : {} ({} invalid records)", st.cal_blocks, st.cal_invalid);
+            println!("occupancy         : {:.3}", st.occupancy);
+            println!("memory            : {:.1} MiB", st.memory_bytes as f64 / (1024.0 * 1024.0));
+            println!("mean probe        : {:.2} cells/op", ps.mean_probe());
+            println!("mean tree depth   : {:.3}", g.mean_depth());
+            let hist = g.depth_histogram();
+            for (d, n) in hist.iter().enumerate() {
+                println!("  depth {d}: {n} edges");
+            }
+            println!("-- hot-path metrics (this run) --");
+            println!(
+                "rhh placements    : {} (mean probe {:.2}, max <= {}, {} displacements, \
+                 {} overflows)",
+                snap.rhh_probe.count(),
+                snap.rhh_probe.mean_approx(),
+                snap.rhh_probe.max_bound(),
+                snap.rhh_displacements,
+                snap.rhh_overflows
+            );
+            println!(
+                "sgh placements    : {} (mean probe {:.2}, {} grows)",
+                snap.sgh_probe.count(),
+                snap.sgh_probe.mean_approx(),
+                snap.sgh_grows
+            );
+            println!(
+                "ops               : {} inserts, {} updates, {} deletes, {} delete misses",
+                snap.tinker_inserts,
+                snap.tinker_updates,
+                snap.tinker_deletes,
+                snap.tinker_delete_misses
+            );
+            println!(
+                "branch-outs       : {} (wal: {} appends, {} syncs; {} snapshots)",
+                snap.tinker_branch_depth.count(),
+                snap.wal_appends,
+                snap.wal_syncs,
+                snap.snapshot_writes
+            );
+        }
     }
     Ok(())
+}
+
+/// Renders `gtinker stats` output as one JSON object: structure stats as
+/// scalar fields (one per line, sed/grep-friendly) plus the full metric
+/// registry under `"metrics"`.
+fn stats_json(
+    g: &GraphTinker,
+    input: &str,
+    recovered: bool,
+    snap: &gtinker_core::MetricsSnapshot,
+) -> String {
+    let st = g.structure_stats();
+    let ps = g.stats();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"input\": \"{}\",\n", input.replace('\\', "/").replace('"', "'")));
+    out.push_str(&format!("  \"recovered\": {recovered},\n"));
+    out.push_str(&format!("  \"live_edges\": {},\n", st.live_edges));
+    out.push_str(&format!("  \"num_sources\": {},\n", st.num_sources));
+    out.push_str(&format!("  \"vertex_space\": {},\n", g.vertex_space()));
+    out.push_str(&format!("  \"main_blocks\": {},\n", st.main_blocks));
+    out.push_str(&format!("  \"overflow_blocks\": {},\n", st.overflow_blocks));
+    out.push_str(&format!("  \"free_blocks\": {},\n", st.free_blocks));
+    out.push_str(&format!("  \"tombstones\": {},\n", st.tombstones));
+    out.push_str(&format!("  \"cal_blocks\": {},\n", st.cal_blocks));
+    out.push_str(&format!("  \"cal_invalid\": {},\n", st.cal_invalid));
+    out.push_str(&format!("  \"occupancy\": {:.6},\n", st.occupancy));
+    out.push_str(&format!("  \"memory_bytes\": {},\n", st.memory_bytes));
+    out.push_str(&format!("  \"mean_probe\": {:.6},\n", ps.mean_probe()));
+    out.push_str(&format!("  \"mean_depth\": {:.6},\n", g.mean_depth()));
+    // Indent the metrics object to nest under this one.
+    let metrics = snap.to_json().replace('\n', "\n  ");
+    out.push_str(&format!("  \"metrics\": {metrics}\n"));
+    out.push('}');
+    out
 }
 
 /// Number of shards requested via `--shards` (1 = single store).
@@ -357,6 +457,9 @@ fn ingest(parsed: &Parsed) -> Result<(), String> {
     let opts = WalOptions { sync: sync_policy(parsed)?, ..WalOptions::default() };
     let edges = io::read_edge_list(path).map_err(|e| e.to_string())?;
     let pool = parsed.num("pool", 1usize)?;
+    if pool == 0 {
+        return Err("option --pool: must be at least 1".into());
+    }
     if pool > 1 {
         return ingest_pooled(parsed, Path::new(dir), &edges, batch_size, pool, opts);
     }
@@ -397,6 +500,9 @@ fn ingest(parsed: &Parsed) -> Result<(), String> {
         d.store().num_edges(),
         d.next_lsn()
     );
+    if parsed.flag("stats") {
+        print!("{}", gtinker_core::metrics::global().snapshot().to_prometheus());
+    }
     Ok(())
 }
 
@@ -452,6 +558,9 @@ fn ingest_pooled(
         g.num_edges(),
         wal.next_lsn()
     );
+    if parsed.flag("stats") {
+        print!("{}", gtinker_core::metrics::global().snapshot().to_prometheus());
+    }
     Ok(())
 }
 
@@ -621,6 +730,63 @@ mod tests {
         run(&parsed(&["pagerank", file_s, "--iterations", "3", "--shards", "2"])).unwrap();
         assert!(run(&parsed(&["bfs", file_s, "--shards", "0"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_pool_and_zero_shards_are_rejected() {
+        let dir = std::env::temp_dir().join("gtinker_cli_zero");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("g.txt");
+        std::fs::write(&file, "0 1\n1 2\n").unwrap();
+        let file_s = file.to_str().unwrap();
+        let db = dir.join("db");
+        let db_s = db.to_str().unwrap();
+        let e = run(&parsed(&["ingest", file_s, "--wal", db_s, "--pool", "0"])).unwrap_err();
+        assert!(e.contains("--pool") && e.contains("at least 1"), "got: {e}");
+        assert!(!db.exists(), "rejected ingest must not create the WAL dir");
+        let e = run(&parsed(&["bfs", file_s, "--shards", "0"])).unwrap_err();
+        assert!(e.contains("--shards") && e.contains("at least 1"), "got: {e}");
+        for cmd in ["sssp", "cc", "pagerank"] {
+            let e = run(&parsed(&[cmd, file_s, "--shards", "0"])).unwrap_err();
+            assert!(e.contains("--shards"), "{cmd}: {e}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_formats_and_recovered_store() {
+        let dir = std::env::temp_dir().join("gtinker_cli_statsfmt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("g.txt");
+        std::fs::write(&file, "0 1\n0 2\n1 2\n2 3\n").unwrap();
+        let file_s = file.to_str().unwrap();
+        // All three formats over a file load.
+        run(&parsed(&["stats", file_s])).unwrap();
+        run(&parsed(&["stats", file_s, "--format", "json"])).unwrap();
+        run(&parsed(&["stats", file_s, "--format", "prom"])).unwrap();
+        let e = run(&parsed(&["stats", file_s, "--format", "xml"])).unwrap_err();
+        assert!(e.contains("--format"));
+        // And over a recovered WAL directory.
+        let db = dir.join("db");
+        let db_s = db.to_str().unwrap();
+        run(&parsed(&["ingest", file_s, "--wal", db_s, "--sync", "never", "--stats"])).unwrap();
+        run(&parsed(&["stats", db_s, "--format", "json"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let mut g = GraphTinker::with_defaults();
+        g.apply_batch(&EdgeBatch::inserts(&[Edge::unit(0, 1), Edge::unit(0, 2)]));
+        let snap = gtinker_core::metrics::global().snapshot();
+        let s = stats_json(&g, "some/input.txt", false, &snap);
+        assert!(s.starts_with("{\n") && s.ends_with('}'));
+        assert!(s.contains("\"live_edges\": 2"));
+        assert!(s.contains("\"recovered\": false"));
+        assert!(s.contains("\"metrics\": {"));
+        assert!(s.contains("\"rhh_probe\""));
     }
 
     #[test]

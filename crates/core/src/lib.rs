@@ -47,6 +47,7 @@
 pub mod cal;
 pub mod edgeblock;
 pub mod hash;
+pub mod metrics;
 pub mod parallel;
 pub mod pool;
 pub mod rhh;
@@ -57,6 +58,7 @@ pub mod vertex;
 
 pub use cal::{CalArray, CalPtr};
 pub use edgeblock::{BlockArena, CellState, EdgeCell};
+pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use parallel::ParallelTinker;
 pub use pool::{ShardPool, ShardStore};
 pub use sgh::SghUnit;

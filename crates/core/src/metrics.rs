@@ -1,0 +1,670 @@
+//! Process-wide observability registry: relaxed-atomic counters, gauges,
+//! and fixed-bucket histograms instrumenting the hot paths of the store
+//! ([`rhh`](crate::rhh) probes/displacements, [`GraphTinker`](crate::GraphTinker)
+//! branch-outs and compaction work, [`SghUnit`](crate::SghUnit) remap probes,
+//! [`ShardPool`](crate::ShardPool) queueing) plus the persistence and engine
+//! layers in the downstream crates.
+//!
+//! # Design
+//!
+//! Everything is hand-rolled on `std::sync::atomic` — no external metric
+//! crates. The hot-path cost budget is a single `Relaxed` read-modify-write
+//! per event:
+//!
+//! - [`Counter::inc`] / [`Counter::add`] are one `fetch_add`.
+//! - [`Histogram::record`] maps the value to one of [`HIST_BUCKETS`] fixed
+//!   buckets (exact below [`HIST_LINEAR`], power-of-two ranges above) and
+//!   does one `fetch_add` on that bucket. Count, max, and mean are *derived*
+//!   from the buckets at snapshot time instead of being maintained online.
+//! - [`Gauge`] tracks a balanced up/down quantity (queue depth) and is the
+//!   one primitive that ignores the runtime enable flag, so increments and
+//!   decrements always pair up even if collection is toggled mid-flight.
+//!
+//! Two independent switches control collection:
+//!
+//! 1. The `metrics` cargo feature (default **on**). With the feature off the
+//!    primitives compile to zero-sized types whose methods are empty `#[inline]`
+//!    bodies — the true zero-cost path, proven behaviour-neutral by the
+//!    metrics-off parity tests and CI build check.
+//! 2. A runtime flag ([`set_enabled`]) checked with one relaxed load inside
+//!    each recording method. It exists so a single binary (the
+//!    `fig_metrics_overhead` bench) can measure enabled-vs-disabled ingest
+//!    throughput back to back.
+//!
+//! The registry is a process-wide static ([`global`]). [`Metrics::snapshot`]
+//! materialises it into a plain-data [`MetricsSnapshot`] with hand-rolled
+//! JSON ([`MetricsSnapshot::to_json`]) and Prometheus-style text
+//! ([`MetricsSnapshot::to_prometheus`]) renderings.
+
+#[cfg(feature = "metrics")]
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of buckets in every [`Histogram`].
+pub const HIST_BUCKETS: usize = 40;
+
+/// Values below this threshold get an exact bucket each; larger values fall
+/// into power-of-two ranges.
+pub const HIST_LINEAR: u64 = 16;
+
+/// Maps a recorded value to its bucket index: exact for `v < HIST_LINEAR`,
+/// then one bucket per power-of-two range, clamped to the last bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < HIST_LINEAR {
+        v as usize
+    } else {
+        let bits = 64 - v.leading_zeros() as usize; // >= 5 here
+        (HIST_LINEAR as usize + bits - 5).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow bucket).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i < HIST_LINEAR as usize {
+        i as u64
+    } else if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (i - 11)) - 1
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i <= HIST_LINEAR as usize {
+        i as u64
+    } else {
+        bucket_upper_bound(i - 1) + 1
+    }
+}
+
+#[cfg(feature = "metrics")]
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether runtime collection is currently enabled. Always `false` when the
+/// `metrics` feature is compiled out.
+#[inline]
+pub fn enabled() -> bool {
+    #[cfg(feature = "metrics")]
+    {
+        ENABLED.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "metrics"))]
+    {
+        false
+    }
+}
+
+/// Toggles runtime collection. A no-op when the `metrics` feature is
+/// compiled out. Collection starts enabled.
+pub fn set_enabled(on: bool) {
+    #[cfg(feature = "metrics")]
+    ENABLED.store(on, Ordering::Relaxed);
+    #[cfg(not(feature = "metrics"))]
+    let _ = on;
+}
+
+/// Starts a wall-clock timer for latency histograms, or `None` when
+/// collection is off so the `Instant::now()` syscall is skipped too.
+/// Pair with [`Histogram::record_since`].
+#[inline]
+pub fn timer() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// A monotonically increasing event count (relaxed atomic).
+#[cfg(feature = "metrics")]
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+#[cfg(feature = "metrics")]
+impl Counter {
+    /// Creates a zeroed counter (const so it can live in a static).
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one to the counter if collection is enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the counter if collection is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// No-op stand-in compiled when the `metrics` feature is off.
+#[cfg(not(feature = "metrics"))]
+#[derive(Debug, Default)]
+pub struct Counter;
+
+#[cfg(not(feature = "metrics"))]
+impl Counter {
+    /// Creates the zero-sized no-op counter.
+    pub const fn new() -> Self {
+        Counter
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn inc(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always zero.
+    pub fn get(&self) -> u64 {
+        0
+    }
+
+    /// No-op.
+    pub fn reset(&self) {}
+}
+
+/// A balanced up/down quantity (e.g. in-flight batch count). Unlike
+/// [`Counter`] and [`Histogram`], a gauge does **not** consult the runtime
+/// enable flag: increments and decrements must pair up even if collection
+/// is toggled between them, otherwise the gauge would drift permanently.
+#[cfg(feature = "metrics")]
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+#[cfg(feature = "metrics")]
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the gauge to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// No-op stand-in compiled when the `metrics` feature is off.
+#[cfg(not(feature = "metrics"))]
+#[derive(Debug, Default)]
+pub struct Gauge;
+
+#[cfg(not(feature = "metrics"))]
+impl Gauge {
+    /// Creates the zero-sized no-op gauge.
+    pub const fn new() -> Self {
+        Gauge
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn inc(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn dec(&self) {}
+
+    /// Always zero.
+    pub fn get(&self) -> i64 {
+        0
+    }
+
+    /// No-op.
+    pub fn reset(&self) {}
+}
+
+/// A fixed-bucket histogram ([`HIST_BUCKETS`] buckets: exact below
+/// [`HIST_LINEAR`], power-of-two ranges above). [`record`](Self::record) is a
+/// single relaxed `fetch_add`; count/max/mean are derived at snapshot time.
+#[cfg(feature = "metrics")]
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+#[cfg(feature = "metrics")]
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(feature = "metrics")]
+impl Histogram {
+    /// Creates a zeroed histogram (const so it can live in a static).
+    pub const fn new() -> Self {
+        Histogram { buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS] }
+    }
+
+    /// Records one observation of `v` if collection is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the elapsed nanoseconds since `start` (from [`timer`]);
+    /// a no-op when `start` is `None`.
+    #[inline]
+    pub fn record_since(&self, start: Option<Instant>) {
+        if let Some(t) = start {
+            self.record(t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Materialises the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Resets all buckets to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// No-op stand-in compiled when the `metrics` feature is off.
+#[cfg(not(feature = "metrics"))]
+#[derive(Debug, Default)]
+pub struct Histogram;
+
+#[cfg(not(feature = "metrics"))]
+impl Histogram {
+    /// Creates the zero-sized no-op histogram.
+    pub const fn new() -> Self {
+        Histogram
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn record(&self, _v: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn record_since(&self, _start: Option<Instant>) {}
+
+    /// An all-zero snapshot (same shape as the instrumented build).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot { buckets: vec![0; HIST_BUCKETS] }
+    }
+
+    /// No-op.
+    pub fn reset(&self) {}
+}
+
+/// Plain-data view of a [`Histogram`] with derived statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts, length [`HIST_BUCKETS`].
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Inclusive upper bound of the highest non-empty bucket — every
+    /// recorded value is `<=` this. Zero when empty.
+    pub fn max_bound(&self) -> u64 {
+        self.buckets.iter().rposition(|&c| c > 0).map(bucket_upper_bound).unwrap_or(0)
+    }
+
+    /// Bucket-midpoint approximation of the mean. Exact for values below
+    /// [`HIST_LINEAR`]; within a factor of ~1.5 above it.
+    pub fn mean_approx(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = bucket_lower_bound(i) as f64;
+            // Clamp the open-ended overflow bucket to its lower bound.
+            let hi = if i >= HIST_BUCKETS - 1 { lo } else { bucket_upper_bound(i) as f64 };
+            sum += c as f64 * (lo + hi) / 2.0;
+        }
+        sum / count as f64
+    }
+}
+
+macro_rules! registry {
+    (
+        $(#[$meta:meta])* struct $Reg:ident / $Snap:ident {
+            $( $(#[$fmeta:meta])* $name:ident : $kind:ident ),* $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        pub struct $Reg {
+            $( $(#[$fmeta])* pub $name : registry!(@live $kind), )*
+        }
+
+        impl $Reg {
+            /// Creates a zeroed registry (const so it can live in a static).
+            pub const fn new() -> Self {
+                $Reg { $( $name : registry!(@new $kind), )* }
+            }
+
+            /// Materialises every metric into a plain-data snapshot.
+            pub fn snapshot(&self) -> $Snap {
+                $Snap { $( $name : registry!(@snap self.$name, $kind), )* }
+            }
+
+            /// Resets every metric to zero.
+            pub fn reset(&self) {
+                $( self.$name.reset(); )*
+            }
+        }
+
+        /// Plain-data view of every metric in the registry at one instant.
+        /// Renderable as JSON ([`to_json`](Self::to_json)) or
+        /// Prometheus-style text ([`to_prometheus`](Self::to_prometheus)).
+        #[derive(Debug, Clone, Default, PartialEq)]
+        pub struct $Snap {
+            $( $(#[$fmeta])* pub $name : registry!(@snapty $kind), )*
+        }
+
+        impl $Snap {
+            /// Renders the snapshot as a JSON object, one `"name": value`
+            /// line per scalar so shell pipelines can grep/sed fields out.
+            pub fn to_json(&self) -> String {
+                let mut parts: Vec<String> = Vec::new();
+                $( registry!(@json parts, stringify!($name), self.$name, $kind); )*
+                format!("{{\n{}\n}}", parts.join(",\n"))
+            }
+
+            /// Renders the snapshot as Prometheus-style exposition text
+            /// (`gtinker_`-prefixed metric families).
+            pub fn to_prometheus(&self) -> String {
+                let mut out = String::new();
+                $( registry!(@prom out, stringify!($name), self.$name, $kind); )*
+                out
+            }
+        }
+    };
+
+    (@live counter) => { Counter };
+    (@live gauge) => { Gauge };
+    (@live histogram) => { Histogram };
+    (@new counter) => { Counter::new() };
+    (@new gauge) => { Gauge::new() };
+    (@new histogram) => { Histogram::new() };
+    (@snap $f:expr, counter) => { $f.get() };
+    (@snap $f:expr, gauge) => { $f.get() };
+    (@snap $f:expr, histogram) => { $f.snapshot() };
+    (@snapty counter) => { u64 };
+    (@snapty gauge) => { i64 };
+    (@snapty histogram) => { HistogramSnapshot };
+    (@json $parts:ident, $n:expr, $v:expr, counter) => {
+        $parts.push(format!("  \"{}\": {}", $n, $v));
+    };
+    (@json $parts:ident, $n:expr, $v:expr, gauge) => {
+        $parts.push(format!("  \"{}\": {}", $n, $v));
+    };
+    (@json $parts:ident, $n:expr, $v:expr, histogram) => {
+        $parts.push(hist_json($n, &$v));
+    };
+    (@prom $out:ident, $n:expr, $v:expr, counter) => {
+        prom_scalar(&mut $out, $n, "counter", $v as i64);
+    };
+    (@prom $out:ident, $n:expr, $v:expr, gauge) => {
+        prom_scalar(&mut $out, $n, "gauge", $v);
+    };
+    (@prom $out:ident, $n:expr, $v:expr, histogram) => {
+        prom_hist(&mut $out, $n, &$v);
+    };
+}
+
+registry! {
+    /// The full metric catalogue. Field names double as the metric names in
+    /// both renderings (prefixed `gtinker_` in Prometheus text).
+    struct Metrics / MetricsSnapshot {
+        /// RHH placement probe distances: one observation per insertion
+        /// (the chain max when Robin Hood swaps displaced residents), so
+        /// the top populated bucket bounds the largest stored probe.
+        rhh_probe: histogram,
+        /// Robin Hood swaps: residents displaced to seat a richer arrival.
+        rhh_displacements: counter,
+        /// Inserts that ran off the end of a full subblock (workblock fetch
+        /// / branch-out follows).
+        rhh_overflows: counter,
+        /// SGH source-remap placement probe distances: recorded when a new
+        /// source is inserted (and for every key on a grow-rehash), not on
+        /// lookups — the lookup path is too hot to instrument, and a key's
+        /// placement probe bounds its lookup probe.
+        sgh_probe: histogram,
+        /// SGH table rehashes (grow + reinsert-all).
+        sgh_grows: counter,
+        /// Depth at which each tree branch-out created a child edgeblock.
+        tinker_branch_depth: histogram,
+        /// New edges inserted.
+        tinker_inserts: counter,
+        /// Weight updates to already-present edges.
+        tinker_updates: counter,
+        /// Edges deleted.
+        tinker_deletes: counter,
+        /// Deletes that found no matching edge.
+        tinker_delete_misses: counter,
+        /// Cells pulled toward the root by compact-mode backfill.
+        tinker_backfill_moves: counter,
+        /// Child edgeblocks returned to the free list by compaction.
+        tinker_blocks_freed: counter,
+        /// CAL array rebuilds triggered by invalid-slot accumulation.
+        tinker_cal_rebuilds: counter,
+        /// Batches dispatched to the shard pool.
+        pool_batches: counter,
+        /// Per-worker claim passes over dispatched batches.
+        pool_claims: counter,
+        /// Operations claimed by pool workers (sums to ops across shards).
+        pool_claimed_ops: counter,
+        /// `settle()` calls that actually had to wait for in-flight batches.
+        pool_settle_waits: counter,
+        /// In-flight (submitted, not yet reaped) pool batches right now.
+        pool_queue_depth: gauge,
+        /// WAL records appended.
+        wal_appends: counter,
+        /// WAL append latency in nanoseconds (encode + write + any sync).
+        wal_append_ns: histogram,
+        /// Explicit WAL data syncs.
+        wal_syncs: counter,
+        /// WAL sync latency in nanoseconds.
+        wal_sync_ns: histogram,
+        /// Snapshot files written.
+        snapshot_writes: counter,
+        /// Snapshot encode time in nanoseconds.
+        snapshot_encode_ns: histogram,
+        /// Snapshot file write+rename time in nanoseconds.
+        snapshot_write_ns: histogram,
+        /// Analytics engine iterations completed.
+        engine_iterations: counter,
+        /// Total engine gather/scatter processing time, nanoseconds.
+        engine_process_ns: counter,
+        /// Total engine apply-phase time, nanoseconds.
+        engine_apply_ns: counter,
+    }
+}
+
+fn hist_json(name: &str, h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+    format!(
+        "  \"{name}\": {{\"count\": {}, \"max_le\": {}, \"mean_approx\": {:.3}, \
+         \"buckets\": [{}]}}",
+        h.count(),
+        h.max_bound(),
+        h.mean_approx(),
+        buckets.join(", ")
+    )
+}
+
+fn prom_scalar(out: &mut String, name: &str, kind: &str, v: i64) {
+    out.push_str(&format!("# TYPE gtinker_{name} {kind}\ngtinker_{name} {v}\n"));
+}
+
+fn prom_hist(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE gtinker_{name} histogram\n"));
+    let mut cum = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        cum += c;
+        // Only emit boundaries that carry information (non-empty bucket or
+        // the first/last) to keep the exposition readable.
+        if c > 0 {
+            let le = if i >= HIST_BUCKETS - 1 {
+                "+Inf".to_string()
+            } else {
+                bucket_upper_bound(i).to_string()
+            };
+            out.push_str(&format!("gtinker_{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+    }
+    let count = h.count();
+    out.push_str(&format!("gtinker_{name}_bucket{{le=\"+Inf\"}} {count}\n"));
+    out.push_str(&format!("gtinker_{name}_sum {:.0}\n", h.mean_approx() * count as f64));
+    out.push_str(&format!("gtinker_{name}_count {count}\n"));
+}
+
+static GLOBAL: Metrics = Metrics::new();
+
+/// The process-wide metric registry that all instrumentation hooks feed.
+#[inline]
+pub fn global() -> &'static Metrics {
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that flip the global enable flag or reset the
+    /// global registry, since the rest of the suite runs in parallel.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        for v in [0u64, 1, 5, 15, 16, 17, 31, 32, 1000, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lower_bound(i) <= v, "lower({i}) <= {v}");
+            assert!(v <= bucket_upper_bound(i), "{v} <= upper({i})");
+        }
+        // Buckets tile the axis with no gaps.
+        for i in 1..HIST_BUCKETS {
+            assert_eq!(bucket_lower_bound(i), bucket_upper_bound(i - 1) + 1);
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "metrics")]
+    fn histogram_derives_count_max_mean() {
+        let _g = LOCK.lock().unwrap();
+        set_enabled(true);
+        let h = Histogram::new();
+        for v in [0u64, 3, 3, 15, 40] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        // 40 lands in the 32..=63 bucket.
+        assert_eq!(s.max_bound(), 63);
+        assert!(s.max_bound() >= 40);
+        // Exact values below HIST_LINEAR contribute exactly.
+        assert!(s.mean_approx() > 0.0);
+    }
+
+    #[test]
+    #[cfg(feature = "metrics")]
+    fn disabled_records_nothing_but_gauge_still_moves() {
+        let _g = LOCK.lock().unwrap();
+        set_enabled(false);
+        let c = Counter::new();
+        let h = Histogram::new();
+        let g = Gauge::new();
+        c.inc();
+        h.record(7);
+        g.inc();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.snapshot().count(), 0);
+        assert_eq!(g.get(), 1);
+        assert!(timer().is_none());
+        set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+        assert!(timer().is_some());
+    }
+
+    #[test]
+    fn snapshot_renders_json_and_prometheus() {
+        let _g = LOCK.lock().unwrap();
+        let m = Metrics::new();
+        m.tinker_inserts.add(3);
+        m.rhh_probe.record(2);
+        m.pool_queue_depth.inc();
+        let s = m.snapshot();
+        let json = s.to_json();
+        assert!(json.starts_with("{\n") && json.trim_end().ends_with('}'));
+        let prom = s.to_prometheus();
+        assert!(prom.contains("# TYPE gtinker_tinker_inserts counter"));
+        assert!(prom.contains("gtinker_rhh_probe_count"));
+        if cfg!(feature = "metrics") {
+            assert!(json.contains("\"tinker_inserts\": 3"));
+            assert!(json.contains("\"pool_queue_depth\": 1"));
+            assert!(prom.contains("gtinker_tinker_inserts 3"));
+        }
+        m.reset();
+        assert_eq!(m.snapshot().tinker_inserts, 0);
+        assert_eq!(m.snapshot().pool_queue_depth, 0);
+        assert_eq!(m.snapshot().rhh_probe.count(), 0);
+    }
+
+    #[test]
+    fn global_registry_is_reachable() {
+        let _ = global().snapshot();
+    }
+}

@@ -126,6 +126,9 @@ fn worker_loop<S: ShardStore>(index: usize, shards: Arc<Vec<Mutex<S>>>, rx: mpsc
                 claim.push(op);
             }
         }
+        let m = crate::metrics::global();
+        m.pool_claims.inc();
+        m.pool_claimed_ops.add(claim.len() as u64);
         // Empty interval: report without touching (or locking) the shard.
         let result = if claim.is_empty() {
             BatchResult::default()
@@ -169,8 +172,16 @@ impl<S: ShardStore> ShardPool<S> {
         self.txs.len()
     }
 
+    /// Number of submitted batches not yet reaped (diagnostic; racy by
+    /// nature — another thread may be reaping concurrently).
+    #[inline]
+    pub fn pending_batches(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
     /// Hands `batch` to every worker under a fresh ticket.
     fn dispatch(&self, batch: Arc<EdgeBatch>) -> Arc<Ticket> {
+        crate::metrics::global().pool_batches.inc();
         let ticket = Arc::new(Ticket::new(self.txs.len()));
         for tx in &self.txs {
             let job = Job { batch: Arc::clone(&batch), ticket: Arc::clone(&ticket) };
@@ -184,13 +195,19 @@ impl<S: ShardStore> ShardPool<S> {
     /// still pending, another thread holds their tickets; yield until it
     /// finishes reaping so readers never observe a half-applied pipeline.
     fn settle(&self) {
+        let mut waited = false;
         while self.pending.load(Ordering::Acquire) > 0 {
+            if !waited {
+                waited = true;
+                crate::metrics::global().pool_settle_waits.inc();
+            }
             let next = self.inflight.lock().expect("inflight poisoned").queue.pop_front();
             match next {
                 Some(ticket) => {
                     let r = ticket.wait();
                     self.inflight.lock().expect("inflight poisoned").reaped.merge(&r);
                     self.pending.fetch_sub(1, Ordering::Release);
+                    crate::metrics::global().pool_queue_depth.dec();
                 }
                 None => std::thread::yield_now(),
             }
@@ -223,12 +240,14 @@ impl<S: ShardStore> ShardPool<S> {
                 let r = ticket.wait();
                 self.inflight.lock().expect("inflight poisoned").reaped.merge(&r);
                 self.pending.fetch_sub(1, Ordering::Release);
+                crate::metrics::global().pool_queue_depth.dec();
             }
         }
         let ticket = self.dispatch(batch);
         let mut inflight = self.inflight.lock().expect("inflight poisoned");
         inflight.queue.push_back(ticket);
         self.pending.fetch_add(1, Ordering::Release);
+        crate::metrics::global().pool_queue_depth.inc();
     }
 
     /// Drains the pipeline and returns the merged outcome counts of every

@@ -80,11 +80,25 @@ pub fn rhh_insert(
     debug_assert!(n.is_power_of_two(), "subblock length must be a power of two");
     debug_assert!(n <= u8::MAX as usize + 1, "probe distance must fit in u8");
     let mask = n - 1;
+    let m = crate::metrics::global();
+    // Metric traffic is kept to at most one histogram record and one
+    // counter add per call, no matter how long the displacement chain
+    // gets: `max_anchor` tracks the largest probe distance any edge was
+    // anchored at during this insertion (every anchored cell's probe is
+    // covered by the chain max of *some* call, so the histogram's top
+    // bucket still bounds the largest stored probe in the structure).
+    let mut displacements: u64 = 0;
+    let mut max_anchor: u64 = 0;
     let mut floating = edge;
     let mut probe: usize = 0;
     let mut pos = bucket;
     loop {
         if probe == n {
+            m.rhh_overflows.inc();
+            if displacements > 0 {
+                m.rhh_probe.record(max_anchor);
+                m.rhh_displacements.add(displacements);
+            }
             return RhhOutcome::Overflow(floating);
         }
         *inspected += 1;
@@ -97,6 +111,10 @@ pub fn rhh_insert(
                 probe: probe as u8,
                 state: CellState::Occupied,
             };
+            m.rhh_probe.record(max_anchor.max(probe as u64));
+            if displacements > 0 {
+                m.rhh_displacements.add(displacements);
+            }
             return RhhOutcome::Placed;
         }
         if (cell.probe as usize) < probe {
@@ -110,6 +128,8 @@ pub fn rhh_insert(
                 probe: probe as u8,
                 state: CellState::Occupied,
             };
+            max_anchor = max_anchor.max(probe as u64);
+            displacements += 1;
             floating = displaced;
             probe = displaced_probe;
         }
@@ -129,6 +149,7 @@ pub fn linear_insert(
     let n = cells.len();
     debug_assert!(n.is_power_of_two());
     let mask = n - 1;
+    let m = crate::metrics::global();
     for i in 0..n {
         *inspected += 1;
         let pos = (bucket + i) & mask;
@@ -140,9 +161,11 @@ pub fn linear_insert(
                 probe: i as u8,
                 state: CellState::Occupied,
             };
+            m.rhh_probe.record(i as u64);
             return RhhOutcome::Placed;
         }
     }
+    m.rhh_overflows.inc();
     RhhOutcome::Overflow(edge)
 }
 

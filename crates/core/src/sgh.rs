@@ -144,6 +144,12 @@ impl SghUnit {
         loop {
             let s = &mut self.slots[pos];
             if s.key == NIL_VERTEX {
+                // Probe histogram sampled on the (rare) new-source path, so
+                // the per-op lookup path stays free of atomic traffic. The
+                // placement probe bounds the lookup probe of this key, and
+                // rehash during `grow` re-records the whole table, keeping
+                // the histogram tracking table health over time.
+                crate::metrics::global().sgh_probe.record(floating.probe as u64);
                 *s = floating;
                 return;
             }
@@ -156,6 +162,7 @@ impl SghUnit {
     }
 
     fn grow(&mut self) {
+        crate::metrics::global().sgh_grows.inc();
         let new_cap = self.slots.len() * 2;
         let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
         self.mask = self.slots.len() - 1;

@@ -23,6 +23,14 @@ pub struct ProbeStats {
     pub branches_created: u64,
     /// Deepest tree level ever reached.
     pub max_depth: u32,
+    /// New edges inserted (not counting weight updates).
+    pub inserts: u64,
+    /// Weight updates to already-present edges.
+    pub updates: u64,
+    /// Edges deleted.
+    pub deletes: u64,
+    /// Delete operations that found no matching edge.
+    pub delete_misses: u64,
 }
 
 impl ProbeStats {
@@ -44,6 +52,10 @@ impl ProbeStats {
         self.subblocks_visited += other.subblocks_visited;
         self.branches_created += other.branches_created;
         self.max_depth = self.max_depth.max(other.max_depth);
+        self.inserts += other.inserts;
+        self.updates += other.updates;
+        self.deletes += other.deletes;
+        self.delete_misses += other.delete_misses;
     }
 }
 
@@ -97,6 +109,10 @@ mod tests {
             subblocks_visited: 4,
             branches_created: 5,
             max_depth: 2,
+            inserts: 6,
+            updates: 7,
+            deletes: 8,
+            delete_misses: 9,
         };
         let b = ProbeStats {
             operations: 10,
@@ -105,6 +121,10 @@ mod tests {
             subblocks_visited: 40,
             branches_created: 50,
             max_depth: 1,
+            inserts: 60,
+            updates: 70,
+            deletes: 80,
+            delete_misses: 90,
         };
         a.merge(&b);
         assert_eq!(a.operations, 11);
@@ -113,5 +133,9 @@ mod tests {
         assert_eq!(a.subblocks_visited, 44);
         assert_eq!(a.branches_created, 55);
         assert_eq!(a.max_depth, 2);
+        assert_eq!(a.inserts, 66);
+        assert_eq!(a.updates, 77);
+        assert_eq!(a.deletes, 88);
+        assert_eq!(a.delete_misses, 99);
     }
 }

@@ -265,6 +265,20 @@ impl GraphTinker {
     /// vacant cell, so a miss can anchor the new edge without re-traversing
     /// the chain. RHH displacement still runs within the target subblock.
     pub fn insert_edge(&mut self, e: Edge) -> bool {
+        let fresh = self.insert_edge_local(e);
+        let m = crate::metrics::global();
+        if fresh {
+            m.tinker_inserts.inc();
+        } else {
+            m.tinker_updates.inc();
+        }
+        fresh
+    }
+
+    /// [`insert_edge`](Self::insert_edge) minus the global metric counters:
+    /// instance stats only, so `apply_batch` can flush the counters once
+    /// per batch instead of paying an atomic RMW per operation.
+    fn insert_edge_local(&mut self, e: Edge) -> bool {
         assert!(
             e.src != NIL_VERTEX && e.dst != NIL_VERTEX,
             "NIL_VERTEX is reserved as the empty-cell sentinel"
@@ -299,6 +313,7 @@ impl GraphTinker {
                             cal.update_weight(ptr, e.weight);
                         }
                     }
+                    self.stats.updates += 1;
                     return false;
                 }
             }
@@ -331,6 +346,7 @@ impl GraphTinker {
                         cal.update_weight(ptr, e.weight);
                     }
                 }
+                self.stats.updates += 1;
                 return false;
             }
             self.stats.cells_inspected += sublen as u64;
@@ -367,6 +383,7 @@ impl GraphTinker {
                 self.arena.set_child(tail_block, tail_sub, Some(child));
                 self.stats.branches_created += 1;
                 depth += 1;
+                crate::metrics::global().tinker_branch_depth.record(depth as u64);
                 self.stats.max_depth = self.stats.max_depth.max(depth);
                 let (sub, bucket) = subblock_and_bucket(e.dst, depth, spb, sublen);
                 (child, sub, bucket)
@@ -393,12 +410,36 @@ impl GraphTinker {
         self.arena.add_live(target_block, 1);
         self.props.ensure(dense, e.src).out_degree += 1;
         self.live_edges += 1;
+        self.stats.inserts += 1;
         true
     }
 
     /// Deletes the edge `(src, dst)`. Returns `true` if it existed.
     pub fn delete_edge(&mut self, src: VertexId, dst: VertexId) -> bool {
+        let deleted = self.delete_edge_local(src, dst);
+        let m = crate::metrics::global();
+        if deleted {
+            m.tinker_deletes.inc();
+        } else {
+            m.tinker_delete_misses.inc();
+        }
+        deleted
+    }
+
+    /// [`delete_edge`](Self::delete_edge) minus the global metric counters
+    /// (see [`insert_edge_local`](Self::insert_edge_local)).
+    fn delete_edge_local(&mut self, src: VertexId, dst: VertexId) -> bool {
         self.stats.operations += 1;
+        let deleted = self.delete_edge_inner(src, dst);
+        if deleted {
+            self.stats.deletes += 1;
+        } else {
+            self.stats.delete_misses += 1;
+        }
+        deleted
+    }
+
+    fn delete_edge_inner(&mut self, src: VertexId, dst: VertexId) -> bool {
         let Some(dense) = self.dense_lookup(src) else { return false };
         let Some(top) = self.top_block(dense) else { return false };
         let (found, cost) = self.locate(top, dst);
@@ -496,6 +537,7 @@ impl GraphTinker {
         // compact mode (finds scan whole subblocks), so store 0.
         *self.arena.cell_mut(block, offset) = EdgeCell { probe: 0, ..moved };
         self.arena.add_live(block, 1);
+        crate::metrics::global().tinker_backfill_moves.inc();
 
         // Recycle emptied, childless blocks bottom-up from the donor.
         self.free_upward(donor);
@@ -514,6 +556,7 @@ impl GraphTinker {
             }
             self.arena.set_child(parent, psub, None);
             self.arena.free_block(b);
+            crate::metrics::global().tinker_blocks_freed.inc();
             b = parent;
         }
     }
@@ -538,19 +581,24 @@ impl GraphTinker {
     }
 
     /// Applies a batch of updates, returning outcome counts.
+    ///
+    /// The global op counters are flushed once per batch from the outcome
+    /// counts (same totals as per-op increments, one atomic RMW per
+    /// counter per batch), keeping the instrumented ingest path within the
+    /// metrics-overhead budget.
     pub fn apply_batch(&mut self, batch: &EdgeBatch) -> BatchResult {
         let mut r = BatchResult::default();
         for op in batch.iter() {
             match *op {
                 UpdateOp::Insert(e) => {
-                    if self.insert_edge(e) {
+                    if self.insert_edge_local(e) {
                         r.inserted += 1;
                     } else {
                         r.updated += 1;
                     }
                 }
                 UpdateOp::Delete { src, dst } => {
-                    if self.delete_edge(src, dst) {
+                    if self.delete_edge_local(src, dst) {
                         r.deleted += 1;
                     } else {
                         r.not_found += 1;
@@ -558,6 +606,11 @@ impl GraphTinker {
                 }
             }
         }
+        let m = crate::metrics::global();
+        m.tinker_inserts.add(r.inserted);
+        m.tinker_updates.add(r.updated);
+        m.tinker_deletes.add(r.deleted);
+        m.tinker_delete_misses.add(r.not_found);
         r
     }
 
@@ -725,6 +778,7 @@ impl GraphTinker {
         if self.cal.is_none() {
             return;
         }
+        crate::metrics::global().tinker_cal_rebuilds.inc();
         let mut cal = CalArray::new(self.config.cal_group_size, self.config.cal_block_size);
         for dense in 0..self.top_blocks.len() as u32 {
             let Some(top) = self.top_block(dense) else { continue };
@@ -826,6 +880,86 @@ impl GraphTinker {
             }
         }
         hist
+    }
+
+    /// Checks the Robin Hood invariants over every live cell (diagnostic /
+    /// test hook; `Ok(())` immediately in delete-and-compact mode, where RHH
+    /// is disabled and probe distances carry no meaning):
+    ///
+    /// 1. every occupied cell sits in the subblock its destination hashes to
+    ///    at that depth, and its stored probe equals the circular distance
+    ///    from its hash bucket;
+    /// 2. the probe-path predecessor of a probe-`d > 0` cell is never truly
+    ///    empty (delete-only mode leaves tombstones, so a hole before a
+    ///    displaced edge would break the FIND shortcut);
+    /// 3. while the structure has never deleted an edge, the full Robin
+    ///    Hood ordering holds: the predecessor's probe is at least `d - 1`.
+    ///    Once a delete has happened anywhere, a later insert may legally
+    ///    reuse a tombstone slot ahead of a displaced cell, so strict
+    ///    ordering is no longer implied — even in subblocks that are
+    ///    tombstone-free *now*.
+    ///
+    /// Returns the first violation as an error string.
+    pub fn validate_rhh_invariants(&self) -> std::result::Result<(), String> {
+        if !self.rhh_enabled() {
+            return Ok(());
+        }
+        let never_deleted = self.stats.deletes == 0;
+        let spb = self.arena.subblocks_per_block();
+        let sublen = self.arena.subblock_len();
+        for dense in 0..self.top_blocks.len() as u32 {
+            let Some(top) = self.top_block(dense) else { continue };
+            let mut stack = vec![(top, 0u32)];
+            while let Some((b, depth)) = stack.pop() {
+                for sub in 0..spb {
+                    let cells = self.arena.subblock_cells(b, sub);
+                    for (pos, cell) in cells.iter().enumerate() {
+                        if !cell.is_occupied() {
+                            continue;
+                        }
+                        let (esub, ebucket) = subblock_and_bucket(cell.dst, depth, spb, sublen);
+                        if esub != sub {
+                            return Err(format!(
+                                "edge to {} stored in subblock {sub} of block {b} at depth \
+                                 {depth}, but hashes to subblock {esub}",
+                                cell.dst
+                            ));
+                        }
+                        let dist = (pos + sublen - ebucket) % sublen;
+                        if dist != cell.probe as usize {
+                            return Err(format!(
+                                "edge to {} at offset {pos} of block {b} stores probe {} but \
+                                 sits {dist} cells from bucket {ebucket}",
+                                cell.dst, cell.probe
+                            ));
+                        }
+                        if cell.probe > 0 {
+                            let prev = &cells[(pos + sublen - 1) % sublen];
+                            if prev.state == CellState::Empty {
+                                return Err(format!(
+                                    "edge to {} has probe {} but an empty predecessor in block \
+                                     {b} subblock {sub}",
+                                    cell.dst, cell.probe
+                                ));
+                            }
+                            if never_deleted && (prev.probe as usize) < cell.probe as usize - 1 {
+                                return Err(format!(
+                                    "Robin Hood ordering violated in block {b} subblock {sub}: \
+                                     probe {} follows probe {}",
+                                    cell.probe, prev.probe
+                                ));
+                            }
+                        }
+                    }
+                }
+                for &c in self.arena.child_slots(b) {
+                    if c != NIL_U32 {
+                        stack.push((c, depth + 1));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Mean tree depth of live edges (0 = everything in top-parents).

@@ -29,6 +29,10 @@ pub struct IterationStats {
     pub messages: u64,
     /// Wall-clock duration of the iteration.
     pub duration: Duration,
+    /// Wall-clock duration of the processing (gather/scatter) phase.
+    pub process_time: Duration,
+    /// Wall-clock duration of the apply phase.
+    pub apply_time: Duration,
     /// Processing-phase wall-clock per shard worker, in shard order.
     /// Empty when the iteration ran on the single-shard sequential path.
     pub shard_times: Vec<Duration>,
@@ -302,13 +306,16 @@ impl<P: GasProgram> Engine<P> {
             let mode = self.policy.decide(self.active.len(), active_degree, store_edges);
 
             // --- Processing phase -------------------------------------
+            let process_start = Instant::now();
             let (edges_processed, messages, shard_times) = if num_shards > 1 {
                 self.process_sharded(store, mode, num_shards)
             } else {
                 self.process_sequential(store, mode)
             };
+            let process_time = process_start.elapsed();
 
             // --- Apply phase -------------------------------------------
+            let apply_start = Instant::now();
             let active_vertices = self.active.len();
             for &v in &self.active {
                 self.active_bits[v as usize] = false;
@@ -326,7 +333,12 @@ impl<P: GasProgram> Engine<P> {
                 }
             }
             self.touched.clear();
+            let apply_time = apply_start.elapsed();
 
+            let m = gtinker_core::metrics::global();
+            m.engine_iterations.inc();
+            m.engine_process_ns.add(process_time.as_nanos() as u64);
+            m.engine_apply_ns.add(apply_time.as_nanos() as u64);
             report.iterations.push(IterationStats {
                 mode,
                 active_vertices,
@@ -335,6 +347,8 @@ impl<P: GasProgram> Engine<P> {
                 edges_processed,
                 messages,
                 duration: iter_start.elapsed(),
+                process_time,
+                apply_time,
                 shard_times,
             });
             report.total_edges_processed += edges_processed;

@@ -358,12 +358,28 @@ pub fn write_snapshot_bytes(dir: &Path, lsn: u64, bytes: &[u8]) -> Result<PathBu
 
 /// Snapshots a [`GraphTinker`] into `dir` at WAL position `lsn`.
 pub fn write_tinker_snapshot(dir: &Path, g: &GraphTinker, lsn: u64) -> Result<PathBuf> {
-    write_snapshot_bytes(dir, lsn, &encode_tinker(g, lsn))
+    let m = gtinker_core::metrics::global();
+    let encode_timer = gtinker_core::metrics::timer();
+    let bytes = encode_tinker(g, lsn);
+    m.snapshot_encode_ns.record_since(encode_timer);
+    let write_timer = gtinker_core::metrics::timer();
+    let path = write_snapshot_bytes(dir, lsn, &bytes)?;
+    m.snapshot_write_ns.record_since(write_timer);
+    m.snapshot_writes.inc();
+    Ok(path)
 }
 
 /// Snapshots a [`Stinger`] into `dir` at WAL position `lsn`.
 pub fn write_stinger_snapshot(dir: &Path, s: &Stinger, lsn: u64) -> Result<PathBuf> {
-    write_snapshot_bytes(dir, lsn, &encode_stinger(s, lsn))
+    let m = gtinker_core::metrics::global();
+    let encode_timer = gtinker_core::metrics::timer();
+    let bytes = encode_stinger(s, lsn);
+    m.snapshot_encode_ns.record_since(encode_timer);
+    let write_timer = gtinker_core::metrics::timer();
+    let path = write_snapshot_bytes(dir, lsn, &bytes)?;
+    m.snapshot_write_ns.record_since(write_timer);
+    m.snapshot_writes.inc();
+    Ok(path)
 }
 
 /// Loads a [`GraphTinker`] snapshot file.

@@ -389,6 +389,7 @@ impl WalWriter {
     /// policy; rotates the segment first when the current one is past the
     /// size limit.
     pub fn append(&mut self, batch: &EdgeBatch) -> Result<u64> {
+        let timer = gtinker_core::metrics::timer();
         let lsn = self.next_lsn;
         let record = encode_record(lsn, batch);
         if self.segment_records > 0
@@ -409,13 +410,20 @@ impl WalWriter {
         if due {
             self.sync()?;
         }
+        let m = gtinker_core::metrics::global();
+        m.wal_appends.inc();
+        m.wal_append_ns.record_since(timer);
         Ok(lsn)
     }
 
     /// Forces appended records to stable storage.
     pub fn sync(&mut self) -> Result<()> {
+        let timer = gtinker_core::metrics::timer();
         self.file.sync_data()?;
         self.unsynced = 0;
+        let m = gtinker_core::metrics::global();
+        m.wal_syncs.inc();
+        m.wal_sync_ns.record_since(timer);
         Ok(())
     }
 

@@ -11,6 +11,9 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> metrics-off build (compile-time no-op path of the metrics feature)"
+cargo test -q -p gtinker-core --no-default-features
+
 echo "==> recovery smoke test (ingest -> crash-free recover round-trip)"
 GT=target/release/gtinker
 SMOKE=$(mktemp -d)
@@ -27,6 +30,19 @@ LIVE=$(sed -n 's/.* \([0-9][0-9]*\) live, next lsn.*/\1/p' "$SMOKE/ingest_pool.o
 test -n "$LIVE"
 "$GT" recover "$SMOKE/db_pool" | tee "$SMOKE/recover_pool.out"
 grep -q "recovered GraphTinker: $LIVE edges" "$SMOKE/recover_pool.out"
+
+echo "==> stats smoke test (ingest --stats; stats parity between file and recovered store)"
+"$GT" ingest "$SMOKE/g.txt" --wal "$SMOKE/db_stats" --batch 1024 --stats | tee "$SMOKE/ingest_stats.out"
+grep -q "gtinker_tinker_inserts" "$SMOKE/ingest_stats.out"
+"$GT" stats "$SMOKE/g.txt" --format json | tee "$SMOKE/stats_file.json"
+FILE_EDGES=$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$SMOKE/stats_file.json" | head -1)
+test -n "$FILE_EDGES"
+test "$FILE_EDGES" -gt 0
+grep -q '"rhh_probe"' "$SMOKE/stats_file.json"
+"$GT" stats "$SMOKE/db_stats" --format json | tee "$SMOKE/stats_dir.json"
+DIR_EDGES=$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$SMOKE/stats_dir.json" | head -1)
+test "$FILE_EDGES" = "$DIR_EDGES"
+"$GT" stats "$SMOKE/g.txt" --format prom | grep -q "gtinker_tinker_inserts $FILE_EDGES"
 
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

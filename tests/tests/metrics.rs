@@ -1,0 +1,135 @@
+//! Property tests for the observability layer: after arbitrary operation
+//! sequences the Robin Hood structural invariants hold, the per-instance
+//! op counters reconcile exactly with a model, and the global metric
+//! registry's counters and probe histogram bound the per-instance view.
+//!
+//! The global registry is process-wide and proptest cases run on parallel
+//! threads, so all assertions against it are monotone-safe: deltas are
+//! checked with `>=` and the probe histogram only with its bucket upper
+//! bound, never with exact equality.
+
+use std::collections::BTreeMap;
+
+use gtinker_core::{metrics, GraphTinker};
+use gtinker_types::{DeleteMode, Edge, TinkerConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u32, u32, u32),
+    Delete(u32, u32),
+}
+
+fn op_strategy(v_range: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..v_range, 0..v_range, 1..100u32).prop_map(|(s, d, w)| Op::Insert(s, d, w)),
+        1 => (0..v_range, 0..v_range).prop_map(|(s, d)| Op::Delete(s, d)),
+    ]
+}
+
+/// Runs `ops` against a fresh structure and its model, then checks every
+/// metric-facing invariant the observability layer promises.
+fn check_metrics_invariants(cfg: TinkerConfig, ops: &[Op]) {
+    let compact = cfg.delete_mode == DeleteMode::DeleteAndCompact;
+    let before = metrics::global().snapshot();
+    let mut g = GraphTinker::new(cfg).unwrap();
+    let mut model: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+    for &op in ops {
+        match op {
+            Op::Insert(s, d, w) => {
+                let fresh = model.insert((s, d), w).is_none();
+                prop_assert_eq!(g.insert_edge(Edge::new(s, d, w)), fresh);
+            }
+            Op::Delete(s, d) => {
+                let existed = model.remove(&(s, d)).is_some();
+                prop_assert_eq!(g.delete_edge(s, d), existed);
+            }
+        }
+    }
+
+    // Per-instance counters reconcile exactly against the model.
+    let ps = g.stats();
+    prop_assert_eq!(ps.operations as usize, ops.len());
+    prop_assert_eq!(ps.inserts + ps.updates + ps.deletes + ps.delete_misses, ops.len() as u64);
+    prop_assert_eq!(ps.inserts - ps.deletes, g.num_edges());
+    prop_assert_eq!(g.num_edges() as usize, model.len());
+
+    // Structural Robin Hood invariants: probe distances, no holes before
+    // displaced cells, and full displacement ordering while no delete has
+    // ever reopened a slot.
+    if let Err(e) = g.validate_rhh_invariants() {
+        panic!("RHH invariant violated: {e}");
+    }
+
+    let after = metrics::global().snapshot();
+    if metrics::enabled() {
+        // Every per-instance increment also hit the global counters.
+        prop_assert!(after.tinker_inserts - before.tinker_inserts >= ps.inserts);
+        prop_assert!(after.tinker_updates - before.tinker_updates >= ps.updates);
+        prop_assert!(after.tinker_deletes - before.tinker_deletes >= ps.deletes);
+        prop_assert!(after.tinker_delete_misses - before.tinker_delete_misses >= ps.delete_misses);
+        // Every surviving probe distance was recorded at placement time, so
+        // the structure's max probe is bounded by the histogram's top
+        // populated bucket. (Compact mode bypasses RHH, so stored probes
+        // carry no meaning there.)
+        if !compact {
+            let hist = g.probe_histogram();
+            if let Some(max_probe) = hist.iter().rposition(|&c| c > 0) {
+                prop_assert!(
+                    after.rhh_probe.max_bound() >= max_probe as u64,
+                    "structure max probe {} above histogram bound {}",
+                    max_probe,
+                    after.rhh_probe.max_bound()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Default-shaped geometry, both delete modes.
+    #[test]
+    fn metrics_reconcile_default_geometry(
+        ops in prop::collection::vec(op_strategy(48), 1..600),
+        compact in any::<bool>(),
+    ) {
+        let mode = if compact { DeleteMode::DeleteAndCompact } else { DeleteMode::DeleteOnly };
+        let cfg = TinkerConfig { pagewidth: 16, subblock: 8, workblock: 4, ..TinkerConfig::default() }
+            .delete_mode(mode);
+        check_metrics_invariants(cfg, &ops);
+    }
+
+    /// Pathological geometry under hub-heavy load: maximum branch-out and
+    /// displacement pressure.
+    #[test]
+    fn metrics_reconcile_tiny_geometry(
+        ops in prop::collection::vec(op_strategy(6), 1..500),
+    ) {
+        let cfg = TinkerConfig {
+            pagewidth: 8,
+            subblock: 4,
+            workblock: 2,
+            cal_block_size: 8,
+            cal_group_size: 4,
+            ..TinkerConfig::default()
+        };
+        check_metrics_invariants(cfg, &ops);
+    }
+}
+
+/// The probe histogram bucketing is deterministic, monotone, and exact in
+/// the linear range — the contract DESIGN.md §7 documents.
+#[test]
+fn bucket_bounds_are_consistent() {
+    for v in 0..4_096u64 {
+        let i = metrics::bucket_index(v);
+        assert!(metrics::bucket_lower_bound(i) <= v, "v={v} bucket {i}");
+        assert!(v <= metrics::bucket_upper_bound(i), "v={v} bucket {i}");
+        if v < metrics::HIST_LINEAR {
+            assert_eq!(i, v as usize, "linear range is exact");
+        }
+    }
+    assert_eq!(metrics::bucket_index(u64::MAX), metrics::HIST_BUCKETS - 1);
+}

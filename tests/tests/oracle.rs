@@ -1,12 +1,15 @@
 //! Randomized oracle tests: GraphTinker and STINGER against a
 //! `BTreeMap<(src, dst), weight>` model under long mixed operation
-//! sequences, across every feature configuration.
+//! sequences, across every feature configuration — including the durable
+//! store in pipelined group-commit mode, with the per-instance op counters
+//! checked against model-derived expected counts.
 
 use std::collections::BTreeMap;
 
 use gtinker_core::GraphTinker;
+use gtinker_persist::{DurableTinker, SyncPolicy, WalOptions};
 use gtinker_stinger::Stinger;
-use gtinker_types::{DeleteMode, Edge, TinkerConfig, VertexId, Weight};
+use gtinker_types::{DeleteMode, Edge, EdgeBatch, TinkerConfig, UpdateOp, VertexId, Weight};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -127,6 +130,77 @@ fn tinker_tiny_geometry_compact_matches_oracle() {
 fn tinker_hub_heavy_workload_matches_oracle() {
     // All edges share very few sources: deep overflow trees.
     check_tinker_against_model(TinkerConfig::default(), 8, 20_000, 8);
+}
+
+/// Durable store in pipelined group-commit mode against the model: batched
+/// mixed ops through the WAL-first pipeline, with the store's op counters
+/// (inserts / updates / deletes / misses) checked against counts derived
+/// from the model op by op.
+fn check_durable_pipelined_against_model(mode: DeleteMode, seed: u64) {
+    let dir = std::env::temp_dir()
+        .join(format!("gtinker_oracle_durable_{mode:?}_{seed}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = TinkerConfig::default().delete_mode(mode);
+    let opts = WalOptions { sync: SyncPolicy::EveryN(8), ..WalOptions::default() };
+    let (mut d, report) = DurableTinker::open(&dir, cfg, opts).expect("open durable store");
+    assert_eq!(report.replayed_records, 0, "fresh directory");
+    d.set_pipelined(true).expect("enable group-commit pipelining");
+
+    let mut model = Model::new();
+    let (mut inserts, mut updates, mut deletes, mut misses) = (0u64, 0u64, 0u64, 0u64);
+    for chunk in random_ops(seed, 12_000, 96).chunks(256) {
+        let mut batch = EdgeBatch::new();
+        for &(del, src, dst, w) in chunk {
+            if del {
+                if model.remove(&(src, dst)).is_some() {
+                    deletes += 1;
+                } else {
+                    misses += 1;
+                }
+                batch.push(UpdateOp::Delete { src, dst });
+            } else {
+                if model.insert((src, dst), w).is_some() {
+                    updates += 1;
+                } else {
+                    inserts += 1;
+                }
+                batch.push(UpdateOp::Insert(Edge::new(src, dst, w)));
+            }
+        }
+        d.apply_batch(&batch).expect("pipelined apply");
+    }
+    // Fold the lag-by-one pending batch in before inspecting the store.
+    d.sync().expect("final sync");
+
+    let g = d.store();
+    assert_eq!(g.num_edges() as usize, model.len(), "mode {mode:?}");
+    let mut got: Vec<(u32, u32, u32)> = Vec::new();
+    g.for_each_edge(|s, dst, w| got.push((s, dst, w)));
+    got.sort_unstable();
+    let want: Vec<(u32, u32, u32)> = model.iter().map(|(&(s, dst), &w)| (s, dst, w)).collect();
+    assert_eq!(got, want, "mode {mode:?}: stream path diverged from model");
+
+    // Metric counters reconcile with the model-derived expectations.
+    let ps = g.stats();
+    assert_eq!(ps.inserts, inserts, "mode {mode:?}: insert counter");
+    assert_eq!(ps.updates, updates, "mode {mode:?}: update counter");
+    assert_eq!(ps.deletes, deletes, "mode {mode:?}: delete counter");
+    assert_eq!(ps.delete_misses, misses, "mode {mode:?}: delete-miss counter");
+    assert_eq!(ps.inserts - ps.deletes, g.num_edges(), "inserts - deletes == live edges");
+    assert_eq!(ps.operations, 12_000, "every op was counted");
+
+    drop(d);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_pipelined_delete_only_matches_oracle() {
+    check_durable_pipelined_against_model(DeleteMode::DeleteOnly, 40);
+}
+
+#[test]
+fn durable_pipelined_compact_matches_oracle() {
+    check_durable_pipelined_against_model(DeleteMode::DeleteAndCompact, 41);
 }
 
 #[test]
