@@ -1,5 +1,5 @@
 # Convenience targets; `make ci` mirrors the hosted pipeline.
-.PHONY: ci build test lint fmt bench doc smoke ingest-smoke stats-smoke
+.PHONY: ci build test lint fmt bench doc smoke ingest-smoke stats-smoke trace-smoke
 
 ci:
 	./scripts/ci.sh
@@ -38,6 +38,20 @@ stats-smoke: build
 	target/release/gtinker stats "$$SMOKE/db" --format json | tee "$$SMOKE/dir.json"; \
 	DE=$$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$$SMOKE/dir.json" | head -1); \
 	test "$$FE" = "$$DE"
+
+# Traced pooled+pipelined ingest -> Perfetto-loadable timeline; validates
+# the exported JSON and that every shard worker produced a track (also
+# part of ci, which additionally checks the append/apply overlap).
+trace-smoke: build
+	@SMOKE=$$(mktemp -d); trap 'rm -rf "$$SMOKE"' EXIT; \
+	target/release/gtinker generate --dataset Hollywood-2009 --scale-factor 512 --out "$$SMOKE/g.txt"; \
+	target/release/gtinker trace "$$SMOKE/g.txt" --wal "$$SMOKE/db" --batch 256 --sync never --pool 4 --pipeline --out "$$SMOKE/trace.json"; \
+	python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); ev=d["traceEvents"]; \
+	names={e["tid"]:e["args"]["name"] for e in ev if e.get("ph")=="M" and e.get("name")=="thread_name"}; \
+	tids=[t for t,n in names.items() if n.startswith("gtinker-shard-")]; \
+	assert len(tids)>=4, "want 4 shard tracks"; \
+	assert all(any(e.get("tid")==t and e.get("ph") in ("B","E","i") for e in ev) for t in tids), "empty shard track"; \
+	print("trace ok:", len(ev), "events,", len(tids), "shard tracks")' "$$SMOKE/trace.json"
 
 build:
 	cargo build --release --workspace

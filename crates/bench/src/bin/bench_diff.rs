@@ -1,0 +1,61 @@
+//! Compares two `BENCH_*.json` result files and exits non-zero when any
+//! throughput (`*_meps`) field regressed beyond the threshold.
+//!
+//! ```text
+//! bench_diff OLD.json NEW.json [--threshold PCT]
+//! ```
+
+use gtinker_bench::diff::{compare, report, DEFAULT_THRESHOLD_PCT};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&str> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--threshold" => {
+                let Some(v) = argv.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("error: --threshold expects a number (percent)");
+                    std::process::exit(2);
+                };
+                threshold = v;
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_diff OLD.json NEW.json [--threshold PCT]");
+                println!(
+                    "exits 1 if any *_meps field in NEW is more than PCT% (default \
+                     {DEFAULT_THRESHOLD_PCT}%) below OLD"
+                );
+                return;
+            }
+            f => {
+                files.push(f);
+                i += 1;
+            }
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        eprintln!("usage: bench_diff OLD.json NEW.json [--threshold PCT]");
+        std::process::exit(2);
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let comps = compare(&read(old_path), &read(new_path));
+    if comps.is_empty() {
+        eprintln!("error: no shared numeric fields between {old_path} and {new_path}");
+        std::process::exit(2);
+    }
+    println!("bench_diff: {old_path} -> {new_path} (threshold {threshold}%)");
+    let mut text = String::new();
+    let regressed = report(&comps, threshold, &mut text);
+    print!("{text}");
+    if !regressed.is_empty() {
+        std::process::exit(1);
+    }
+}

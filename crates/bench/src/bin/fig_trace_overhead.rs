@@ -1,0 +1,10 @@
+//! Trace-overhead benchmark: pooled/sequential ingest throughput with
+//! span tracing on vs runtime-disabled vs all observability disabled.
+fn main() {
+    let args = gtinker_bench::Args::parse();
+    let table = gtinker_bench::experiments::fig_trace_overhead::run(&args);
+    table.print();
+    if let Err(e) = table.write_tsv(&args.out_dir) {
+        eprintln!("warning: could not write TSV: {e}");
+    }
+}

@@ -34,6 +34,7 @@ fn main() {
         ("Persistence", Box::new(experiments::fig_persist::run)),
         ("Ingest pipeline", Box::new(experiments::fig_ingest_pipeline::run)),
         ("Metrics overhead", Box::new(experiments::fig_metrics_overhead::run)),
+        ("Trace overhead", Box::new(experiments::fig_trace_overhead::run)),
     ];
     for (label, f) in suite {
         let t0 = std::time::Instant::now();

@@ -1,0 +1,205 @@
+//! Throughput-regression comparison between two `BENCH_*.json` result
+//! files (the `bench_diff` binary's engine).
+//!
+//! Every acceptance benchmark in this crate emits a flat JSON object of
+//! numeric fields; the throughput fields all carry a `_meps` suffix
+//! (million edges per second, higher is better). `bench_diff` joins two
+//! such files on field name, reports the relative change of every shared
+//! `_meps` field, and flags a **regression** when the new value falls more
+//! than a threshold (default [`DEFAULT_THRESHOLD_PCT`] %) below the old —
+//! the contract CI uses to refuse a PR that quietly slows ingest down.
+//!
+//! The parser is deliberately minimal (no serde_json in the tree): it
+//! scans for top-level `"key": number` pairs, which is exactly the shape
+//! this crate's writers produce, and ignores everything else — unknown
+//! fields, nested objects, strings — so the format can grow without
+//! breaking old comparisons.
+
+use std::fmt;
+
+/// Default regression threshold: a throughput drop beyond this fails.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
+
+/// One field present in both result files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Field name (e.g. `pooled_enabled_meps`).
+    pub key: String,
+    /// Value in the baseline (old) file.
+    pub old: f64,
+    /// Value in the candidate (new) file.
+    pub new: f64,
+}
+
+impl Comparison {
+    /// Relative change in percent; positive = the new run is faster.
+    pub fn delta_pct(&self) -> f64 {
+        if self.old.abs() < 1e-12 {
+            return 0.0;
+        }
+        (self.new - self.old) / self.old * 100.0
+    }
+
+    /// Whether this is a throughput field (higher is better, gated).
+    pub fn is_throughput(&self) -> bool {
+        self.key.ends_with("_meps")
+    }
+
+    /// Whether the new value regressed beyond `threshold_pct`.
+    /// Only throughput fields can regress; informational fields
+    /// (counts, overhead percentages) never fail the gate.
+    pub fn is_regression(&self, threshold_pct: f64) -> bool {
+        self.is_throughput() && self.delta_pct() < -threshold_pct
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} {:>12.3} -> {:>12.3}  ({:+.2}%)",
+            self.key,
+            self.old,
+            self.new,
+            self.delta_pct()
+        )
+    }
+}
+
+/// Extracts every top-level `"key": number` pair from a flat JSON object.
+/// Nested objects, arrays, strings and booleans are skipped; duplicate
+/// keys keep the first occurrence.
+pub fn parse_numeric_fields(json: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Find the next quoted key.
+        let Some(q0) = json[i..].find('"').map(|p| i + p) else { break };
+        let Some(q1) = json[q0 + 1..].find('"').map(|p| q0 + 1 + p) else { break };
+        let key = &json[q0 + 1..q1];
+        // A key is followed by ':' (possibly spaced); a string value's
+        // closing quote is not.
+        let rest = json[q1 + 1..].trim_start();
+        if let Some(after_colon) = rest.strip_prefix(':') {
+            let val = after_colon.trim_start();
+            let end = val
+                .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+                .unwrap_or(val.len());
+            if end > 0 {
+                if let Ok(n) = val[..end].parse::<f64>() {
+                    if !out.iter().any(|(k, _)| k == key) {
+                        out.push((key.to_string(), n));
+                    }
+                }
+            }
+        }
+        i = q1 + 1;
+    }
+    out
+}
+
+/// Joins two parsed result files on field name, old-file field order.
+pub fn compare(old_json: &str, new_json: &str) -> Vec<Comparison> {
+    let old = parse_numeric_fields(old_json);
+    let new = parse_numeric_fields(new_json);
+    old.into_iter()
+        .filter_map(|(key, o)| {
+            new.iter().find(|(k, _)| *k == key).map(|&(_, n)| Comparison { key, old: o, new: n })
+        })
+        .collect()
+}
+
+/// Renders the full report and the verdict line; returns the regressed
+/// comparisons (empty = gate passed).
+pub fn report(comps: &[Comparison], threshold_pct: f64, out: &mut String) -> Vec<Comparison> {
+    let mut regressed = Vec::new();
+    for c in comps {
+        let mark = if c.is_regression(threshold_pct) {
+            regressed.push(c.clone());
+            "  REGRESSION"
+        } else if c.is_throughput() {
+            ""
+        } else {
+            "  (info)"
+        };
+        out.push_str(&format!("{c}{mark}\n"));
+    }
+    let gated = comps.iter().filter(|c| c.is_throughput()).count();
+    if regressed.is_empty() {
+        out.push_str(&format!(
+            "OK: {gated} throughput field(s) within {threshold_pct}% of baseline\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "FAIL: {} of {gated} throughput field(s) regressed more than {threshold_pct}%\n",
+            regressed.len()
+        ));
+    }
+    regressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+  "benchmark": "trace_overhead",
+  "ops": 80000,
+  "pooled_enabled_meps": 10.000,
+  "seq_enabled_meps": 20.000,
+  "overhead_pct": 1.500,
+  "note": "a string: 42 should not parse as a field"
+}"#;
+
+    #[test]
+    fn parses_flat_numeric_fields_only() {
+        let fields = parse_numeric_fields(OLD);
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["ops", "pooled_enabled_meps", "seq_enabled_meps", "overhead_pct"]);
+        assert_eq!(fields[1].1, 10.0);
+    }
+
+    #[test]
+    fn negative_and_exponent_values_parse() {
+        let f = parse_numeric_fields(r#"{"a": -2.5, "b": 1e3, "c": 4}"#);
+        assert_eq!(f, vec![("a".into(), -2.5), ("b".into(), 1000.0), ("c".into(), 4.0)]);
+    }
+
+    #[test]
+    fn compare_joins_on_key() {
+        let new = OLD.replace("10.000", "9.000").replace("20.000", "30.000");
+        let comps = compare(OLD, &new);
+        let pooled = comps.iter().find(|c| c.key == "pooled_enabled_meps").unwrap();
+        assert!((pooled.delta_pct() + 10.0).abs() < 1e-9);
+        let seq = comps.iter().find(|c| c.key == "seq_enabled_meps").unwrap();
+        assert!((seq.delta_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_gate_only_fires_on_throughput_fields() {
+        // Throughput halved: regression. overhead_pct tripled: info only.
+        let new = OLD.replace("10.000", "5.000").replace("1.500", "4.500");
+        let comps = compare(OLD, &new);
+        let mut text = String::new();
+        let regressed = report(&comps, DEFAULT_THRESHOLD_PCT, &mut text);
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].key, "pooled_enabled_meps");
+        assert!(text.contains("REGRESSION"));
+        assert!(text.contains("FAIL"));
+        // A 10% drop passes the default 15% gate.
+        let mild = OLD.replace("10.000", "9.000");
+        let mut text = String::new();
+        assert!(report(&compare(OLD, &mild), DEFAULT_THRESHOLD_PCT, &mut text).is_empty());
+        assert!(text.contains("OK"));
+        // ...but fails a tightened 5% gate.
+        assert!(!report(&compare(OLD, &mild), 5.0, &mut String::new()).is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_is_not_a_regression() {
+        let c = Comparison { key: "x_meps".into(), old: 0.0, new: 0.0 };
+        assert_eq!(c.delta_pct(), 0.0);
+        assert!(!c.is_regression(DEFAULT_THRESHOLD_PCT));
+    }
+}

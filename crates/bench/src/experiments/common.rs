@@ -220,3 +220,9 @@ pub fn fresh_tinker_with(config: TinkerConfig) -> GraphTinker {
 pub fn fresh_stinger() -> Stinger {
     Stinger::with_defaults()
 }
+
+/// Serialises tests that toggle the process-global observability flags
+/// (metrics/trace runtime enables), so parallel test threads cannot
+/// observe each other's mid-measurement state.
+#[cfg(test)]
+pub(crate) static OBS_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());

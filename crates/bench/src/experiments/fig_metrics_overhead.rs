@@ -159,6 +159,7 @@ mod tests {
 
     #[test]
     fn tiny_end_to_end_run() {
+        let _g = crate::experiments::common::OBS_TEST_LOCK.lock().unwrap();
         let dir =
             std::env::temp_dir().join(format!("gtinker_fig_metrics_out_{}", std::process::id()));
         let args = Args {

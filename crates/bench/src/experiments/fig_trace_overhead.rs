@@ -1,0 +1,198 @@
+//! Overhead of the span-tracing layer (no paper counterpart; acceptance
+//! gate for the observability PR): pooled 4-shard ingest throughput with
+//! trace collection on, runtime-disabled, and with *all* observability
+//! runtime-disabled (trace and metrics), plus the sequential single-store
+//! path for reference.
+//!
+//! The pooled path is the interesting one: every batch crosses the
+//! dispatch instant plus a claim span and an apply span *per shard
+//! worker*, so it exercises the per-event cost (one relaxed cursor bump,
+//! three relaxed stores) at the highest span rate the pipeline produces.
+//! The configurations toggle the runtime flags in one binary
+//! ([`gtinker_core::trace::set_enabled`]); the compile-time `trace`
+//! feature gate — whose off state is an empty inline body — is proven
+//! separately by the trace-off build check in CI.
+//!
+//! Trials interleave the configurations and take the best of each so
+//! allocator warm-up and frequency drift do not bias one side. Alongside
+//! the TSV the run emits `BENCH_trace_overhead.json` with an
+//! `overhead_pct` field; the acceptance criterion is < 5 % on the pooled
+//! ingest path (enabled vs runtime-disabled).
+
+use std::time::Instant;
+
+use gtinker_core::{metrics, trace, GraphTinker, ParallelTinker};
+use gtinker_types::{Edge, EdgeBatch, TinkerConfig};
+
+use crate::cli::Args;
+use crate::experiments::common::hollywood;
+use crate::report::{f3, meps, Table};
+
+/// Batch size for the ingest stream: small enough that the per-batch span
+/// hooks fire often relative to the work they bracket (a deliberately
+/// adversarial setting for the tracer).
+const OPS_PER_BATCH: usize = 5_000;
+
+/// Interleaved trials per configuration; the best of each side is compared.
+const REPS: usize = 5;
+
+/// Shard count for the pooled path (matches the acceptance workload).
+const SHARDS: usize = 4;
+
+struct Sample {
+    enabled_meps: f64,
+    disabled_meps: f64,
+    alloff_meps: f64,
+}
+
+impl Sample {
+    /// Relative throughput cost of tracing: `(off - on) / off`, percent,
+    /// against the runtime-disabled configuration. Negative values are
+    /// measurement noise (enabled ran faster).
+    fn overhead_pct(&self) -> f64 {
+        (self.disabled_meps - self.enabled_meps) / self.disabled_meps.max(1e-9) * 100.0
+    }
+}
+
+fn slice_batches(edges: &[Edge]) -> Vec<EdgeBatch> {
+    edges.chunks(OPS_PER_BATCH).map(EdgeBatch::inserts).collect()
+}
+
+fn measure_sequential(batches: &[EdgeBatch], ops: u64) -> f64 {
+    let mut g = GraphTinker::with_defaults();
+    let t0 = Instant::now();
+    for b in batches {
+        g.apply_batch(b);
+    }
+    meps(ops, t0.elapsed())
+}
+
+fn measure_pooled(batches: &[EdgeBatch], ops: u64) -> f64 {
+    let mut g = ParallelTinker::new(TinkerConfig::default(), SHARDS).expect("parallel store");
+    let t0 = Instant::now();
+    for b in batches {
+        g.apply_batch(b);
+    }
+    meps(ops, t0.elapsed())
+}
+
+/// Best-of-[`REPS`] for one measurement function across the three
+/// configurations. Restores metrics collection on / tracing off (the
+/// process defaults) before returning.
+fn sample(mut measure: impl FnMut() -> f64) -> Sample {
+    let mut s = Sample { enabled_meps: 0.0, disabled_meps: 0.0, alloff_meps: 0.0 };
+    for _ in 0..REPS {
+        trace::set_enabled(false);
+        metrics::set_enabled(false);
+        s.alloff_meps = s.alloff_meps.max(measure());
+        metrics::set_enabled(true);
+        s.disabled_meps = s.disabled_meps.max(measure());
+        trace::set_enabled(true);
+        s.enabled_meps = s.enabled_meps.max(measure());
+    }
+    trace::set_enabled(false);
+    metrics::set_enabled(true);
+    s
+}
+
+fn to_json(ops: u64, seq: &Sample, pooled: &Sample, events_recorded: usize) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"trace_overhead\",\n");
+    out.push_str(&format!("  \"ops\": {ops},\n"));
+    out.push_str(&format!("  \"ops_per_batch\": {OPS_PER_BATCH},\n"));
+    out.push_str(&format!("  \"reps\": {REPS},\n"));
+    out.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    out.push_str(&format!("  \"pooled_enabled_meps\": {:.3},\n", pooled.enabled_meps));
+    out.push_str(&format!("  \"pooled_disabled_meps\": {:.3},\n", pooled.disabled_meps));
+    out.push_str(&format!("  \"pooled_alloff_meps\": {:.3},\n", pooled.alloff_meps));
+    out.push_str(&format!("  \"overhead_pct\": {:.3},\n", pooled.overhead_pct()));
+    out.push_str(&format!("  \"seq_enabled_meps\": {:.3},\n", seq.enabled_meps));
+    out.push_str(&format!("  \"seq_disabled_meps\": {:.3},\n", seq.disabled_meps));
+    out.push_str(&format!("  \"seq_alloff_meps\": {:.3},\n", seq.alloff_meps));
+    out.push_str(&format!("  \"seq_overhead_pct\": {:.3},\n", seq.overhead_pct()));
+    out.push_str(&format!("  \"events_recorded\": {events_recorded}\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// Runs the trace-overhead benchmark; also writes
+/// `<out-dir>/BENCH_trace_overhead.json`.
+pub fn run(args: &Args) -> Table {
+    let spec = hollywood(args.scale_factor);
+    let edges = spec.generate();
+    let batches = slice_batches(&edges);
+    let ops = edges.len() as u64;
+
+    let mut t = Table::new(
+        "fig_trace_overhead",
+        &format!(
+            "Span-tracing overhead: Medges/s with tracing on vs runtime-off vs all \
+             observability off ({}, {} ops, best of {REPS} interleaved trials)",
+            spec.name, ops
+        ),
+        &["path", "enabled_meps", "disabled_meps", "alloff_meps", "overhead_pct"],
+    );
+
+    let pooled = sample(|| measure_pooled(&batches, ops));
+    // Dump right after the last enabled pooled run: proves the spans
+    // actually recorded (zero events would mean we measured nothing).
+    let events_recorded = trace::dump().events.len();
+    trace::clear();
+    let seq = sample(|| measure_sequential(&batches, ops));
+
+    for (name, s) in [("pooled4", &pooled), ("sequential", &seq)] {
+        t.push_row(vec![
+            name.into(),
+            f3(s.enabled_meps),
+            f3(s.disabled_meps),
+            f3(s.alloff_meps),
+            format!("{:.2}%", s.overhead_pct()),
+        ]);
+    }
+
+    let json = to_json(ops, &seq, &pooled, events_recorded);
+    let path = std::path::Path::new(&args.out_dir).join("BENCH_trace_overhead.json");
+    if let Err(e) =
+        std::fs::create_dir_all(&args.out_dir).and_then(|()| std::fs::write(&path, json))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let s = to_json(
+            80_000,
+            &Sample { enabled_meps: 10.0, disabled_meps: 10.0, alloff_meps: 10.0 },
+            &Sample { enabled_meps: 9.5, disabled_meps: 10.0, alloff_meps: 10.5 },
+            1234,
+        );
+        assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
+        assert!(s.contains("\"overhead_pct\": 5.000"));
+        assert!(s.contains("\"seq_overhead_pct\": 0.000"));
+        assert!(s.contains("\"events_recorded\": 1234"));
+    }
+
+    #[test]
+    fn tiny_end_to_end_run() {
+        let _g = crate::experiments::common::OBS_TEST_LOCK.lock().unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("gtinker_fig_trace_out_{}", std::process::id()));
+        let args = Args {
+            scale_factor: 4096,
+            batches: 4,
+            threads: vec![1],
+            out_dir: dir.to_string_lossy().into_owned(),
+        };
+        let t = run(&args);
+        assert!(!trace::enabled(), "run must leave tracing off");
+        assert!(metrics::enabled(), "run must leave metrics collection on");
+        assert!(t.render().contains("pooled4"));
+        assert!(dir.join("BENCH_trace_overhead.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

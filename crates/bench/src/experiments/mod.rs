@@ -20,6 +20,7 @@ pub mod fig19;
 pub mod fig_ingest_pipeline;
 pub mod fig_metrics_overhead;
 pub mod fig_persist;
+pub mod fig_trace_overhead;
 pub mod geometry;
 pub mod hybrid_accuracy;
 pub mod table1;

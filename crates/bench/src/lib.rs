@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod diff;
 pub mod experiments;
 pub mod plot;
 pub mod report;

@@ -16,8 +16,17 @@ pub struct Parsed {
 }
 
 /// Options that take no value (everything else consumes the next token).
-const BARE_FLAGS: &[&str] =
-    &["no-sgh", "no-cal", "compact", "baseline", "help", "final-snapshot", "pipeline", "stats"];
+const BARE_FLAGS: &[&str] = &[
+    "no-sgh",
+    "no-cal",
+    "compact",
+    "baseline",
+    "help",
+    "final-snapshot",
+    "pipeline",
+    "stats",
+    "analytics",
+];
 
 /// Parses a raw argument vector (excluding the program name).
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, String> {

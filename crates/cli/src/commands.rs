@@ -36,7 +36,10 @@ USAGE:
   gtinker bench-insert FILE [--batch N] [--baseline]
   gtinker ingest FILE --wal DIR [--batch N] [--sync never|always|N]
                  [--snapshot-every K] [--final-snapshot] [--pipeline]
-                 [--pool N] [--stats]
+                 [--pool N] [--stats] [--serve HOST:PORT]
+  gtinker trace FILE --wal DIR [--out TRACE.json] [--analytics]
+                [--batch N] [--pool N] [--pipeline] [--sync never|always|N]
+  gtinker serve [FILE|WALDIR] [--addr HOST:PORT]
   gtinker snapshot FILE --dir DIR [--baseline]
   gtinker recover DIR [--baseline] [--root R]
   gtinker help
@@ -56,6 +59,15 @@ stats plus the hot-path metric registry (probe/displacement histograms,
 WAL latencies); give it a WAL DIR to profile recovery instead of a fresh
 ingest, and --format json|prom for machine-readable output. 'ingest
 --stats' dumps the same registry after the run.
+
+'trace' runs the same ingest with span tracing enabled and writes the
+timeline as Chrome trace-event JSON (--out, default trace.json): load it
+in https://ui.perfetto.dev and each shard worker / the WAL thread / the
+driver is its own track (--analytics appends a traced BFS). 'serve'
+(optionally after loading FILE or recovering WALDIR) exposes /metrics
+(Prometheus), /healthz (live gauges) and /trace (timeline JSON) over
+HTTP on --addr (default 127.0.0.1:0, port printed at startup); 'ingest
+--serve' runs the same endpoint in-process during the ingest.
 ";
 
 /// Runs a parsed command; returns an error message on failure.
@@ -70,6 +82,8 @@ pub fn run(parsed: &Parsed) -> Result<(), String> {
         "triangles" => triangles(parsed),
         "bench-insert" => bench_insert(parsed),
         "ingest" => ingest(parsed),
+        "trace" => trace_cmd(parsed),
+        "serve" => serve_cmd(parsed),
         "snapshot" => snapshot(parsed),
         "recover" => recover(parsed),
         "help" | "" => {
@@ -192,17 +206,20 @@ fn stats(parsed: &Parsed) -> Result<(), String> {
                 println!("  depth {d}: {n} edges");
             }
             println!("-- hot-path metrics (this run) --");
+            let (rp50, rp95, rp99) = snap.rhh_probe.quantiles();
             println!(
-                "rhh placements    : {} (mean probe {:.2}, max <= {}, {} displacements, \
-                 {} overflows)",
+                "rhh placements    : {} (mean probe {:.2}, p50/p95/p99 {rp50}/{rp95}/{rp99}, \
+                 max <= {}, {} displacements, {} overflows)",
                 snap.rhh_probe.count(),
                 snap.rhh_probe.mean_approx(),
                 snap.rhh_probe.max_bound(),
                 snap.rhh_displacements,
                 snap.rhh_overflows
             );
+            let (sp50, sp95, sp99) = snap.sgh_probe.quantiles();
             println!(
-                "sgh placements    : {} (mean probe {:.2}, {} grows)",
+                "sgh placements    : {} (mean probe {:.2}, p50/p95/p99 {sp50}/{sp95}/{sp99}, \
+                 {} grows)",
                 snap.sgh_probe.count(),
                 snap.sgh_probe.mean_approx(),
                 snap.sgh_grows
@@ -221,6 +238,14 @@ fn stats(parsed: &Parsed) -> Result<(), String> {
                 snap.wal_syncs,
                 snap.snapshot_writes
             );
+            if snap.wal_appends > 0 {
+                let (ap50, ap95, ap99) = snap.wal_append_ns.quantiles();
+                let (yp50, yp95, yp99) = snap.wal_sync_ns.quantiles();
+                println!(
+                    "wal latency (ns)  : append p50/p95/p99 {ap50}/{ap95}/{ap99}, \
+                     sync p50/p95/p99 {yp50}/{yp95}/{yp99}"
+                );
+            }
         }
     }
     Ok(())
@@ -460,6 +485,16 @@ fn ingest(parsed: &Parsed) -> Result<(), String> {
     if pool == 0 {
         return Err("option --pool: must be at least 1".into());
     }
+    // Live telemetry endpoint for the duration of the ingest; the thread
+    // is detached and dies with the process.
+    if let Some(addr) = parsed.get("serve") {
+        let listener = crate::serve::bind(addr)?;
+        let started = Instant::now();
+        std::thread::Builder::new()
+            .name("gtinker-serve".into())
+            .spawn(move || crate::serve::serve_forever(listener, started))
+            .map_err(|e| format!("serve: cannot spawn server thread: {e}"))?;
+    }
     if pool > 1 {
         return ingest_pooled(parsed, Path::new(dir), &edges, batch_size, pool, opts);
     }
@@ -479,6 +514,7 @@ fn ingest(parsed: &Parsed) -> Result<(), String> {
     let t0 = Instant::now();
     let mut batches = 0u64;
     for chunk in edges.chunks(batch_size) {
+        gtinker_core::trace::instant(gtinker_core::SpanId::IngestBatch, batches);
         d.apply_batch(&EdgeBatch::inserts(chunk)).map_err(|e| e.to_string())?;
         batches += 1;
         if snapshot_every > 0 && batches.is_multiple_of(snapshot_every) {
@@ -535,6 +571,7 @@ fn ingest_pooled(
     let t0 = Instant::now();
     let mut batches = 0u64;
     for chunk in edges.chunks(batch_size) {
+        gtinker_core::trace::instant(gtinker_core::SpanId::IngestBatch, batches);
         let batch = EdgeBatch::inserts(chunk);
         wal.append(&batch).map_err(|e| e.to_string())?;
         if pipelined {
@@ -562,6 +599,72 @@ fn ingest_pooled(
         print!("{}", gtinker_core::metrics::global().snapshot().to_prometheus());
     }
     Ok(())
+}
+
+/// `gtinker trace FILE --wal DIR`: the same durable ingest as `ingest`,
+/// run with span tracing enabled, then exported as a Chrome trace-event
+/// timeline. With `--pool N --pipeline` the file shows the PR 3 overlap
+/// directly: `wal_append` of batch k+1 on the driver track running while
+/// the shard tracks apply batch k. `--analytics` appends a traced BFS so
+/// the engine's process/apply phases appear too.
+fn trace_cmd(parsed: &Parsed) -> Result<(), String> {
+    let out = parsed.get("out").unwrap_or("trace.json").to_string();
+    gtinker_core::trace::set_enabled(true);
+    if !gtinker_core::trace::enabled() {
+        return Err("this gtinker was built without the 'trace' feature \
+                    (rebuild with default features to record timelines)"
+            .into());
+    }
+    gtinker_core::trace::clear();
+    ingest(parsed)?;
+    // Snapshot the rings at the phase boundary: the analytics load's
+    // branch-out instants must not evict the ingest's WAL/pool spans.
+    let mut dump = gtinker_core::trace::dump();
+    if parsed.flag("analytics") {
+        let (g, _) = load_graph(parsed)?;
+        let root = parsed.num("root", 0u32)?;
+        let mut e = Engine::new(Bfs::new(root), mode_policy(parsed)?);
+        let r = e.run_from_roots(&g);
+        eprintln!("traced BFS from {root}: {} iterations", r.num_iterations());
+    }
+    gtinker_core::trace::set_enabled(false);
+    dump.merge(gtinker_core::trace::dump());
+    std::fs::write(&out, dump.to_chrome_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let dropped: u64 = dump.threads.iter().map(|t| t.dropped).sum();
+    println!(
+        "trace: {} events on {} tracks -> {out}{} (open in https://ui.perfetto.dev)",
+        dump.events.len(),
+        dump.threads.len(),
+        if dropped > 0 {
+            format!(" ({dropped} oldest events evicted by ring wrap)")
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+/// `gtinker serve [FILE|WALDIR]`: loads/recovers a store (if given) to
+/// populate the global registry, then serves /metrics, /healthz and
+/// /trace over HTTP until killed.
+fn serve_cmd(parsed: &Parsed) -> Result<(), String> {
+    let started = Instant::now();
+    if let Some(input) = parsed.positional.first().cloned() {
+        gtinker_core::metrics::global().reset();
+        if Path::new(&input).is_dir() {
+            let (g, report) =
+                recover_tinker(Path::new(&input), config(parsed)?).map_err(|e| e.to_string())?;
+            eprintln!(
+                "recovered {} edges from {input} ({} records replayed)",
+                g.num_edges(),
+                report.replayed_records
+            );
+        } else {
+            load_graph(parsed)?;
+        }
+    }
+    let listener = crate::serve::bind(parsed.get("addr").unwrap_or("127.0.0.1:0"))?;
+    crate::serve::serve_forever(listener, started)
 }
 
 fn snapshot(parsed: &Parsed) -> Result<(), String> {
@@ -850,6 +953,85 @@ mod tests {
         run(&parsed(&["recover", bd_s, "--baseline"])).unwrap();
         assert!(run(&parsed(&["ingest", file_s])).unwrap_err().contains("--wal"));
         assert!(run(&parsed(&["snapshot", file_s])).unwrap_err().contains("--dir"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traced_pooled_ingest_writes_chrome_json() {
+        let dir = std::env::temp_dir().join("gtinker_cli_trace");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("g.txt");
+        let mut edges = String::new();
+        for i in 0u32..800 {
+            edges.push_str(&format!("{} {}\n", i % 97, (i * 7) % 101));
+        }
+        std::fs::write(&file, edges).unwrap();
+        let file_s = file.to_str().unwrap();
+        let db = dir.join("db");
+        let out = dir.join("timeline.json");
+        run(&parsed(&[
+            "trace",
+            file_s,
+            "--wal",
+            db.to_str().unwrap(),
+            "--batch",
+            "100",
+            "--sync",
+            "never",
+            "--pool",
+            "2",
+            "--pipeline",
+            "--analytics",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.starts_with("{\"displayTimeUnit\""), "not chrome trace JSON");
+        assert!(json.contains("\"traceEvents\":["));
+        // Driver-side WAL appends and worker-side applies share the file,
+        // each worker on its own named track.
+        assert!(json.contains("\"wal_append\""), "missing wal_append events");
+        assert!(json.contains("\"pool_apply\""), "missing pool_apply events");
+        assert!(json.contains("\"engine_process\""), "missing traced analytics");
+        assert!(json.contains("\"name\":\"gtinker-shard-0\""), "missing shard track name");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_with_serve_endpoint_answers_healthz() {
+        let dir = std::env::temp_dir().join("gtinker_cli_serve");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("g.txt");
+        std::fs::write(&file, "0 1\n1 2\n2 3\n").unwrap();
+        let db = dir.join("db");
+        // Bad address is rejected before any ingest work happens.
+        let e = run(&parsed(&[
+            "ingest",
+            file.to_str().unwrap(),
+            "--wal",
+            db.to_str().unwrap(),
+            "--sync",
+            "never",
+            "--serve",
+            "256.0.0.1:bad",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("bind"), "got: {e}");
+        // A good ephemeral address serves for the (short) ingest lifetime.
+        run(&parsed(&[
+            "ingest",
+            file.to_str().unwrap(),
+            "--wal",
+            db.to_str().unwrap(),
+            "--sync",
+            "never",
+            "--serve",
+            "127.0.0.1:0",
+        ]))
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

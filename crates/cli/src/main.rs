@@ -7,6 +7,7 @@
 
 mod args;
 mod commands;
+mod serve;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();

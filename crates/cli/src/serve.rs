@@ -1,0 +1,255 @@
+//! A tiny std-only HTTP/1.1 telemetry endpoint (no external crates, no
+//! thread pool): a blocking accept loop answering three read-only routes
+//! from the process-global observability state.
+//!
+//! | route      | payload                                                |
+//! |------------|--------------------------------------------------------|
+//! | `/metrics` | the metric registry in Prometheus text format          |
+//! | `/healthz` | JSON liveness: uptime plus live edge/vertex gauges     |
+//! | `/trace`   | the span-trace rings as Chrome trace-event JSON        |
+//!
+//! The server exists to watch a run from outside — `gtinker serve` for a
+//! recovered store, or `ingest --serve ADDR` for a live ingest — so every
+//! route reads lock-free global state (relaxed counter loads, racy-tolerant
+//! ring dumps) and never takes a pipeline barrier: scraping `/metrics`
+//! during a pooled ingest cannot stall a shard worker.
+//!
+//! HTTP support is deliberately minimal: one request per connection
+//! (`Connection: close`), request bodies ignored, `GET`/`HEAD` only. That
+//! is enough for `curl`, Prometheus scrapes, and Perfetto downloads, and
+//! keeps the whole server dependency-free and small enough to audit.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+use gtinker_core::trace::{self, SpanId};
+
+/// Route catalogue, also used as the [`SpanId::ServeRequest`] payload so
+/// traced servers show *which* endpoint was hit.
+const ROUTES: &[&str] = &["/healthz", "/metrics", "/trace"];
+
+/// Binds `addr` (use port 0 for an ephemeral port) and announces the
+/// resolved address on stdout — line-flushed, so scripts that pipe the
+/// output can discover the port before the first request.
+pub fn bind(addr: &str) -> Result<TcpListener, String> {
+    let listener =
+        TcpListener::bind(addr).map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| format!("serve: {e}"))?;
+    println!("serving on http://{local} (/healthz /metrics /trace)");
+    std::io::stdout().flush().ok();
+    Ok(listener)
+}
+
+/// Accept loop: serves until the process exits (or forever). Per-connection
+/// errors are logged and skipped — a dropped scrape must not kill the
+/// server.
+pub fn serve_forever(listener: TcpListener, start: Instant) -> ! {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Err(e) = handle_connection(stream, start) {
+                    eprintln!("serve: request failed: {e}");
+                }
+            }
+            Err(e) => eprintln!("serve: accept failed: {e}"),
+        }
+    }
+}
+
+/// Answers exactly `n` requests, then returns (test harness entry point;
+/// the production loop is [`serve_forever`]).
+#[cfg(test)]
+fn serve_n(listener: &TcpListener, start: Instant, n: usize) {
+    for _ in 0..n {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Err(e) = handle_connection(stream, start) {
+                    eprintln!("serve: request failed: {e}");
+                }
+            }
+            Err(e) => eprintln!("serve: accept failed: {e}"),
+        }
+    }
+}
+
+/// Reads one request, writes one response, closes the connection.
+fn handle_connection(stream: TcpStream, start: Instant) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the remaining headers so well-behaved clients see a clean
+    // close instead of a reset mid-send.
+    let mut line = String::new();
+    while reader.read_line(&mut line)? > 2 {
+        line.clear();
+    }
+    let mut stream = reader.into_inner();
+
+    let mut words = request_line.split_whitespace();
+    let method = words.next().unwrap_or("");
+    let path = words.next().unwrap_or("").split('?').next().unwrap_or("");
+    let head_only = method == "HEAD";
+    if !head_only && method != "GET" {
+        return respond(
+            &mut stream,
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+            false,
+        );
+    }
+
+    trace::instant(
+        SpanId::ServeRequest,
+        ROUTES.iter().position(|&r| r == path).map(|i| i as u64 + 1).unwrap_or(0),
+    );
+    let (status, ctype, body) = route(path, start);
+    respond(&mut stream, status, ctype, &body, head_only)
+}
+
+/// Computes the response for one path (pure, easily testable).
+fn route(path: &str, start: Instant) -> (u16, &'static str, String) {
+    match path {
+        "/healthz" => (200, "application/json", healthz_json(start)),
+        "/metrics" => (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            gtinker_core::metrics::global().snapshot().to_prometheus(),
+        ),
+        "/trace" => (200, "application/json", trace::dump().to_chrome_json()),
+        "/" => (
+            200,
+            "text/plain; charset=utf-8",
+            "gtinker telemetry: /healthz /metrics /trace\n".to_string(),
+        ),
+        _ => {
+            (404, "text/plain; charset=utf-8", "not found (try /healthz /metrics /trace)\n".into())
+        }
+    }
+}
+
+/// Liveness JSON. Live edges/vertices come straight from the hot-path
+/// counters the workers bump in real time (inserts − deletes, and the SGH
+/// new-source gauge), NOT from `num_edges()` — the latter is a pipeline
+/// barrier on a pooled store, and a health probe must never stall ingest.
+fn healthz_json(start: Instant) -> String {
+    let m = gtinker_core::metrics::global();
+    let live_edges = m.tinker_inserts.get().saturating_sub(m.tinker_deletes.get());
+    format!(
+        "{{\"status\":\"ok\",\"uptime_s\":{:.3},\"live_edges\":{},\"live_vertices\":{},\
+         \"trace_enabled\":{}}}\n",
+        start.elapsed().as_secs_f64(),
+        live_edges,
+        m.sgh_sources.get().max(0),
+        trace::enabled(),
+    )
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    ctype: &str,
+    body: &str,
+    head_only: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    if !head_only {
+        stream.write_all(body.as_bytes())?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpStream;
+
+    /// One raw round-trip against a single-request server thread.
+    fn get(path: &str) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let start = Instant::now();
+        let server = std::thread::spawn(move || serve_n(&listener, start, 1));
+        let mut c = TcpStream::connect(addr).unwrap();
+        write!(c, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        c.read_to_string(&mut out).unwrap();
+        server.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn healthz_is_json_with_gauges() {
+        let r = get("/healthz");
+        assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
+        assert!(r.contains("Content-Type: application/json"));
+        assert!(r.contains("\"status\":\"ok\""));
+        assert!(r.contains("\"live_edges\":"));
+        assert!(r.contains("\"live_vertices\":"));
+        assert!(r.contains("\"uptime_s\":"));
+    }
+
+    #[test]
+    fn metrics_renders_prometheus() {
+        let r = get("/metrics");
+        assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
+        assert!(r.contains("gtinker_tinker_inserts"), "got: {r}");
+    }
+
+    #[test]
+    fn trace_route_is_chrome_json() {
+        let r = get("/trace");
+        assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
+        let body = r.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.starts_with("{\"displayTimeUnit\""), "got: {body}");
+        assert!(body.contains("\"traceEvents\":["));
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_root_lists_routes() {
+        assert!(get("/nope").starts_with("HTTP/1.1 404"));
+        let r = get("/");
+        assert!(r.starts_with("HTTP/1.1 200"));
+        assert!(r.contains("/healthz /metrics /trace"));
+    }
+
+    #[test]
+    fn post_is_rejected_head_omits_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let start = Instant::now();
+        let server = std::thread::spawn(move || serve_n(&listener, start, 2));
+        let mut c = TcpStream::connect(addr).unwrap();
+        write!(c, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        c.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "got: {out}");
+        let mut c = TcpStream::connect(addr).unwrap();
+        write!(c, "HEAD /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        c.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200"), "got: {out}");
+        assert!(out.trim_end().ends_with("Connection: close"), "HEAD must omit the body: {out}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn query_strings_are_ignored_in_routing() {
+        let r = get("/healthz?probe=1");
+        assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
+        assert!(r.contains("\"status\":\"ok\""));
+    }
+}

@@ -54,6 +54,7 @@ pub mod rhh;
 pub mod sgh;
 pub mod stats;
 pub mod tinker;
+pub mod trace;
 pub mod vertex;
 
 pub use cal::{CalArray, CalPtr};
@@ -64,4 +65,5 @@ pub use pool::{ShardPool, ShardStore};
 pub use sgh::SghUnit;
 pub use stats::{ProbeStats, StructureStats};
 pub use tinker::{BatchResult, GraphTinker};
+pub use trace::{SpanId, TraceDump, TraceEvent};
 pub use vertex::{VertexProperty, VertexPropertyArray};

@@ -355,6 +355,38 @@ impl HistogramSnapshot {
         self.buckets.iter().rposition(|&c| c > 0).map(bucket_upper_bound).unwrap_or(0)
     }
 
+    /// Bucket-resolution quantile estimate: the inclusive upper bound of
+    /// the bucket holding the `q`-quantile observation (lower bound for
+    /// the open-ended overflow bucket). Exact for values below
+    /// [`HIST_LINEAR`]; within one power-of-two range above it. Zero when
+    /// empty.
+    pub fn quantile_approx(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based: p50 of 10 samples is
+        // the 5th, p99 of 10 samples is the 10th.
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return if i >= HIST_BUCKETS - 1 {
+                    bucket_lower_bound(i)
+                } else {
+                    bucket_upper_bound(i)
+                };
+            }
+        }
+        self.max_bound()
+    }
+
+    /// `(p50, p95, p99)` via [`quantile_approx`](Self::quantile_approx).
+    pub fn quantiles(&self) -> (u64, u64, u64) {
+        (self.quantile_approx(0.50), self.quantile_approx(0.95), self.quantile_approx(0.99))
+    }
+
     /// Bucket-midpoint approximation of the mean. Exact for values below
     /// [`HIST_LINEAR`]; within a factor of ~1.5 above it.
     pub fn mean_approx(&self) -> f64 {
@@ -484,6 +516,11 @@ registry! {
         sgh_probe: histogram,
         /// SGH table rehashes (grow + reinsert-all).
         sgh_grows: counter,
+        /// Distinct source vertices registered in the SGH remap — the live
+        /// vertex gauge served by the telemetry `/healthz` endpoint. A
+        /// gauge (not a counter) so it ignores the runtime flag and never
+        /// undercounts a toggled run.
+        sgh_sources: gauge,
         /// Depth at which each tree branch-out created a child edgeblock.
         tinker_branch_depth: histogram,
         /// New edges inserted.
@@ -535,8 +572,10 @@ registry! {
 
 fn hist_json(name: &str, h: &HistogramSnapshot) -> String {
     let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+    let (p50, p95, p99) = h.quantiles();
     format!(
         "  \"{name}\": {{\"count\": {}, \"max_le\": {}, \"mean_approx\": {:.3}, \
+         \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \
          \"buckets\": [{}]}}",
         h.count(),
         h.max_bound(),
@@ -569,6 +608,15 @@ fn prom_hist(out: &mut String, name: &str, h: &HistogramSnapshot) {
     out.push_str(&format!("gtinker_{name}_bucket{{le=\"+Inf\"}} {count}\n"));
     out.push_str(&format!("gtinker_{name}_sum {:.0}\n", h.mean_approx() * count as f64));
     out.push_str(&format!("gtinker_{name}_count {count}\n"));
+    // Bucket-derived quantile estimates, rendered as gauges (a Prometheus
+    // histogram family cannot carry quantile series itself).
+    for (q, v) in [
+        ("p50", h.quantile_approx(0.50)),
+        ("p95", h.quantile_approx(0.95)),
+        ("p99", h.quantile_approx(0.99)),
+    ] {
+        out.push_str(&format!("# TYPE gtinker_{name}_{q} gauge\ngtinker_{name}_{q} {v}\n"));
+    }
 }
 
 static GLOBAL: Metrics = Metrics::new();
@@ -637,6 +685,31 @@ mod tests {
         c.inc();
         assert_eq!(c.get(), 1);
         assert!(timer().is_some());
+    }
+
+    #[test]
+    fn quantiles_from_buckets() {
+        // Empty histogram: all quantiles zero.
+        assert_eq!(HistogramSnapshot { buckets: vec![0; HIST_BUCKETS] }.quantiles(), (0, 0, 0));
+        // 100 observations: 90 at value 2, 9 at value 10, 1 at value 40.
+        let mut buckets = vec![0u64; HIST_BUCKETS];
+        buckets[bucket_index(2)] = 90;
+        buckets[bucket_index(10)] = 9;
+        buckets[bucket_index(40)] = 1;
+        let h = HistogramSnapshot { buckets };
+        let (p50, p95, p99) = h.quantiles();
+        assert_eq!(p50, 2, "p50 lands in the exact value-2 bucket");
+        assert_eq!(p95, 10, "rank 95 of 100 is among the nine 10s");
+        // Rank 99 is still a 10; rank 100 (p100 == max) is the 40.
+        assert_eq!(p99, 10);
+        assert_eq!(h.quantile_approx(1.0), 63, "40 lands in the 32..=63 bucket");
+        // Quantiles are monotone in q.
+        assert!(p50 <= p95 && p95 <= p99);
+        // Overflow bucket reports its lower bound, not u64::MAX.
+        let mut top = vec![0u64; HIST_BUCKETS];
+        top[HIST_BUCKETS - 1] = 5;
+        let t = HistogramSnapshot { buckets: top };
+        assert_eq!(t.quantile_approx(0.5), bucket_lower_bound(HIST_BUCKETS - 1));
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! in steady state; queries lock on demand after a pipeline barrier.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -33,6 +33,7 @@ use std::thread::JoinHandle;
 use gtinker_types::{partition_of, EdgeBatch};
 
 use crate::tinker::{BatchResult, GraphTinker};
+use crate::trace::{self, SpanId};
 
 /// How many batches may be in flight before [`ShardPool::submit`] blocks:
 /// one applying, one staged — classic double-buffering.
@@ -93,6 +94,10 @@ impl Ticket {
 struct Job {
     batch: Arc<EdgeBatch>,
     ticket: Arc<Ticket>,
+    /// Pool-local dispatch sequence number, threaded into the trace spans
+    /// so the timeline shows which batch each worker is claiming/applying
+    /// (the visual proof that batch k+1 partitions while k applies).
+    seq: u64,
 }
 
 #[derive(Default)]
@@ -114,16 +119,21 @@ pub struct ShardPool<S> {
     /// pipeline barrier exit with one atomic load when nothing is in
     /// flight (the common case for read-heavy parallel analytics).
     pending: AtomicUsize,
+    /// Dispatch sequence number carried into each job's trace spans.
+    seq: AtomicU64,
 }
 
 fn worker_loop<S: ShardStore>(index: usize, shards: Arc<Vec<Mutex<S>>>, rx: mpsc::Receiver<Job>) {
     let n = shards.len();
     let mut claim = EdgeBatch::new();
     while let Ok(job) = rx.recv() {
-        claim.clear();
-        for &op in job.batch.ops() {
-            if partition_of(op.src(), n) == index {
-                claim.push(op);
+        {
+            let _t = trace::span_arg(SpanId::PoolClaim, job.seq);
+            claim.clear();
+            for &op in job.batch.ops() {
+                if partition_of(op.src(), n) == index {
+                    claim.push(op);
+                }
             }
         }
         let m = crate::metrics::global();
@@ -133,6 +143,7 @@ fn worker_loop<S: ShardStore>(index: usize, shards: Arc<Vec<Mutex<S>>>, rx: mpsc
         let result = if claim.is_empty() {
             BatchResult::default()
         } else {
+            let _t = trace::span_arg(SpanId::PoolApply, job.seq);
             shards[index].lock().expect("shard poisoned").apply_shard_batch(&claim)
         };
         job.ticket.complete(result);
@@ -163,6 +174,7 @@ impl<S: ShardStore> ShardPool<S> {
             handles,
             inflight: Mutex::new(Inflight::default()),
             pending: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
         }
     }
 
@@ -182,9 +194,11 @@ impl<S: ShardStore> ShardPool<S> {
     /// Hands `batch` to every worker under a fresh ticket.
     fn dispatch(&self, batch: Arc<EdgeBatch>) -> Arc<Ticket> {
         crate::metrics::global().pool_batches.inc();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        trace::instant(SpanId::PoolDispatch, seq);
         let ticket = Arc::new(Ticket::new(self.txs.len()));
         for tx in &self.txs {
-            let job = Job { batch: Arc::clone(&batch), ticket: Arc::clone(&ticket) };
+            let job = Job { batch: Arc::clone(&batch), ticket: Arc::clone(&ticket), seq };
             tx.send(job).expect("shard worker exited early");
         }
         ticket
@@ -196,10 +210,12 @@ impl<S: ShardStore> ShardPool<S> {
     /// finishes reaping so readers never observe a half-applied pipeline.
     fn settle(&self) {
         let mut waited = false;
+        let mut barrier = None;
         while self.pending.load(Ordering::Acquire) > 0 {
             if !waited {
                 waited = true;
                 crate::metrics::global().pool_settle_waits.inc();
+                barrier = Some(trace::span(SpanId::PoolSettle));
             }
             let next = self.inflight.lock().expect("inflight poisoned").queue.pop_front();
             match next {
@@ -212,6 +228,8 @@ impl<S: ShardStore> ShardPool<S> {
                 None => std::thread::yield_now(),
             }
         }
+        // Close the barrier span (if one was opened) before readers go on.
+        drop(barrier);
     }
 
     /// Applies one batch synchronously: the batch is claimed, partitioned

@@ -110,6 +110,9 @@ impl SghUnit {
         let dense = self.reverse.len() as u32;
         self.reverse.push(orig);
         self.insert_fresh_hashed(hash, orig, dense);
+        // New-source path only (not re-hit on grow-rehash): feeds the
+        // live-vertex gauge of the telemetry /healthz endpoint.
+        crate::metrics::global().sgh_sources.inc();
         dense
     }
 

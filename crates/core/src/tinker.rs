@@ -384,6 +384,7 @@ impl GraphTinker {
                 self.stats.branches_created += 1;
                 depth += 1;
                 crate::metrics::global().tinker_branch_depth.record(depth as u64);
+                crate::trace::instant(crate::trace::SpanId::TinkerBranchOut, depth as u64);
                 self.stats.max_depth = self.stats.max_depth.max(depth);
                 let (sub, bucket) = subblock_and_bucket(e.dst, depth, spb, sublen);
                 (child, sub, bucket)

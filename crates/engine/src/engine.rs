@@ -306,15 +306,25 @@ impl<P: GasProgram> Engine<P> {
             let mode = self.policy.decide(self.active.len(), active_degree, store_edges);
 
             // --- Processing phase -------------------------------------
+            // Spans are recorded on the calling thread only: the scoped
+            // per-iteration workers are short-lived, and giving each a
+            // trace ring would exhaust the ring registry over a long run.
+            let iter_idx = report.iterations.len() as u64;
             let process_start = Instant::now();
-            let (edges_processed, messages, shard_times) = if num_shards > 1 {
-                self.process_sharded(store, mode, num_shards)
-            } else {
-                self.process_sequential(store, mode)
+            let (edges_processed, messages, shard_times) = {
+                let _t =
+                    gtinker_core::trace::span_arg(gtinker_core::SpanId::EngineProcess, iter_idx);
+                if num_shards > 1 {
+                    self.process_sharded(store, mode, num_shards)
+                } else {
+                    self.process_sequential(store, mode)
+                }
             };
             let process_time = process_start.elapsed();
 
             // --- Apply phase -------------------------------------------
+            let apply_span =
+                gtinker_core::trace::span_arg(gtinker_core::SpanId::EngineApply, iter_idx);
             let apply_start = Instant::now();
             let active_vertices = self.active.len();
             for &v in &self.active {
@@ -334,6 +344,7 @@ impl<P: GasProgram> Engine<P> {
             }
             self.touched.clear();
             let apply_time = apply_start.elapsed();
+            drop(apply_span);
 
             let m = gtinker_core::metrics::global();
             m.engine_iterations.inc();

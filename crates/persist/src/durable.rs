@@ -201,6 +201,10 @@ impl DurableTinker {
     /// Folds the pending (acknowledged, durable) batch into the store.
     fn apply_pending(&mut self) {
         if let Some(batch) = self.pending.take() {
+            let _t = gtinker_core::trace::span_arg(
+                gtinker_core::SpanId::DurablePendingApply,
+                batch.len() as u64,
+            );
             self.store.apply_batch(&batch);
         }
     }
@@ -256,7 +260,10 @@ impl DurableTinker {
         // Overlap: fold in the previously acked batch while the WAL
         // thread encodes, appends and (per policy) syncs this one.
         self.apply_pending();
-        let lsn = self.wal_thread.as_ref().expect("pipelined").recv_ack()?;
+        let lsn = {
+            let _t = gtinker_core::trace::span(gtinker_core::SpanId::DurableAckWait);
+            self.wal_thread.as_ref().expect("pipelined").recv_ack()?
+        };
         self.pending = Some(batch);
         self.next_lsn = lsn + 1;
         Ok(lsn)

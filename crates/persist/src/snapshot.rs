@@ -360,9 +360,13 @@ pub fn write_snapshot_bytes(dir: &Path, lsn: u64, bytes: &[u8]) -> Result<PathBu
 pub fn write_tinker_snapshot(dir: &Path, g: &GraphTinker, lsn: u64) -> Result<PathBuf> {
     let m = gtinker_core::metrics::global();
     let encode_timer = gtinker_core::metrics::timer();
-    let bytes = encode_tinker(g, lsn);
+    let bytes = {
+        let _t = gtinker_core::trace::span_arg(gtinker_core::SpanId::SnapshotEncode, lsn);
+        encode_tinker(g, lsn)
+    };
     m.snapshot_encode_ns.record_since(encode_timer);
     let write_timer = gtinker_core::metrics::timer();
+    let _t = gtinker_core::trace::span_arg(gtinker_core::SpanId::SnapshotWrite, lsn);
     let path = write_snapshot_bytes(dir, lsn, &bytes)?;
     m.snapshot_write_ns.record_since(write_timer);
     m.snapshot_writes.inc();
@@ -373,9 +377,13 @@ pub fn write_tinker_snapshot(dir: &Path, g: &GraphTinker, lsn: u64) -> Result<Pa
 pub fn write_stinger_snapshot(dir: &Path, s: &Stinger, lsn: u64) -> Result<PathBuf> {
     let m = gtinker_core::metrics::global();
     let encode_timer = gtinker_core::metrics::timer();
-    let bytes = encode_stinger(s, lsn);
+    let bytes = {
+        let _t = gtinker_core::trace::span_arg(gtinker_core::SpanId::SnapshotEncode, lsn);
+        encode_stinger(s, lsn)
+    };
     m.snapshot_encode_ns.record_since(encode_timer);
     let write_timer = gtinker_core::metrics::timer();
+    let _t = gtinker_core::trace::span_arg(gtinker_core::SpanId::SnapshotWrite, lsn);
     let path = write_snapshot_bytes(dir, lsn, &bytes)?;
     m.snapshot_write_ns.record_since(write_timer);
     m.snapshot_writes.inc();

@@ -390,6 +390,7 @@ impl WalWriter {
     /// size limit.
     pub fn append(&mut self, batch: &EdgeBatch) -> Result<u64> {
         let timer = gtinker_core::metrics::timer();
+        let _t = gtinker_core::trace::span_arg(gtinker_core::SpanId::WalAppend, self.next_lsn);
         let lsn = self.next_lsn;
         let record = encode_record(lsn, batch);
         if self.segment_records > 0
@@ -419,6 +420,7 @@ impl WalWriter {
     /// Forces appended records to stable storage.
     pub fn sync(&mut self) -> Result<()> {
         let timer = gtinker_core::metrics::timer();
+        let _t = gtinker_core::trace::span(gtinker_core::SpanId::WalSync);
         self.file.sync_data()?;
         self.unsynced = 0;
         let m = gtinker_core::metrics::global();

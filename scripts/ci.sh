@@ -14,6 +14,9 @@ cargo test -q --workspace
 echo "==> metrics-off build (compile-time no-op path of the metrics feature)"
 cargo test -q -p gtinker-core --no-default-features
 
+echo "==> trace-off build (compile-time no-op path of the trace feature, metrics kept on)"
+cargo test -q -p gtinker-core --no-default-features --features metrics
+
 echo "==> recovery smoke test (ingest -> crash-free recover round-trip)"
 GT=target/release/gtinker
 SMOKE=$(mktemp -d)
@@ -43,6 +46,78 @@ grep -q '"rhh_probe"' "$SMOKE/stats_file.json"
 DIR_EDGES=$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$SMOKE/stats_dir.json" | head -1)
 test "$FILE_EDGES" = "$DIR_EDGES"
 "$GT" stats "$SMOKE/g.txt" --format prom | grep -q "gtinker_tinker_inserts $FILE_EDGES"
+
+echo "==> trace smoke test (traced pooled ingest -> Perfetto-loadable timeline with live shard tracks)"
+"$GT" trace "$SMOKE/g.txt" --wal "$SMOKE/db_trace" --batch 256 --sync never \
+    --pool 4 --pipeline --analytics --out "$SMOKE/trace.json"
+python3 - "$SMOKE/trace.json" <<'PYEOF'
+import json, sys
+
+d = json.load(open(sys.argv[1]))
+ev = d["traceEvents"]
+names = {e["tid"]: e["args"]["name"]
+         for e in ev if e.get("ph") == "M" and e.get("name") == "thread_name"}
+shard_tids = sorted(t for t, n in names.items() if n.startswith("gtinker-shard-"))
+assert len(shard_tids) >= 4, f"want >= 4 shard tracks, got {len(shard_tids)}"
+for t in shard_tids:
+    c = sum(1 for e in ev if e.get("tid") == t and e.get("ph") in ("B", "E", "i"))
+    assert c > 0, f"shard track {names[t]} has no events"
+
+def spans(name):
+    open_by_tid, out = {}, []
+    for e in ev:
+        if e.get("name") != name:
+            continue
+        if e["ph"] == "B":
+            open_by_tid[e["tid"]] = e
+        elif e["ph"] == "E" and e["tid"] in open_by_tid:
+            b = open_by_tid.pop(e["tid"])
+            out.append((b["ts"], e["ts"], b["args"]["v"]))
+    return out
+
+appends, applies = spans("wal_append"), spans("pool_apply")
+assert appends, "no wal_append spans"
+assert applies, "no pool_apply spans"
+# The pipelining signature: the WAL append of batch k+1 runs while a shard
+# worker is still applying batch k (pooled path: lsn and pool seq align).
+overlaps = sum(1 for (s1, e1, lsn) in appends for (s2, e2, seq) in applies
+               if lsn == seq + 1 and s1 < e2 and s2 < e1)
+assert overlaps >= 1, "no wal_append(k+1) overlapped pool_apply(k)"
+assert any(e.get("name") == "engine_process" for e in ev), "no traced analytics"
+print(f"trace ok: {len(ev)} events, {len(shard_tids)} shard tracks, "
+      f"{overlaps} append/apply overlaps")
+PYEOF
+
+echo "==> serve smoke test (live telemetry endpoint answers /healthz, /metrics, /trace)"
+"$GT" serve "$SMOKE/g.txt" --addr 127.0.0.1:0 > "$SMOKE/serve.out" 2> "$SMOKE/serve.err" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKE"' EXIT
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's#serving on http://\([^ ]*\).*#\1#p' "$SMOKE/serve.out")
+    test -n "$ADDR" && break
+    sleep 0.1
+done
+test -n "$ADDR"
+curl -fsS "http://$ADDR/healthz" | tee "$SMOKE/healthz.json"
+grep -q '"status":"ok"' "$SMOKE/healthz.json"
+grep -q '"live_edges":' "$SMOKE/healthz.json"
+curl -fsS "http://$ADDR/metrics" | grep -q "gtinker_tinker_inserts"
+curl -fsS "http://$ADDR/trace" -o "$SMOKE/trace_live.json"
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))["traceEvents"]' "$SMOKE/trace_live.json"
+kill "$SERVE_PID"
+trap 'rm -rf "$SMOKE"' EXIT
+
+echo "==> bench regression gate self-check (bench_diff flags a seeded 20% drop)"
+BD=target/release/bench_diff
+printf '{\n  "x_meps": 10.000,\n  "ops": 5\n}\n' > "$SMOKE/old.json"
+printf '{\n  "x_meps": 9.500,\n  "ops": 5\n}\n' > "$SMOKE/new_ok.json"
+printf '{\n  "x_meps": 8.000,\n  "ops": 5\n}\n' > "$SMOKE/new_bad.json"
+"$BD" "$SMOKE/old.json" "$SMOKE/new_ok.json"
+if "$BD" "$SMOKE/old.json" "$SMOKE/new_bad.json"; then
+    echo "bench_diff failed to flag a 20% regression" >&2
+    exit 1
+fi
 
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

@@ -1,0 +1,170 @@
+//! Integration tests for the span-tracing layer against the real shard
+//! pool: begin/end nesting must stay balanced per worker track under a
+//! pipelined multi-batch workload, ring wraparound must keep the newest
+//! events, and the exported Chrome trace JSON must be well-formed with
+//! one named track per shard worker.
+//!
+//! The trace rings are process-global, so the tests in this file (one
+//! test binary) serialize on a local lock and scope every assertion to
+//! events recorded after their own `trace::clear()`.
+
+use std::sync::{Arc, Mutex};
+
+use gtinker_core::trace::{self, EventKind, SpanId, TraceDump, RING_CAP};
+use gtinker_core::ParallelTinker;
+use gtinker_types::{Edge, EdgeBatch, TinkerConfig};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+const SHARDS: usize = 4;
+
+/// Runs a pipelined pooled ingest of `batches` x `ops` synthetic edges
+/// and returns the final live-edge count. Dropping the store settles the
+/// pipeline, so every worker's spans are closed when this returns.
+fn pooled_run(batches: u64, ops: u32) -> u64 {
+    let mut g = ParallelTinker::new(TinkerConfig::default(), SHARDS).expect("parallel store");
+    for k in 0..batches {
+        let edges: Vec<Edge> = (0..ops)
+            .map(|i| Edge::unit((k as u32 * ops + i) % 977, (i * 31 + k as u32) % 1009))
+            .collect();
+        g.submit_shared(Arc::new(EdgeBatch::inserts(&edges)));
+    }
+    g.flush();
+    g.num_edges()
+}
+
+/// Per-thread begin/end walk: depth never goes negative, ends at zero.
+fn assert_nesting_balanced(d: &TraceDump) {
+    for t in &d.threads {
+        let mut depth: i64 = 0;
+        for e in d.events.iter().filter(|e| e.tid == t.tid) {
+            match e.kind {
+                EventKind::Begin => depth += 1,
+                EventKind::End => {
+                    depth -= 1;
+                    assert!(depth >= 0, "track '{}': End without Begin", t.name);
+                }
+                EventKind::Instant => {}
+            }
+        }
+        assert_eq!(depth, 0, "track '{}': {depth} span(s) left open", t.name);
+    }
+}
+
+#[test]
+fn pool_stress_keeps_nesting_balanced_on_every_track() {
+    let _g = LOCK.lock().unwrap();
+    trace::set_enabled(true);
+    trace::clear();
+    // 40 batches x 4 workers x <=4 events stays far below RING_CAP, so no
+    // eviction can orphan a Begin mid-window.
+    let live = pooled_run(40, 500);
+    trace::set_enabled(false);
+    let d = trace::dump();
+    assert!(live > 0);
+    assert_nesting_balanced(&d);
+
+    // Every shard worker recorded claim and apply spans on its own track.
+    let shard_tracks: Vec<_> = d
+        .threads
+        .iter()
+        .filter(|t| t.name.starts_with("gtinker-shard-") && d.events.iter().any(|e| e.tid == t.tid))
+        .collect();
+    assert!(
+        shard_tracks.len() >= SHARDS,
+        "want >= {SHARDS} active shard tracks, got {}",
+        shard_tracks.len()
+    );
+    for t in &shard_tracks {
+        assert!(
+            d.events.iter().any(|e| e.tid == t.tid
+                && e.span == SpanId::PoolApply
+                && e.kind == EventKind::Begin),
+            "track '{}' recorded no pool_apply span",
+            t.name
+        );
+    }
+    // Batch sequence numbers thread through the claim spans: the claim
+    // args on any one worker cover multiple distinct batches.
+    let mut claim_args: Vec<u64> = d
+        .events
+        .iter()
+        .filter(|e| e.span == SpanId::PoolClaim && e.kind == EventKind::Begin)
+        .map(|e| e.arg)
+        .collect();
+    claim_args.sort_unstable();
+    claim_args.dedup();
+    assert!(claim_args.len() >= 10, "claim spans cover {} batches", claim_args.len());
+}
+
+#[test]
+fn wraparound_keeps_newest_even_while_pool_records() {
+    let _g = LOCK.lock().unwrap();
+    trace::set_enabled(true);
+    trace::clear();
+    // Wrap the calling thread's ring while shard workers record into
+    // theirs: eviction is per-ring and must not disturb other tracks.
+    pooled_run(4, 200);
+    let total = RING_CAP as u64 + 64;
+    for i in 0..total {
+        trace::instant(SpanId::IngestBatch, i);
+    }
+    trace::set_enabled(false);
+    let d = trace::dump();
+    let args: Vec<u64> =
+        d.events.iter().filter(|e| e.span == SpanId::IngestBatch).map(|e| e.arg).collect();
+    assert!(args.len() <= RING_CAP);
+    assert!(args.contains(&(total - 1)), "newest instant must survive the wrap");
+    assert!(!args.contains(&0), "oldest instants must be evicted");
+    // Shard tracks are untouched by the main-thread wrap.
+    assert!(d.events.iter().any(|e| e.span == SpanId::PoolApply && e.kind == EventKind::Begin));
+    assert_nesting_balanced(&d);
+}
+
+/// Minimal JSON well-formedness walk: braces/brackets balance outside
+/// strings, and the document is one object.
+fn assert_json_balanced(s: &str) {
+    let mut stack = Vec::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_str {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => stack.push(c),
+            '}' => assert_eq!(stack.pop(), Some('{'), "unbalanced object"),
+            ']' => assert_eq!(stack.pop(), Some('['), "unbalanced array"),
+            _ => {}
+        }
+    }
+    assert!(!in_str, "unterminated string");
+    assert!(stack.is_empty(), "unclosed scopes: {stack:?}");
+}
+
+#[test]
+fn chrome_export_is_well_formed_with_shard_tracks() {
+    let _g = LOCK.lock().unwrap();
+    trace::set_enabled(true);
+    trace::clear();
+    pooled_run(8, 300);
+    trace::set_enabled(false);
+    let json = trace::dump().to_chrome_json();
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert_json_balanced(&json);
+    for shard in 0..SHARDS {
+        assert!(
+            json.contains(&format!("\"name\":\"gtinker-shard-{shard}\"")),
+            "missing thread_name metadata for shard {shard}"
+        );
+    }
+    assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""));
+    assert!(json.contains("\"name\":\"pool_apply\""));
+}
