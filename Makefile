@@ -1,5 +1,5 @@
 # Convenience targets; `make ci` mirrors the hosted pipeline.
-.PHONY: ci build test lint fmt bench doc smoke ingest-smoke stats-smoke trace-smoke
+.PHONY: ci build test lint fmt bench doc smoke ingest-smoke stats-smoke trace-smoke adaptive-smoke
 
 ci:
 	./scripts/ci.sh
@@ -38,6 +38,21 @@ stats-smoke: build
 	target/release/gtinker stats "$$SMOKE/db" --format json | tee "$$SMOKE/dir.json"; \
 	DE=$$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$$SMOKE/dir.json" | head -1); \
 	test "$$FE" = "$$DE"
+
+# Skewed stream -> adaptive stats; every tier counter must be nonzero and
+# the adaptive/fixed layouts must agree on the live edge count (also part
+# of ci).
+adaptive-smoke: build
+	@SMOKE=$$(mktemp -d); trap 'rm -rf "$$SMOKE"' EXIT; \
+	target/release/gtinker generate --dataset Zipf_SourceSkew --scale-factor 512 --out "$$SMOKE/skew.txt"; \
+	target/release/gtinker stats "$$SMOKE/skew.txt" --adaptive --format json | tee "$$SMOKE/adaptive.json"; \
+	for f in tier_inline_vertices tier_blocks_vertices tier_hub_vertices tier_promotions; do \
+		V=$$(sed -n "s/.*\"$$f\": \([0-9][0-9]*\).*/\1/p" "$$SMOKE/adaptive.json" | head -1); \
+		test -n "$$V"; test "$$V" -gt 0 || { echo "adaptive-smoke: $$f is 0" >&2; exit 1; }; \
+	done; \
+	AE=$$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$$SMOKE/adaptive.json" | head -1); \
+	FE=$$(target/release/gtinker stats "$$SMOKE/skew.txt" --format json | sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' | head -1); \
+	test "$$AE" = "$$FE"
 
 # Traced pooled+pipelined ingest -> Perfetto-loadable timeline; validates
 # the exported JSON and that every shard worker produced a track (also

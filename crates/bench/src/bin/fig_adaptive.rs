@@ -1,0 +1,10 @@
+//! Degree-adaptive tier benchmark: insert throughput, bytes/edge and BFS
+//! latency of the adaptive layout vs the fixed RHH geometry.
+fn main() {
+    let args = gtinker_bench::Args::parse();
+    let table = gtinker_bench::experiments::fig_adaptive::run(&args);
+    table.print();
+    if let Err(e) = table.write_tsv(&args.out_dir) {
+        eprintln!("warning: could not write TSV: {e}");
+    }
+}

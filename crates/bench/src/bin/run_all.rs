@@ -35,6 +35,7 @@ fn main() {
         ("Ingest pipeline", Box::new(experiments::fig_ingest_pipeline::run)),
         ("Metrics overhead", Box::new(experiments::fig_metrics_overhead::run)),
         ("Trace overhead", Box::new(experiments::fig_trace_overhead::run)),
+        ("Adaptive tiers", Box::new(experiments::fig_adaptive::run)),
     ];
     for (label, f) in suite {
         let t0 = std::time::Instant::now();

@@ -1,0 +1,230 @@
+//! Degree-adaptive tier benchmark (no paper counterpart; acceptance gate
+//! for the hybrid vertex representation): insert throughput, memory per
+//! edge, and analytics latency of the adaptive layout vs the fixed RHH
+//! geometry, on a hub-heavy Zipf stream and on a uniform stream.
+//!
+//! The adaptive layout should win on the skewed stream (the degree-1..4
+//! tail skips edgeblock allocation entirely; hubs trade hash probing for a
+//! sorted gallop) and must not lose more than noise on the uniform stream,
+//! where almost every vertex sits in the edgeblock tier and the only cost
+//! is the per-insert tier dispatch.
+//!
+//! All configurations run with the CAL disabled: CAL-on streaming is
+//! identical across tiers by construction (the CAL is tier-transparent),
+//! so disabling it makes the analytics comparison exercise the per-tier
+//! adjacency walks and the bytes/edge comparison count only adjacency
+//! structure.
+//!
+//! Alongside the TSV the run emits `BENCH_adaptive.json`; the acceptance
+//! criteria are `skew_adaptive_meps >= skew_fixed_meps`,
+//! `adaptive_bytes_per_edge <= fixed_bytes_per_edge`, and
+//! `uniform_adaptive_meps` within 5 % of `uniform_fixed_meps`.
+
+use std::time::Instant;
+
+use gtinker_core::GraphTinker;
+use gtinker_datasets::{dataset_by_name, SourceSkewConfig};
+use gtinker_engine::{algorithms::Bfs, Engine, ModePolicy};
+use gtinker_types::{Edge, EdgeBatch, TinkerConfig};
+
+use crate::cli::Args;
+use crate::report::{f3, meps, Table};
+
+/// Batch size for the ingest stream.
+const OPS_PER_BATCH: usize = 10_000;
+
+/// Interleaved trials per configuration; the best of each side is kept.
+const REPS: usize = 3;
+
+/// The fixed-geometry reference configuration (CAL off, see module doc).
+fn fixed_config() -> TinkerConfig {
+    TinkerConfig::default().cal(false)
+}
+
+/// The adaptive configuration under test (same geometry, tiers on).
+fn adaptive_config() -> TinkerConfig {
+    fixed_config().adaptive()
+}
+
+fn slice_batches(edges: &[Edge]) -> Vec<EdgeBatch> {
+    edges.chunks(OPS_PER_BATCH).map(EdgeBatch::inserts).collect()
+}
+
+/// Ingests all batches into a fresh store, returning Medges/s.
+fn measure_insert(config: TinkerConfig, batches: &[EdgeBatch], ops: u64) -> f64 {
+    let mut g = GraphTinker::new(config).expect("valid bench config");
+    let t0 = Instant::now();
+    for b in batches {
+        g.apply_batch(b);
+    }
+    meps(ops, t0.elapsed())
+}
+
+/// Best-of-[`REPS`] interleaved: `(fixed_meps, adaptive_meps)`.
+fn sample_insert(batches: &[EdgeBatch], ops: u64) -> (f64, f64) {
+    let (mut fixed, mut adaptive) = (0.0f64, 0.0f64);
+    for _ in 0..REPS {
+        fixed = fixed.max(measure_insert(fixed_config(), batches, ops));
+        adaptive = adaptive.max(measure_insert(adaptive_config(), batches, ops));
+    }
+    (fixed, adaptive)
+}
+
+/// Builds a store once and reports `(bytes_per_edge, bfs_ms, store)`.
+fn build_and_probe(
+    config: TinkerConfig,
+    batches: &[EdgeBatch],
+    root: u32,
+) -> (f64, f64, GraphTinker) {
+    let mut g = GraphTinker::new(config).expect("valid bench config");
+    for b in batches {
+        g.apply_batch(b);
+    }
+    let st = g.structure_stats();
+    let bpe = st.memory_bytes as f64 / st.live_edges.max(1) as f64;
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut e = Engine::new(Bfs::new(root), ModePolicy::AlwaysFull);
+        let t0 = Instant::now();
+        e.run_from_roots(&g);
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (bpe, best_ms, g)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    ops: u64,
+    skew: (f64, f64),
+    uniform: (f64, f64),
+    bytes_per_edge: (f64, f64),
+    bfs_ms: (f64, f64),
+    tiers: (usize, usize, usize, u64),
+) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"adaptive_tiers\",\n");
+    out.push_str(&format!("  \"ops\": {ops},\n"));
+    out.push_str(&format!("  \"reps\": {REPS},\n"));
+    out.push_str(&format!("  \"skew_fixed_meps\": {:.3},\n", skew.0));
+    out.push_str(&format!("  \"skew_adaptive_meps\": {:.3},\n", skew.1));
+    out.push_str(&format!("  \"uniform_fixed_meps\": {:.3},\n", uniform.0));
+    out.push_str(&format!("  \"uniform_adaptive_meps\": {:.3},\n", uniform.1));
+    out.push_str(&format!("  \"fixed_bytes_per_edge\": {:.3},\n", bytes_per_edge.0));
+    out.push_str(&format!("  \"adaptive_bytes_per_edge\": {:.3},\n", bytes_per_edge.1));
+    out.push_str(&format!("  \"bfs_fixed_ms\": {:.3},\n", bfs_ms.0));
+    out.push_str(&format!("  \"bfs_adaptive_ms\": {:.3},\n", bfs_ms.1));
+    out.push_str(&format!("  \"tier_inline_vertices\": {},\n", tiers.0));
+    out.push_str(&format!("  \"tier_blocks_vertices\": {},\n", tiers.1));
+    out.push_str(&format!("  \"tier_hub_vertices\": {},\n", tiers.2));
+    out.push_str(&format!("  \"tier_promotions\": {}\n", tiers.3));
+    out.push_str("}\n");
+    out
+}
+
+/// Runs the adaptive-tier benchmark; also writes
+/// `<out-dir>/BENCH_adaptive.json`.
+pub fn run(args: &Args) -> Table {
+    let skew_spec = dataset_by_name("Zipf_SourceSkew", args.scale_factor).expect("catalog dataset");
+    let skew_edges = skew_spec.generate();
+    let skew_batches = slice_batches(&skew_edges);
+    let skew_ops = skew_edges.len() as u64;
+
+    // Uniform control: same size, theta 0 (every source equally likely).
+    let uniform_edges = SourceSkewConfig {
+        num_vertices: skew_spec.vertices,
+        num_edges: skew_spec.edges,
+        theta: 0.0,
+        seed: skew_spec.seed,
+        max_weight: 64,
+    }
+    .generate();
+    let uniform_batches = slice_batches(&uniform_edges);
+
+    let mut t = Table::new(
+        "fig_adaptive",
+        &format!(
+            "Degree-adaptive tiers vs fixed geometry: insert Medges/s, bytes/edge, \
+             BFS latency ({}, {} ops, best of {REPS} interleaved trials)",
+            skew_spec.name, skew_ops
+        ),
+        &["workload", "config", "insert_meps", "bytes_per_edge", "bfs_ms"],
+    );
+
+    let skew = sample_insert(&skew_batches, skew_ops);
+    let uniform = sample_insert(&uniform_batches, skew_ops);
+
+    // A root with edges: the most frequent Zipf rank always has some.
+    let root = skew_edges.first().map(|e| e.src).unwrap_or(0);
+    let (fixed_bpe, fixed_bfs, _) = build_and_probe(fixed_config(), &skew_batches, root);
+    let (adaptive_bpe, adaptive_bfs, ga) = build_and_probe(adaptive_config(), &skew_batches, root);
+    let st = ga.structure_stats();
+    assert!(
+        st.tier_inline_vertices + st.tier_hub_vertices > 0,
+        "the skewed stream must exercise the non-default tiers"
+    );
+
+    t.push_row(vec!["zipf_skew".into(), "fixed".into(), f3(skew.0), f3(fixed_bpe), f3(fixed_bfs)]);
+    t.push_row(vec![
+        "zipf_skew".into(),
+        "adaptive".into(),
+        f3(skew.1),
+        f3(adaptive_bpe),
+        f3(adaptive_bfs),
+    ]);
+    t.push_row(vec!["uniform".into(), "fixed".into(), f3(uniform.0), "-".into(), "-".into()]);
+    t.push_row(vec!["uniform".into(), "adaptive".into(), f3(uniform.1), "-".into(), "-".into()]);
+
+    let json = to_json(
+        skew_ops,
+        skew,
+        uniform,
+        (fixed_bpe, adaptive_bpe),
+        (fixed_bfs, adaptive_bfs),
+        (
+            st.tier_inline_vertices,
+            st.tier_blocks_vertices,
+            st.tier_hub_vertices,
+            st.tier_promotions,
+        ),
+    );
+    let path = std::path::Path::new(&args.out_dir).join("BENCH_adaptive.json");
+    if let Err(e) =
+        std::fs::create_dir_all(&args.out_dir).and_then(|()| std::fs::write(&path, json))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_the_gate_fields() {
+        let s = to_json(1_000, (5.0, 6.0), (7.0, 7.0), (30.0, 20.0), (1.5, 1.2), (10, 20, 3, 25));
+        assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
+        assert!(s.contains("\"skew_adaptive_meps\": 6.000"));
+        assert!(s.contains("\"adaptive_bytes_per_edge\": 20.000"));
+        assert!(s.contains("\"uniform_fixed_meps\": 7.000"));
+        assert!(s.contains("\"tier_hub_vertices\": 3"));
+    }
+
+    #[test]
+    fn tiny_end_to_end_run() {
+        let dir = std::env::temp_dir().join(format!("gtinker_fig_adaptive_{}", std::process::id()));
+        let args = Args {
+            scale_factor: 8192,
+            batches: 4,
+            threads: vec![1],
+            out_dir: dir.to_string_lossy().into_owned(),
+        };
+        let t = run(&args);
+        let rendered = t.render();
+        assert!(rendered.contains("zipf_skew"));
+        assert!(rendered.contains("adaptive"));
+        let json = std::fs::read_to_string(dir.join("BENCH_adaptive.json")).unwrap();
+        assert!(json.contains("\"skew_adaptive_meps\""));
+        assert!(json.contains("\"tier_promotions\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -17,6 +17,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod fig_adaptive;
 pub mod fig_ingest_pipeline;
 pub mod fig_metrics_overhead;
 pub mod fig_persist;

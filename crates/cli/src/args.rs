@@ -26,6 +26,7 @@ const BARE_FLAGS: &[&str] = &[
     "pipeline",
     "stats",
     "analytics",
+    "adaptive",
 ];
 
 /// Parses a raw argument vector (excluding the program name).

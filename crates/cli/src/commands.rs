@@ -27,7 +27,7 @@ USAGE:
   gtinker generate (--dataset NAME | --rmat-scale N --edges M) [--seed S]
                    [--scale-factor F] --out FILE
   gtinker stats FILE|WALDIR [--format text|json|prom] [--pagewidth N]
-                [--no-sgh] [--no-cal] [--compact]
+                [--no-sgh] [--no-cal] [--compact] [--adaptive]
   gtinker bfs FILE --root R [--mode hybrid|da|fp|ip] [--shards N]
   gtinker sssp FILE --root R [--mode hybrid|da|fp|ip] [--shards N]
   gtinker cc FILE [--mode hybrid|da|fp|ip] [--shards N]
@@ -46,7 +46,15 @@ USAGE:
 
 Datasets for --dataset: RMAT_1M_10M, RMAT_500K_8M, RMAT_1M_16M,
 RMAT_2M_32M, Hollywood-2009, Kron_g500-logn21 (paper Table 1; scaled by
---scale-factor, default 64).
+--scale-factor, default 64), plus Zipf_SourceSkew (hub-heavy Zipf
+sources, the degree-adaptive tier stress stream).
+
+--adaptive (any command that builds a GraphTinker) enables the
+degree-adaptive layout: vertices with <= 4 edges stay inline in the
+vertex entry, ordinary vertices use the RHH edgeblock tree, and sources
+crossing 128 edges move to a dense sorted hub segment (demoted below
+64). 'stats --adaptive' reports per-tier vertex counts and the
+memory_*_bytes gauge family.
 
 FILE is a plain edge list: 'src dst [weight]' per line, '#' comments.
 --shards N (> 1) runs the analytic over an interval-partitioned parallel
@@ -110,6 +118,9 @@ fn config(parsed: &Parsed) -> Result<TinkerConfig, String> {
     cfg.enable_cal = !parsed.flag("no-cal");
     if parsed.flag("compact") {
         cfg.delete_mode = DeleteMode::DeleteAndCompact;
+    }
+    if parsed.flag("adaptive") {
+        cfg = cfg.adaptive();
     }
     cfg.validate().map_err(|e| format!("invalid configuration: {e}"))?;
     Ok(cfg)
@@ -182,6 +193,9 @@ fn stats(parsed: &Parsed) -> Result<(), String> {
     } else {
         load_graph(parsed)?.0
     };
+    // Refresh the memory_*_bytes gauge family from the final structure
+    // state so every output format reports it.
+    g.publish_memory_metrics();
     let snap = gtinker_core::metrics::global().snapshot();
     match format {
         "json" => println!("{}", stats_json(&g, &input, recovered, &snap)),
@@ -199,6 +213,21 @@ fn stats(parsed: &Parsed) -> Result<(), String> {
             println!("CAL blocks        : {} ({} invalid records)", st.cal_blocks, st.cal_invalid);
             println!("occupancy         : {:.3}", st.occupancy);
             println!("memory            : {:.1} MiB", st.memory_bytes as f64 / (1024.0 * 1024.0));
+            if g.config().adaptive_enabled() {
+                println!(
+                    "tiers             : {} inline / {} blocks / {} hub vertices \
+                     ({} promotions, {} demotions)",
+                    st.tier_inline_vertices,
+                    st.tier_blocks_vertices,
+                    st.tier_hub_vertices,
+                    st.tier_promotions,
+                    st.tier_demotions
+                );
+                println!(
+                    "tier memory       : inline {} B, hub {} B",
+                    st.inline_bytes, st.hub_bytes
+                );
+            }
             println!("mean probe        : {:.2} cells/op", ps.mean_probe());
             println!("mean tree depth   : {:.3}", g.mean_depth());
             let hist = g.depth_histogram();
@@ -276,6 +305,13 @@ fn stats_json(
     out.push_str(&format!("  \"cal_invalid\": {},\n", st.cal_invalid));
     out.push_str(&format!("  \"occupancy\": {:.6},\n", st.occupancy));
     out.push_str(&format!("  \"memory_bytes\": {},\n", st.memory_bytes));
+    out.push_str(&format!("  \"tier_inline_vertices\": {},\n", st.tier_inline_vertices));
+    out.push_str(&format!("  \"tier_blocks_vertices\": {},\n", st.tier_blocks_vertices));
+    out.push_str(&format!("  \"tier_hub_vertices\": {},\n", st.tier_hub_vertices));
+    out.push_str(&format!("  \"tier_promotions\": {},\n", st.tier_promotions));
+    out.push_str(&format!("  \"tier_demotions\": {},\n", st.tier_demotions));
+    out.push_str(&format!("  \"inline_bytes\": {},\n", st.inline_bytes));
+    out.push_str(&format!("  \"hub_bytes\": {},\n", st.hub_bytes));
     out.push_str(&format!("  \"mean_probe\": {:.6},\n", ps.mean_probe()));
     out.push_str(&format!("  \"mean_depth\": {:.6},\n", g.mean_depth()));
     // Indent the metrics object to nest under this one.
@@ -537,6 +573,7 @@ fn ingest(parsed: &Parsed) -> Result<(), String> {
         d.next_lsn()
     );
     if parsed.flag("stats") {
+        d.store().publish_memory_metrics();
         print!("{}", gtinker_core::metrics::global().snapshot().to_prometheus());
     }
     Ok(())
@@ -596,6 +633,7 @@ fn ingest_pooled(
         wal.next_lsn()
     );
     if parsed.flag("stats") {
+        g.publish_memory_metrics();
         print!("{}", gtinker_core::metrics::global().snapshot().to_prometheus());
     }
     Ok(())
@@ -774,6 +812,46 @@ mod tests {
         assert_eq!(c.pagewidth, 32);
         assert_eq!(c.delete_mode, DeleteMode::DeleteAndCompact);
         assert!(config(&parsed(&["stats", "f", "--pagewidth", "33"])).is_err());
+        let c = config(&parsed(&["stats", "f", "--adaptive"])).unwrap();
+        assert!(c.adaptive_enabled());
+        assert!(!config(&parsed(&["stats", "f"])).unwrap().adaptive_enabled());
+    }
+
+    #[test]
+    fn adaptive_stats_reports_tiers() {
+        let dir = std::env::temp_dir().join("gtinker_cli_adaptive");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("g.txt");
+        // One hub source (200 edges, over the promote threshold of 128),
+        // a handful of inline-sized sources.
+        let mut edges = String::new();
+        for d in 0..200u32 {
+            edges.push_str(&format!("0 {}\n", d + 10));
+        }
+        for s in 1..5u32 {
+            edges.push_str(&format!("{s} {}\n", s + 100));
+        }
+        std::fs::write(&file, edges).unwrap();
+        let file_s = file.to_str().unwrap();
+        run(&parsed(&["stats", file_s, "--adaptive"])).unwrap();
+        run(&parsed(&["stats", file_s, "--adaptive", "--format", "json"])).unwrap();
+        run(&parsed(&["stats", file_s, "--adaptive", "--format", "prom"])).unwrap();
+        // Analytics agree with the fixed layout on the same input.
+        run(&parsed(&["bfs", file_s, "--root", "0", "--adaptive"])).unwrap();
+        run(&parsed(&["cc", file_s, "--adaptive"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adaptive_json_has_tier_fields() {
+        let mut g = GraphTinker::new(TinkerConfig::default().adaptive()).unwrap();
+        g.apply_batch(&EdgeBatch::inserts(&[Edge::unit(0, 1), Edge::unit(0, 2)]));
+        let snap = gtinker_core::metrics::global().snapshot();
+        let s = stats_json(&g, "x", false, &snap);
+        assert!(s.contains("\"tier_inline_vertices\": 1"), "{s}");
+        assert!(s.contains("\"tier_hub_vertices\": 0"));
+        assert!(s.contains("\"inline_bytes\""));
     }
 
     #[test]

@@ -267,6 +267,47 @@ impl BlockArena {
         *l = l.checked_add_signed(delta).expect("live count underflow");
     }
 
+    /// Collects every live edge in the subtree rooted at `top` (the block
+    /// itself plus all branch-out descendants) as `(dst, weight, cal_ptr)`.
+    /// Used by tier promotion/demotion to migrate a vertex's adjacency.
+    pub fn collect_subtree(&self, top: BlockId) -> Vec<(VertexId, Weight, u32)> {
+        let mut edges = Vec::new();
+        let mut stack = vec![top];
+        while let Some(b) = stack.pop() {
+            for c in self.block(b) {
+                if c.is_occupied() {
+                    edges.push((c.dst, c.weight, c.cal_ptr));
+                }
+            }
+            for &child in self.child_slots(b) {
+                if child != NIL_U32 {
+                    stack.push(child);
+                }
+            }
+        }
+        edges
+    }
+
+    /// Detaches and frees the whole subtree rooted at `top`, returning the
+    /// number of blocks recycled. Live counts are zeroed; the caller owns
+    /// migrating the edges out first (see [`Self::collect_subtree`]).
+    pub fn free_subtree(&mut self, top: BlockId) -> usize {
+        let mut freed = 0;
+        let mut stack = vec![top];
+        while let Some(b) = stack.pop() {
+            for s in 0..self.subblocks_per_block {
+                if let Some(child) = self.child(b, s) {
+                    stack.push(child);
+                    self.set_child(b, s, None);
+                }
+            }
+            self.live[b as usize] = 0;
+            self.free_block(b);
+            freed += 1;
+        }
+        freed
+    }
+
     /// Total occupied cells across the arena (O(blocks), via counters).
     pub fn total_live(&self) -> u64 {
         self.live.iter().map(|&l| l as u64).sum()
@@ -381,6 +422,34 @@ mod tests {
         let mut a = arena();
         let b = a.alloc_block();
         a.add_live(b, -1);
+    }
+
+    #[test]
+    fn subtree_collect_and_free() {
+        let mut a = arena();
+        let top = a.alloc_block();
+        let mid = a.alloc_block();
+        let leaf = a.alloc_block();
+        a.set_child(top, 1, Some(mid));
+        a.set_child(mid, 2, Some(leaf));
+        for (b, off, dst) in [(top, 0, 10), (mid, 3, 20), (leaf, 7, 30)] {
+            let c = a.cell_mut(b, off);
+            c.dst = dst;
+            c.weight = dst * 2;
+            c.cal_ptr = dst + 1;
+            c.state = CellState::Occupied;
+            a.add_live(b, 1);
+        }
+        let mut edges = a.collect_subtree(top);
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(10, 20, 11), (20, 40, 21), (30, 60, 31)]);
+
+        assert_eq!(a.free_subtree(top), 3);
+        assert_eq!(a.num_free_blocks(), 3);
+        assert_eq!(a.total_live(), 0);
+        // Recycled blocks come back zeroed.
+        let b = a.alloc_block();
+        assert!(a.block(b).iter().all(|c| c.state == CellState::Empty));
     }
 
     #[test]

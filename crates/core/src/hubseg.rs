@@ -1,0 +1,400 @@
+//! Dense hub tier: sorted adjacency segments for high-degree vertices.
+//!
+//! A vertex promoted out of the RHH edgeblock tier stores its adjacency as a
+//! contiguous sorted run of destination keys plus a small append-order tail
+//! that absorbs inserts. Lookups first gallop over a small L1-resident fence
+//! array (every 64th key), then over one 64-key window of the sorted run,
+//! with a branchless binary narrowing loop finishing in a chunked 4-wide compare
+//! ([`find_key_chunked`]) that the compiler autovectorizes; no per-probe
+//! pointer chasing, no hash displacement. Inserts append to the tail — it is
+//! scanned linearly on lookup anyway, so keeping it sorted would only add an
+//! O(tail) shift across three parallel arrays per insert — and the tail is
+//! sorted and merged into the main run in one backward two-pointer pass when
+//! it exceeds [`TAIL_CAP`], so insertion is a push plus an amortized
+//! O(degree / TAIL_CAP) share of the merge.
+
+use gtinker_types::{VertexId, Weight};
+
+/// Maximum unsorted-tail length before it is merged into the main run.
+pub const TAIL_CAP: usize = 256;
+
+/// Below this many candidates the gallop switches to the chunked linear scan.
+pub const SCAN_WINDOW: usize = 8;
+
+/// Every `2^FENCE_SHIFT`-th main-run key is copied into the fence array.
+const FENCE_SHIFT: usize = 6;
+
+/// Keys per fence block (64 keys = 512 B, a handful of cache lines).
+const FENCE_STRIDE: usize = 1 << FENCE_SHIFT;
+
+/// Index of the greatest fence `<= key` (0 when `key` precedes every fence),
+/// with the same branchless narrowing loop as [`find_key`].
+fn lower_block(fences: &[u64], key: u64) -> usize {
+    let mut base = 0usize;
+    let mut size = fences.len();
+    while size > 1 {
+        let half = size / 2;
+        let mid = base + half;
+        base = if fences[mid] <= key { mid } else { base };
+        size -= half;
+    }
+    base
+}
+
+/// Branchless gallop over a sorted key slice, finishing with a chunked scan.
+///
+/// The narrowing step `base = if keys[mid] <= key { mid } else { base }`
+/// compiles to a conditional move, so the loop runs without branch
+/// mispredictions regardless of the key distribution.
+pub fn find_key(keys: &[u64], key: u64) -> Option<usize> {
+    let mut base = 0usize;
+    let mut size = keys.len();
+    while size > SCAN_WINDOW {
+        let half = size / 2;
+        let mid = base + half;
+        base = if keys[mid] <= key { mid } else { base };
+        size -= half;
+    }
+    find_key_chunked(&keys[base..base + size], key).map(|i| base + i)
+}
+
+/// Linear scan in explicit chunks of four, reduced to a bitmask so the
+/// compiler emits a vectorized compare instead of four dependent branches.
+pub fn find_key_chunked(keys: &[u64], key: u64) -> Option<usize> {
+    let mut chunks = keys.chunks_exact(4);
+    let mut base = 0usize;
+    for c in chunks.by_ref() {
+        let m = (c[0] == key) as u32
+            | (((c[1] == key) as u32) << 1)
+            | (((c[2] == key) as u32) << 2)
+            | (((c[3] == key) as u32) << 3);
+        if m != 0 {
+            return Some(base + m.trailing_zeros() as usize);
+        }
+        base += 4;
+    }
+    for (i, &k) in chunks.remainder().iter().enumerate() {
+        if k == key {
+            return Some(base + i);
+        }
+    }
+    None
+}
+
+/// Sorted, growable adjacency segment for one hub vertex.
+///
+/// Layout: `keys[0..split)` is the sorted main run, `keys[split..len)` is an
+/// append-order insert tail of at most [`TAIL_CAP`] entries. `weights` and
+/// `cal_ptrs` are parallel arrays carried through every reshuffle.
+#[derive(Debug, Default, Clone)]
+pub struct HubSegment {
+    keys: Vec<u64>,
+    weights: Vec<Weight>,
+    cal_ptrs: Vec<u32>,
+    split: usize,
+    /// Every [`FENCE_STRIDE`]-th main-run key, kept contiguous and small so
+    /// the first gallop stage runs over an L1-resident array instead of
+    /// cache-missing through the full run; a search then only touches one
+    /// 64-key window of `keys`. Rebuilt on merge/remove, never per insert.
+    fences: Vec<u64>,
+    /// 256-bit presence filter over the tail keys (bit `key & 255`). A fresh
+    /// insert is a guaranteed miss, so most of them skip the tail scan on a
+    /// clear bit instead of sweeping up to [`TAIL_CAP`] entries.
+    tail_filter: [u64; 4],
+}
+
+/// Word index and bit mask of `key` in the 256-bit tail filter.
+#[inline]
+fn filter_slot(key: u64) -> (usize, u64) {
+    let b = key & 255;
+    ((b >> 6) as usize, 1u64 << (b & 63))
+}
+
+impl HubSegment {
+    /// Builds a segment from an unordered edge list `(dst, weight, cal_ptr)`.
+    pub fn from_edges(mut edges: Vec<(VertexId, Weight, u32)>) -> Self {
+        edges.sort_unstable_by_key(|e| e.0);
+        let n = edges.len();
+        let mut seg = HubSegment {
+            keys: Vec::with_capacity(n),
+            weights: Vec::with_capacity(n),
+            cal_ptrs: Vec::with_capacity(n),
+            split: n,
+            fences: Vec::new(),
+            tail_filter: [0; 4],
+        };
+        for (dst, w, ptr) in edges {
+            seg.keys.push(dst as u64);
+            seg.weights.push(w);
+            seg.cal_ptrs.push(ptr);
+        }
+        seg.rebuild_fences();
+        seg
+    }
+
+    /// Recomputes the fence array from the main run.
+    fn rebuild_fences(&mut self) {
+        self.fences.clear();
+        let mut i = 0;
+        while i < self.split {
+            self.fences.push(self.keys[i]);
+            i += FENCE_STRIDE;
+        }
+    }
+
+    /// Number of edges held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the segment holds no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Index of `dst`, probing the main run then the tail.
+    pub fn find(&self, dst: VertexId) -> Option<usize> {
+        let key = dst as u64;
+        let hit = if self.fences.len() > 1 {
+            let start = lower_block(&self.fences, key) << FENCE_SHIFT;
+            let end = (start + FENCE_STRIDE).min(self.split);
+            find_key(&self.keys[start..end], key).map(|i| start + i)
+        } else {
+            find_key(&self.keys[..self.split], key)
+        };
+        if hit.is_some() {
+            return hit;
+        }
+        let (w, bit) = filter_slot(key);
+        if self.tail_filter[w] & bit == 0 {
+            return None;
+        }
+        find_key_chunked(&self.keys[self.split..], key).map(|i| self.split + i)
+    }
+
+    /// Inserts a new edge. The caller must have checked `dst` is absent.
+    pub fn insert(&mut self, dst: VertexId, weight: Weight, cal_ptr: u32) {
+        debug_assert!(self.find(dst).is_none());
+        let key = dst as u64;
+        let (w, bit) = filter_slot(key);
+        self.tail_filter[w] |= bit;
+        self.keys.push(key);
+        self.weights.push(weight);
+        self.cal_ptrs.push(cal_ptr);
+        if self.len() - self.split > TAIL_CAP {
+            self.merge_tail();
+        }
+    }
+
+    /// Sorts the tail, then merges it into the main run with one backward
+    /// in-place two-pointer pass (the tail is first copied out, so main-run
+    /// elements shift right at most once each).
+    fn merge_tail(&mut self) {
+        let n = self.len();
+        let mut order: Vec<usize> = (self.split..n).collect();
+        order.sort_unstable_by_key(|&i| self.keys[i]);
+        let tail_keys: Vec<u64> = order.iter().map(|&i| self.keys[i]).collect();
+        let tail_weights: Vec<Weight> = order.iter().map(|&i| self.weights[i]).collect();
+        let tail_ptrs: Vec<u32> = order.iter().map(|&i| self.cal_ptrs[i]).collect();
+        let mut main = self.split; // one past the next unmerged main element
+        let mut tail = tail_keys.len();
+        let mut out = n;
+        while tail > 0 {
+            out -= 1;
+            if main > 0 && self.keys[main - 1] > tail_keys[tail - 1] {
+                main -= 1;
+                self.keys[out] = self.keys[main];
+                self.weights[out] = self.weights[main];
+                self.cal_ptrs[out] = self.cal_ptrs[main];
+            } else {
+                tail -= 1;
+                self.keys[out] = tail_keys[tail];
+                self.weights[out] = tail_weights[tail];
+                self.cal_ptrs[out] = tail_ptrs[tail];
+            }
+        }
+        self.split = n;
+        self.tail_filter = [0; 4];
+        self.rebuild_fences();
+        debug_assert!(self.keys.is_sorted());
+    }
+
+    /// Removes the edge at `idx`, returning its CAL pointer.
+    ///
+    /// A tail removal leaves its filter bit set — a stale bit only costs a
+    /// spurious tail scan (the filter tolerates false positives, never false
+    /// negatives), and the next merge clears it.
+    pub fn remove(&mut self, idx: usize) -> u32 {
+        self.keys.remove(idx);
+        self.weights.remove(idx);
+        let ptr = self.cal_ptrs.remove(idx);
+        if idx < self.split {
+            self.split -= 1;
+            self.rebuild_fences();
+        }
+        ptr
+    }
+
+    /// Destination at `idx`.
+    #[inline]
+    pub fn dst(&self, idx: usize) -> VertexId {
+        self.keys[idx] as VertexId
+    }
+
+    /// Weight at `idx`.
+    #[inline]
+    pub fn weight(&self, idx: usize) -> Weight {
+        self.weights[idx]
+    }
+
+    /// Overwrites the weight at `idx`.
+    #[inline]
+    pub fn set_weight(&mut self, idx: usize, w: Weight) {
+        self.weights[idx] = w;
+    }
+
+    /// CAL pointer at `idx`.
+    #[inline]
+    pub fn cal_ptr(&self, idx: usize) -> u32 {
+        self.cal_ptrs[idx]
+    }
+
+    /// Overwrites the CAL pointer at `idx`.
+    #[inline]
+    pub fn set_cal_ptr(&mut self, idx: usize, ptr: u32) {
+        self.cal_ptrs[idx] = ptr;
+    }
+
+    /// Visits every edge as `(dst, weight, cal_ptr)`.
+    pub fn for_each(&self, mut f: impl FnMut(VertexId, Weight, u32)) {
+        for i in 0..self.len() {
+            f(self.keys[i] as VertexId, self.weights[i], self.cal_ptrs[i]);
+        }
+    }
+
+    /// Drains the segment into an edge list `(dst, weight, cal_ptr)`.
+    pub fn into_edges(self) -> Vec<(VertexId, Weight, u32)> {
+        self.keys
+            .into_iter()
+            .zip(self.weights)
+            .zip(self.cal_ptrs)
+            .map(|((k, w), p)| (k as VertexId, w, p))
+            .collect()
+    }
+
+    /// Estimated heap bytes held by the segment's allocations.
+    pub fn memory_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<u64>()
+            + self.weights.capacity() * std::mem::size_of::<Weight>()
+            + self.cal_ptrs.capacity() * std::mem::size_of::<u32>()
+            + self.fences.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_key_matches_position_on_sorted_input() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 3).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(find_key(&keys, k), Some(i));
+        }
+        assert_eq!(find_key(&keys, 1), None);
+        assert_eq!(find_key(&keys, 3000), None);
+        assert_eq!(find_key(&[], 0), None);
+    }
+
+    #[test]
+    fn find_key_chunked_handles_remainders() {
+        for n in 0..13 {
+            let keys: Vec<u64> = (0..n).map(|i| i * 2).collect();
+            for (i, &k) in keys.iter().enumerate() {
+                assert_eq!(find_key_chunked(&keys, k), Some(i), "n={n}");
+            }
+            assert_eq!(find_key_chunked(&keys, 999), None);
+        }
+    }
+
+    #[test]
+    fn insert_find_remove_roundtrip() {
+        let mut seg = HubSegment::from_edges(vec![(10, 1, 0), (2, 2, 1), (30, 3, 2)]);
+        assert_eq!(seg.len(), 3);
+        let i = seg.find(10).unwrap();
+        assert_eq!((seg.dst(i), seg.weight(i), seg.cal_ptr(i)), (10, 1, 0));
+
+        seg.insert(5, 50, 3);
+        seg.insert(40, 60, 4);
+        assert_eq!(seg.len(), 5);
+        for d in [2, 5, 10, 30, 40] {
+            assert!(seg.find(d).is_some(), "dst {d}");
+        }
+        assert!(seg.find(7).is_none());
+
+        let i = seg.find(5).unwrap();
+        assert_eq!(seg.remove(i), 3);
+        assert!(seg.find(5).is_none());
+        assert_eq!(seg.len(), 4);
+    }
+
+    #[test]
+    fn tail_merge_keeps_everything_findable() {
+        let mut seg = HubSegment::from_edges((0..100).map(|i| (i * 4, i, i)).collect());
+        // Push well past TAIL_CAP with ids interleaved into the main run.
+        for i in 0..(TAIL_CAP as u32 * 2 + 7) {
+            seg.insert(i * 4 + 1, i, 100 + i);
+        }
+        for i in 0..100u32 {
+            let at = seg.find(i * 4).unwrap();
+            assert_eq!((seg.weight(at), seg.cal_ptr(at)), (i, i));
+        }
+        for i in 0..(TAIL_CAP as u32 * 2 + 7) {
+            let at = seg.find(i * 4 + 1).unwrap();
+            assert_eq!((seg.weight(at), seg.cal_ptr(at)), (i, 100 + i));
+        }
+        assert_eq!(seg.len(), 100 + TAIL_CAP * 2 + 7);
+    }
+
+    #[test]
+    fn for_each_and_into_edges_agree() {
+        let mut seg = HubSegment::from_edges(vec![(3, 30, 0), (1, 10, 1)]);
+        seg.insert(2, 20, 2);
+        let mut seen = Vec::new();
+        seg.for_each(|d, w, p| seen.push((d, w, p)));
+        let mut drained = seg.into_edges();
+        drained.sort_unstable();
+        seen.sort_unstable();
+        assert_eq!(seen, drained);
+        assert_eq!(seen, vec![(1, 10, 1), (2, 20, 2), (3, 30, 0)]);
+    }
+
+    #[test]
+    fn fenced_find_covers_every_window_and_survives_removes() {
+        // Main run far larger than one fence stride, odd keys absent.
+        let n = FENCE_STRIDE as u32 * 10 + 13;
+        let mut seg = HubSegment::from_edges((0..n).map(|i| (i * 2, i, i)).collect());
+        for i in 0..n {
+            assert_eq!(seg.find(i * 2), Some(i as usize), "key {}", i * 2);
+            assert_eq!(seg.find(i * 2 + 1), None);
+        }
+        // Removing from the main run shifts every later window by one.
+        let victim = seg.find(FENCE_STRIDE as u32 * 3).unwrap();
+        seg.remove(victim);
+        assert_eq!(seg.find(FENCE_STRIDE as u32 * 3), None);
+        for i in 0..n {
+            let k = i * 2;
+            if k != FENCE_STRIDE as u32 * 3 {
+                assert!(seg.find(k).is_some(), "key {k} lost after remove");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bytes_nonzero_when_populated() {
+        let seg = HubSegment::from_edges(vec![(1, 1, 0)]);
+        assert!(seg.memory_bytes() >= 16);
+    }
+}

@@ -47,6 +47,7 @@
 pub mod cal;
 pub mod edgeblock;
 pub mod hash;
+pub mod hubseg;
 pub mod metrics;
 pub mod parallel;
 pub mod pool;
@@ -59,6 +60,7 @@ pub mod vertex;
 
 pub use cal::{CalArray, CalPtr};
 pub use edgeblock::{BlockArena, CellState, EdgeCell};
+pub use hubseg::HubSegment;
 pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use parallel::ParallelTinker;
 pub use pool::{ShardPool, ShardStore};
@@ -66,4 +68,4 @@ pub use sgh::SghUnit;
 pub use stats::{ProbeStats, StructureStats};
 pub use tinker::{BatchResult, GraphTinker};
 pub use trace::{SpanId, TraceDump, TraceEvent};
-pub use vertex::{VertexProperty, VertexPropertyArray};
+pub use vertex::{InlineAdj, Tier, VertexProperty, VertexPropertyArray};

@@ -212,6 +212,13 @@ impl Gauge {
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Overwrites the value (used by gauges published from store state,
+    /// e.g. memory footprints, rather than maintained by paired inc/dec).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
@@ -242,6 +249,10 @@ impl Gauge {
     /// No-op.
     #[inline]
     pub fn dec(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn set(&self, _v: i64) {}
 
     /// Always zero.
     pub fn get(&self) -> i64 {
@@ -567,6 +578,26 @@ registry! {
         engine_process_ns: counter,
         /// Total engine apply-phase time, nanoseconds.
         engine_apply_ns: counter,
+        /// Active vertices currently stored in the inline tier.
+        tier_inline_vertices: gauge,
+        /// Active vertices currently stored in the RHH edgeblock tier.
+        tier_blocks_vertices: gauge,
+        /// Active vertices currently stored in the dense hub tier.
+        tier_hub_vertices: gauge,
+        /// Tier promotions (inline→blocks and blocks→hub).
+        tier_promotions: counter,
+        /// Tier demotions (hub→blocks and blocks→inline).
+        tier_demotions: counter,
+        /// Estimated inline-tier adjacency bytes (set from store state).
+        memory_inline_bytes: gauge,
+        /// Estimated edgeblock-arena bytes (set from store state).
+        memory_blocks_bytes: gauge,
+        /// Estimated hub-segment bytes (set from store state).
+        memory_hub_bytes: gauge,
+        /// Estimated CAL bytes (set from store state).
+        memory_cal_bytes: gauge,
+        /// Estimated total structure bytes (set from store state).
+        memory_total_bytes: gauge,
     }
 }
 

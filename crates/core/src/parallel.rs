@@ -179,6 +179,27 @@ impl ParallelTinker {
             self.pool.with_shard_mut(i, |g| g.reset_stats());
         }
     }
+
+    /// Publishes the `memory_*_bytes` gauge family summed across all
+    /// instances (a per-instance publish would overwrite, not aggregate).
+    pub fn publish_memory_metrics(&self) {
+        let mut sums = (0usize, 0usize, 0usize, 0usize, 0usize);
+        for i in 0..self.num_instances() {
+            let (inline, blocks, hub, cal, total) =
+                self.pool.with_shard(i, |g| g.memory_breakdown());
+            sums.0 += inline;
+            sums.1 += blocks;
+            sums.2 += hub;
+            sums.3 += cal;
+            sums.4 += total;
+        }
+        let m = crate::metrics::global();
+        m.memory_inline_bytes.set(sums.0 as i64);
+        m.memory_blocks_bytes.set(sums.1 as i64);
+        m.memory_hub_bytes.set(sums.2 as i64);
+        m.memory_cal_bytes.set(sums.3 as i64);
+        m.memory_total_bytes.set(sums.4 as i64);
+    }
 }
 
 impl std::fmt::Debug for ParallelTinker {

@@ -107,6 +107,15 @@ impl SghUnit {
         if let Some(v) = self.get_hashed(hash, orig) {
             return v;
         }
+        self.insert_absent_hashed(hash, orig)
+    }
+
+    /// Registers a source known to be absent (the caller already probed with
+    /// the same `hash` and missed) and returns its new dense id. Lets the
+    /// insert hot path compute the source hash exactly once per operation
+    /// instead of re-probing on the miss path.
+    pub fn insert_absent_hashed(&mut self, hash: u64, orig: VertexId) -> u32 {
+        debug_assert!(self.get_hashed(hash, orig).is_none());
         let dense = self.reverse.len() as u32;
         self.reverse.push(orig);
         self.insert_fresh_hashed(hash, orig, dense);

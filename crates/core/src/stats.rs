@@ -80,7 +80,24 @@ pub struct StructureStats {
     pub cal_invalid: u64,
     /// Fraction of allocated edge-cells holding live edges, in `[0, 1]`.
     pub occupancy: f64,
-    /// Heap bytes used by the structure (cells, topology, CAL, SGH).
+    /// Vertices with live edges stored in the inline tier (0 on a
+    /// fixed-geometry store, where tiering is disabled).
+    pub tier_inline_vertices: usize,
+    /// Vertices with live edges stored in the RHH edgeblock tier (0 on a
+    /// fixed-geometry store — the tier counters only run when adaptive
+    /// layout is enabled).
+    pub tier_blocks_vertices: usize,
+    /// Vertices with live edges stored in the dense hub tier.
+    pub tier_hub_vertices: usize,
+    /// Tier promotions performed (inline→blocks, blocks→hub).
+    pub tier_promotions: u64,
+    /// Tier demotions performed (hub→blocks, blocks→inline).
+    pub tier_demotions: u64,
+    /// Estimated heap bytes of the inline tier.
+    pub inline_bytes: usize,
+    /// Estimated heap bytes of the hub tier.
+    pub hub_bytes: usize,
+    /// Heap bytes used by the structure (cells, topology, tiers, CAL, SGH).
     pub memory_bytes: usize,
 }
 

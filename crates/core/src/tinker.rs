@@ -15,16 +15,17 @@
 
 use gtinker_types::{
     DeleteMode, Edge, EdgeBatch, GraphError, Result, TinkerConfig, UpdateOp, VertexId, Weight,
-    NIL_U32, NIL_VERTEX,
+    INLINE_CAP_MAX, NIL_U32, NIL_VERTEX,
 };
 
 use crate::cal::CalArray;
 use crate::edgeblock::{BlockArena, BlockId, CellState, EdgeCell};
 use crate::hash::{source_hash, subblock_and_bucket};
+use crate::hubseg::HubSegment;
 use crate::rhh::{find_in_subblock, linear_insert, rhh_insert, Floating, RhhOutcome};
 use crate::sgh::SghUnit;
 use crate::stats::{ProbeStats, StructureStats};
-use crate::vertex::VertexPropertyArray;
+use crate::vertex::{InlineAdj, Tier, VertexPropertyArray};
 
 /// Outcome counts of applying an [`EdgeBatch`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -90,6 +91,24 @@ pub struct GraphTinker {
     /// [`for_each_edge_shard`](Self::for_each_edge_shard)). Purely a read
     /// path setting; ingestion is unaffected.
     analytics_shards: usize,
+    /// Cached [`TinkerConfig::adaptive_enabled`]. When false, the tier
+    /// vectors below stay empty and every path takes the fixed-geometry
+    /// code, byte-identical to the non-tiered structure.
+    adaptive: bool,
+    /// Adjacency tier per dense source (parallel to `top_blocks`).
+    tiers: Vec<Tier>,
+    /// Inline-tier adjacency per dense source.
+    inline: Vec<InlineAdj>,
+    /// Hub-segment slot per dense source (`NIL_U32` = not a hub).
+    hub_of: Vec<u32>,
+    /// Hub segments, indexed by `hub_of`; slots of demoted hubs are
+    /// recycled through `free_hubs`.
+    hubs: Vec<HubSegment>,
+    free_hubs: Vec<u32>,
+    /// Vertices with live edges, per tier (indexed by `Tier as usize`).
+    tier_counts: [u64; 3],
+    tier_promotions: u64,
+    tier_demotions: u64,
 }
 
 impl GraphTinker {
@@ -109,6 +128,15 @@ impl GraphTinker {
             vertex_space: 0,
             main_blocks: 0,
             analytics_shards: 1,
+            adaptive: config.adaptive_enabled(),
+            tiers: Vec::new(),
+            inline: Vec::new(),
+            hub_of: Vec::new(),
+            hubs: Vec::new(),
+            free_hubs: Vec::new(),
+            tier_counts: [0; 3],
+            tier_promotions: 0,
+            tier_demotions: 0,
             config,
         })
     }
@@ -286,43 +314,55 @@ impl GraphTinker {
         self.note_vertex(e.src);
         self.note_vertex(e.dst);
         self.stats.operations += 1;
+        // The source hash is mixed exactly once per operation: the lookup
+        // and (on a miss) the SGH registration both reuse it, on every tier.
         let src_hash = source_hash(e.src);
+        let dense = match self.dense_lookup_hashed(e.src, src_hash) {
+            Some(d) => d,
+            None => self.dense_insert_absent(e.src, src_hash),
+        };
+        if self.adaptive {
+            self.ensure_tier_slots(dense);
+            match self.tiers[dense as usize] {
+                Tier::Inline => self.insert_inline(dense, e),
+                Tier::Blocks => self.insert_blocks(dense, e),
+                Tier::Hub => self.insert_hub(dense, e),
+            }
+        } else {
+            self.insert_blocks(dense, e)
+        }
+    }
+
+    /// Insert into the RHH edgeblock tier (the only tier when adaptive
+    /// layout is disabled). `dense` is already resolved.
+    fn insert_blocks(&mut self, dense: u32, e: Edge) -> bool {
         let spb = self.arena.subblocks_per_block();
         let sublen = self.arena.subblock_len();
 
         // Existing-edge fast path: a repeat insertion of an un-displaced
         // edge sits in its home bucket of the top block's depth-0 subblock.
         // One probe settles it (weight update + CAL refresh) without the
-        // full FIND walk; any miss falls through to the general path. The
-        // SGH lookup is shared with the general path, so a miss costs one
-        // extra cell load, never a second source hash or SGH probe.
-        let known = self.dense_lookup_hashed(e.src, src_hash);
-        if let Some(dense) = known {
-            if let Some(top) = self.top_block(dense) {
-                let (sub, bucket) = subblock_and_bucket(e.dst, 0, spb, sublen);
-                let cell = self.arena.subblock_cells(top, sub)[bucket];
-                if cell.is_occupied() && cell.dst == e.dst {
-                    self.stats.subblocks_visited += 1;
-                    self.stats.cells_inspected += 1;
-                    self.stats.workblocks_fetched += 1;
-                    let hot = self.arena.cell_mut(top, sub * sublen + bucket);
-                    hot.weight = e.weight;
-                    let ptr = hot.cal_ptr;
-                    if ptr != NIL_U32 {
-                        if let Some(cal) = &mut self.cal {
-                            cal.update_weight(ptr, e.weight);
-                        }
+        // full FIND walk; any miss falls through to the general path.
+        if let Some(top) = self.top_block(dense) {
+            let (sub, bucket) = subblock_and_bucket(e.dst, 0, spb, sublen);
+            let cell = self.arena.subblock_cells(top, sub)[bucket];
+            if cell.is_occupied() && cell.dst == e.dst {
+                self.stats.subblocks_visited += 1;
+                self.stats.cells_inspected += 1;
+                self.stats.workblocks_fetched += 1;
+                let hot = self.arena.cell_mut(top, sub * sublen + bucket);
+                hot.weight = e.weight;
+                let ptr = hot.cal_ptr;
+                if ptr != NIL_U32 {
+                    if let Some(cal) = &mut self.cal {
+                        cal.update_weight(ptr, e.weight);
                     }
-                    self.stats.updates += 1;
-                    return false;
                 }
+                self.stats.updates += 1;
+                return false;
             }
         }
 
-        let dense = match known {
-            Some(d) => d,
-            None => self.dense_of_mut(e.src, src_hash),
-        };
         let top = self.ensure_top_block(dense);
 
         // FIND mode + vacancy scout.
@@ -409,10 +449,288 @@ impl GraphTinker {
             unreachable!("scouted subblock must accept the edge")
         };
         self.arena.add_live(target_block, 1);
-        self.props.ensure(dense, e.src).out_degree += 1;
+        self.note_insert(dense, e.src);
+        if self.adaptive
+            && self.config.hub_promote > 0
+            && self.props.out_degree(dense) >= self.config.hub_promote
+        {
+            self.promote_blocks_to_hub(dense);
+        }
+        true
+    }
+
+    /// Insert into the inline tier; a full inline entry promotes the vertex
+    /// to the edgeblock tier and retries there.
+    fn insert_inline(&mut self, dense: u32, e: Edge) -> bool {
+        let idx = dense as usize;
+        // Nominal probe accounting: one 4-wide compare over the entry.
+        self.stats.subblocks_visited += 1;
+        self.stats.cells_inspected += INLINE_CAP_MAX as u64;
+        self.stats.workblocks_fetched += 1;
+        if let Some(slot) = self.inline[idx].find(e.dst) {
+            self.inline[idx].weights[slot] = e.weight;
+            let ptr = self.inline[idx].cal_ptrs[slot];
+            if ptr != NIL_U32 {
+                if let Some(cal) = &mut self.cal {
+                    cal.update_weight(ptr, e.weight);
+                }
+            }
+            self.stats.updates += 1;
+            return false;
+        }
+        if (self.inline[idx].len as usize) < self.config.inline_cap {
+            let cal_ptr = match &mut self.cal {
+                Some(cal) => cal.insert(dense, e.src, e.dst, e.weight),
+                None => NIL_U32,
+            };
+            self.inline[idx].push(e.dst, e.weight, cal_ptr);
+            self.note_insert(dense, e.src);
+            return true;
+        }
+        self.promote_inline_to_blocks(dense);
+        self.insert_blocks(dense, e)
+    }
+
+    /// Insert into the dense hub tier.
+    fn insert_hub(&mut self, dense: u32, e: Edge) -> bool {
+        let h = self.hub_of[dense as usize] as usize;
+        // Nominal probe accounting: the gallop narrows to a scan window
+        // in the main run, plus (at most) one more over the tail.
+        self.stats.subblocks_visited += 1;
+        self.stats.cells_inspected += 2 * crate::hubseg::SCAN_WINDOW as u64;
+        self.stats.workblocks_fetched += 1;
+        if let Some(i) = self.hubs[h].find(e.dst) {
+            self.hubs[h].set_weight(i, e.weight);
+            // Only touch the parallel cal_ptrs array when a CAL exists —
+            // otherwise a weight update costs an extra cache line for
+            // a pointer that is never used.
+            if let Some(cal) = &mut self.cal {
+                let ptr = self.hubs[h].cal_ptr(i);
+                if ptr != NIL_U32 {
+                    cal.update_weight(ptr, e.weight);
+                }
+            }
+            self.stats.updates += 1;
+            return false;
+        }
+        let cal_ptr = match &mut self.cal {
+            Some(cal) => cal.insert(dense, e.src, e.dst, e.weight),
+            None => NIL_U32,
+        };
+        self.hubs[h].insert(e.dst, e.weight, cal_ptr);
+        self.note_insert(dense, e.src);
+        true
+    }
+
+    /// Dense id for a source known to be absent from the SGH ([`source_hash`]
+    /// already computed by the caller's lookup).
+    fn dense_insert_absent(&mut self, src: VertexId, src_hash: u64) -> u32 {
+        match &mut self.sgh {
+            Some(sgh) => sgh.insert_absent_hashed(src_hash, src),
+            None => src,
+        }
+    }
+
+    /// Grows the tier-tracking vectors (and `top_blocks`, which must stay
+    /// the same length) to cover `dense`. Only called on the adaptive path.
+    fn ensure_tier_slots(&mut self, dense: u32) {
+        let n = dense as usize + 1;
+        if self.tiers.len() >= n {
+            return;
+        }
+        let starting = if self.config.inline_cap > 0 { Tier::Inline } else { Tier::Blocks };
+        self.tiers.resize(n, starting);
+        self.inline.resize(n, InlineAdj::EMPTY);
+        self.hub_of.resize(n, NIL_U32);
+        if self.top_blocks.len() < n {
+            self.top_blocks.resize(n, NIL_U32);
+        }
+    }
+
+    /// Registers one new live edge of `dense`: degree, live-edge count,
+    /// insert stat, and (on the adaptive path) the active-vertex tier count
+    /// when the vertex's first edge appears.
+    fn note_insert(&mut self, dense: u32, src: VertexId) {
+        let p = self.props.ensure(dense, src);
+        p.out_degree += 1;
+        let deg = p.out_degree;
         self.live_edges += 1;
         self.stats.inserts += 1;
-        true
+        if self.adaptive && deg == 1 {
+            self.tier_active(self.tiers[dense as usize], true);
+        }
+    }
+
+    /// Mirror of [`note_insert`](Self::note_insert) for deletes; returns the
+    /// new out-degree. (`stats.deletes` is counted by the caller, which also
+    /// counts misses.)
+    fn note_delete(&mut self, dense: u32) -> u32 {
+        let p = self.props.get_mut(dense).expect("source with an edge has properties");
+        p.out_degree -= 1;
+        let deg = p.out_degree;
+        self.live_edges -= 1;
+        if self.adaptive && deg == 0 {
+            self.tier_active(self.tiers[dense as usize], false);
+        }
+        deg
+    }
+
+    /// Adjusts the active-vertex count (and gauge) of a tier.
+    fn tier_active(&mut self, tier: Tier, up: bool) {
+        let m = crate::metrics::global();
+        let g = match tier {
+            Tier::Inline => &m.tier_inline_vertices,
+            Tier::Blocks => &m.tier_blocks_vertices,
+            Tier::Hub => &m.tier_hub_vertices,
+        };
+        if up {
+            self.tier_counts[tier as usize] += 1;
+            g.inc();
+        } else {
+            self.tier_counts[tier as usize] -= 1;
+            g.dec();
+        }
+    }
+
+    /// Moves `dense` to tier `to`, keeping the active-vertex counts honest.
+    fn set_tier(&mut self, dense: u32, to: Tier) {
+        let from = self.tiers[dense as usize];
+        if from == to {
+            return;
+        }
+        self.tiers[dense as usize] = to;
+        if self.props.out_degree(dense) > 0 {
+            self.tier_active(from, false);
+            self.tier_active(to, true);
+        }
+    }
+
+    /// Anchors a floating edge (CAL copy already registered) into the
+    /// edgeblock subtree of `dense` without touching degree, live-edge or
+    /// CAL state — the tier-migration primitive. The edge is known absent,
+    /// so the walk may stop at the *first* subblock with a vacancy: FIND
+    /// scans whole subblocks per depth, so an early anchor stays on the
+    /// edge's lookup path.
+    fn anchor_in_blocks(&mut self, dense: u32, f: Floating) {
+        let spb = self.arena.subblocks_per_block();
+        let sublen = self.arena.subblock_len();
+        let rhh = self.rhh_enabled();
+        let mut block = self.ensure_top_block(dense);
+        let mut depth: u32 = 0;
+        let (target_block, target_sub, target_bucket) = loop {
+            let (sub, bucket) = subblock_and_bucket(f.dst, depth, spb, sublen);
+            if self.arena.subblock_cells(block, sub).iter().any(|c| c.is_vacant()) {
+                break (block, sub, bucket);
+            }
+            match self.arena.child(block, sub) {
+                Some(c) => {
+                    block = c;
+                    depth += 1;
+                }
+                None => {
+                    let child = self.arena.alloc_block();
+                    self.arena.set_child(block, sub, Some(child));
+                    self.stats.branches_created += 1;
+                    depth += 1;
+                    crate::metrics::global().tinker_branch_depth.record(depth as u64);
+                    crate::trace::instant(crate::trace::SpanId::TinkerBranchOut, depth as u64);
+                    let (sub, bucket) = subblock_and_bucket(f.dst, depth, spb, sublen);
+                    break (child, sub, bucket);
+                }
+            }
+        };
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        let mut touched = 0u64;
+        let cells = self.arena.subblock_cells_mut(target_block, target_sub);
+        let outcome = if rhh {
+            rhh_insert(cells, target_bucket, f, &mut touched)
+        } else {
+            linear_insert(cells, target_bucket, f, &mut touched)
+        };
+        let RhhOutcome::Placed = outcome else { unreachable!("vacancy was scouted") };
+        self.arena.add_live(target_block, 1);
+    }
+
+    /// Inline → edgeblock promotion: re-anchors the inline slots into a
+    /// fresh top block, preserving their CAL pointers.
+    fn promote_inline_to_blocks(&mut self, dense: u32) {
+        let _span = crate::trace::span_arg(crate::trace::SpanId::TierPromote, dense as u64);
+        let adj = std::mem::replace(&mut self.inline[dense as usize], InlineAdj::EMPTY);
+        self.set_tier(dense, Tier::Blocks);
+        for i in 0..adj.len as usize {
+            self.anchor_in_blocks(
+                dense,
+                Floating { dst: adj.dsts[i], weight: adj.weights[i], cal_ptr: adj.cal_ptrs[i] },
+            );
+        }
+        self.tier_promotions += 1;
+        crate::metrics::global().tier_promotions.inc();
+    }
+
+    /// Edgeblock → hub promotion: drains the whole subtree into a sorted
+    /// dense segment and recycles the blocks.
+    fn promote_blocks_to_hub(&mut self, dense: u32) {
+        let Some(top) = self.top_block(dense) else { return };
+        let _span = crate::trace::span_arg(crate::trace::SpanId::TierPromote, dense as u64);
+        let edges = self.arena.collect_subtree(top);
+        let freed = self.arena.free_subtree(top);
+        crate::metrics::global().tinker_blocks_freed.add(freed as u64);
+        self.top_blocks[dense as usize] = NIL_U32;
+        self.main_blocks -= 1;
+        let seg = HubSegment::from_edges(edges);
+        let h = match self.free_hubs.pop() {
+            Some(h) => {
+                self.hubs[h as usize] = seg;
+                h
+            }
+            None => {
+                self.hubs.push(seg);
+                (self.hubs.len() - 1) as u32
+            }
+        };
+        self.hub_of[dense as usize] = h;
+        self.set_tier(dense, Tier::Hub);
+        self.tier_promotions += 1;
+        crate::metrics::global().tier_promotions.inc();
+    }
+
+    /// Hub → edgeblock demotion (hysteresis floor crossed).
+    fn demote_hub_to_blocks(&mut self, dense: u32) {
+        let _span = crate::trace::span_arg(crate::trace::SpanId::TierPromote, dense as u64);
+        let h = self.hub_of[dense as usize];
+        let seg = std::mem::take(&mut self.hubs[h as usize]);
+        self.free_hubs.push(h);
+        self.hub_of[dense as usize] = NIL_U32;
+        self.set_tier(dense, Tier::Blocks);
+        for (dst, weight, cal_ptr) in seg.into_edges() {
+            self.anchor_in_blocks(dense, Floating { dst, weight, cal_ptr });
+        }
+        self.tier_demotions += 1;
+        crate::metrics::global().tier_demotions.inc();
+    }
+
+    /// Edgeblock → inline demotion: the remaining handful of edges moves
+    /// back into the vertex entry and the subtree is recycled.
+    fn demote_blocks_to_inline(&mut self, dense: u32) {
+        let Some(top) = self.top_block(dense) else {
+            self.set_tier(dense, Tier::Inline);
+            return;
+        };
+        let _span = crate::trace::span_arg(crate::trace::SpanId::TierPromote, dense as u64);
+        let edges = self.arena.collect_subtree(top);
+        debug_assert!(edges.len() <= self.config.inline_cap);
+        let freed = self.arena.free_subtree(top);
+        crate::metrics::global().tinker_blocks_freed.add(freed as u64);
+        self.top_blocks[dense as usize] = NIL_U32;
+        self.main_blocks -= 1;
+        let mut adj = InlineAdj::EMPTY;
+        for (dst, weight, cal_ptr) in edges {
+            adj.push(dst, weight, cal_ptr);
+        }
+        self.inline[dense as usize] = adj;
+        self.set_tier(dense, Tier::Inline);
+        self.tier_demotions += 1;
+        crate::metrics::global().tier_demotions.inc();
     }
 
     /// Deletes the edge `(src, dst)`. Returns `true` if it existed.
@@ -441,7 +759,72 @@ impl GraphTinker {
     }
 
     fn delete_edge_inner(&mut self, src: VertexId, dst: VertexId) -> bool {
-        let Some(dense) = self.dense_lookup(src) else { return false };
+        // One hash per operation, shared by the SGH probe on every tier.
+        let src_hash = source_hash(src);
+        let Some(dense) = self.dense_lookup_hashed(src, src_hash) else { return false };
+        if self.adaptive {
+            return self.delete_adaptive(dense, dst);
+        }
+        self.delete_blocks(dense, dst)
+    }
+
+    /// Tier-dispatched delete, with hysteresis demotions.
+    fn delete_adaptive(&mut self, dense: u32, dst: VertexId) -> bool {
+        // A source registered by `import_sources` but never inserted through
+        // the adaptive path has no tier slot (and no edges).
+        if dense as usize >= self.tiers.len() {
+            return false;
+        }
+        match self.tiers[dense as usize] {
+            Tier::Inline => {
+                let idx = dense as usize;
+                self.stats.subblocks_visited += 1;
+                self.stats.cells_inspected += INLINE_CAP_MAX as u64;
+                self.stats.workblocks_fetched += 1;
+                let Some(slot) = self.inline[idx].find(dst) else { return false };
+                let ptr = self.inline[idx].remove(slot);
+                if ptr != NIL_U32 {
+                    if let Some(cal) = &mut self.cal {
+                        cal.invalidate(ptr);
+                    }
+                }
+                self.note_delete(dense);
+                true
+            }
+            Tier::Blocks => {
+                let deleted = self.delete_blocks(dense, dst);
+                if deleted
+                    && self.config.inline_cap > 0
+                    && self.props.out_degree(dense) as usize * 2 <= self.config.inline_cap
+                {
+                    self.demote_blocks_to_inline(dense);
+                }
+                deleted
+            }
+            Tier::Hub => {
+                let h = self.hub_of[dense as usize] as usize;
+                self.stats.subblocks_visited += 1;
+                self.stats.cells_inspected += 2 * crate::hubseg::SCAN_WINDOW as u64;
+                self.stats.workblocks_fetched += 1;
+                let Some(i) = self.hubs[h].find(dst) else { return false };
+                let ptr = self.hubs[h].remove(i);
+                if ptr != NIL_U32 {
+                    if let Some(cal) = &mut self.cal {
+                        cal.invalidate(ptr);
+                    }
+                }
+                let deg = self.note_delete(dense);
+                if deg < self.config.hub_demote {
+                    self.demote_hub_to_blocks(dense);
+                }
+                true
+            }
+        }
+    }
+
+    /// Delete from the RHH edgeblock tier (the only tier when adaptive
+    /// layout is disabled).
+    fn delete_blocks(&mut self, dense: u32, dst: VertexId) -> bool {
         let Some(top) = self.top_block(dense) else { return false };
         let (found, cost) = self.locate(top, dst);
         self.absorb_cost(cost);
@@ -465,9 +848,7 @@ impl GraphTinker {
                 cal.invalidate(cal_ptr);
             }
         }
-        let p = self.props.get_mut(dense).expect("source with an edge has properties");
-        p.out_degree -= 1;
-        self.live_edges -= 1;
+        self.note_delete(dense);
 
         if self.config.delete_mode == DeleteMode::DeleteAndCompact {
             self.backfill(block, sub, offset);
@@ -565,6 +946,19 @@ impl GraphTinker {
     /// Weight of the edge `(src, dst)`, if present.
     pub fn edge_weight(&self, src: VertexId, dst: VertexId) -> Option<Weight> {
         let dense = self.dense_lookup(src)?;
+        if self.adaptive {
+            match self.tiers.get(dense as usize) {
+                Some(Tier::Inline) => {
+                    let adj = &self.inline[dense as usize];
+                    return adj.find(dst).map(|i| adj.weights[i]);
+                }
+                Some(Tier::Hub) => {
+                    let seg = &self.hubs[self.hub_of[dense as usize] as usize];
+                    return seg.find(dst).map(|i| seg.weight(i));
+                }
+                _ => {}
+            }
+        }
         let top = self.top_block(dense)?;
         let (found, _) = self.locate(top, dst);
         found.map(|(b, off)| self.arena.cell(b, off).weight)
@@ -620,6 +1014,22 @@ impl GraphTinker {
     /// (random access) retrieval path.
     pub fn for_each_out_edge<F: FnMut(VertexId, Weight)>(&self, src: VertexId, mut f: F) {
         let Some(dense) = self.dense_lookup(src) else { return };
+        if self.adaptive {
+            match self.tiers.get(dense as usize) {
+                Some(Tier::Inline) => {
+                    let adj = &self.inline[dense as usize];
+                    for i in 0..adj.len as usize {
+                        f(adj.dsts[i], adj.weights[i]);
+                    }
+                    return;
+                }
+                Some(Tier::Hub) => {
+                    self.hubs[self.hub_of[dense as usize] as usize].for_each(|d, w, _| f(d, w));
+                    return;
+                }
+                _ => {}
+            }
+        }
         let Some(top) = self.top_block(dense) else { return };
         let mut stack = vec![top];
         while let Some(b) = stack.pop() {
@@ -663,6 +1073,29 @@ impl GraphTinker {
         mut f: F,
     ) {
         for dense in dense_range {
+            if self.adaptive {
+                match self.tiers.get(dense as usize) {
+                    Some(Tier::Inline) => {
+                        let adj = &self.inline[dense as usize];
+                        if adj.len > 0 {
+                            let src = self.original_of(dense);
+                            for i in 0..adj.len as usize {
+                                f(src, adj.dsts[i], adj.weights[i]);
+                            }
+                        }
+                        continue;
+                    }
+                    Some(Tier::Hub) => {
+                        let seg = &self.hubs[self.hub_of[dense as usize] as usize];
+                        if !seg.is_empty() {
+                            let src = self.original_of(dense);
+                            seg.for_each(|d, w, _| f(src, d, w));
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
             let Some(top) = self.top_block(dense) else { continue };
             let src = self.original_of(dense);
             let mut stack = vec![top];
@@ -741,10 +1174,21 @@ impl GraphTinker {
     pub fn sources(&self) -> Vec<VertexId> {
         match &self.sgh {
             Some(sgh) => sgh.iter_dense().map(|(_, o)| o).collect(),
-            None => {
-                (0..self.top_blocks.len() as u32).filter(|&d| self.top_block(d).is_some()).collect()
+            None => (0..self.top_blocks.len() as u32).filter(|&d| self.source_active(d)).collect(),
+        }
+    }
+
+    /// Whether a dense slot has ever held a source (no-SGH accounting; with
+    /// SGH enabled every dense id is a source by construction). Inline and
+    /// hub vertices own no top block, so presence is read from the property
+    /// array instead.
+    fn source_active(&self, dense: u32) -> bool {
+        if self.adaptive {
+            if let Some(Tier::Inline | Tier::Hub) = self.tiers.get(dense as usize) {
+                return self.props.get(dense).is_some_and(|p| p.original_id != NIL_VERTEX);
             }
         }
+        self.top_block(dense).is_some()
     }
 
     /// Pre-assigns dense source ids in the given order, as if each source
@@ -782,6 +1226,43 @@ impl GraphTinker {
         crate::metrics::global().tinker_cal_rebuilds.inc();
         let mut cal = CalArray::new(self.config.cal_group_size, self.config.cal_block_size);
         for dense in 0..self.top_blocks.len() as u32 {
+            let idx = dense as usize;
+            if self.adaptive {
+                match self.tiers.get(idx) {
+                    Some(Tier::Inline) => {
+                        if self.inline[idx].len > 0 {
+                            let src = self.original_of(dense);
+                            for i in 0..self.inline[idx].len as usize {
+                                let ptr = cal.insert(
+                                    dense,
+                                    src,
+                                    self.inline[idx].dsts[i],
+                                    self.inline[idx].weights[i],
+                                );
+                                self.inline[idx].cal_ptrs[i] = ptr;
+                            }
+                        }
+                        continue;
+                    }
+                    Some(Tier::Hub) => {
+                        let h = self.hub_of[idx] as usize;
+                        if !self.hubs[h].is_empty() {
+                            let src = self.original_of(dense);
+                            for i in 0..self.hubs[h].len() {
+                                let ptr = cal.insert(
+                                    dense,
+                                    src,
+                                    self.hubs[h].dst(i),
+                                    self.hubs[h].weight(i),
+                                );
+                                self.hubs[h].set_cal_ptr(i, ptr);
+                            }
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
             let Some(top) = self.top_block(dense) else { continue };
             let src = self.original_of(dense);
             let mut stack = vec![top];
@@ -804,6 +1285,19 @@ impl GraphTinker {
         self.cal = Some(cal);
     }
 
+    /// Estimated heap bytes of the inline tier.
+    fn inline_bytes(&self) -> usize {
+        self.inline.capacity() * std::mem::size_of::<InlineAdj>()
+    }
+
+    /// Estimated heap bytes of the hub tier (segments + slot table).
+    fn hub_bytes(&self) -> usize {
+        self.hubs.iter().map(|h| h.memory_bytes()).sum::<usize>()
+            + self.hubs.capacity() * std::mem::size_of::<HubSegment>()
+            + self.hub_of.capacity() * 4
+            + self.free_hubs.capacity() * 4
+    }
+
     /// Point-in-time structure statistics.
     pub fn structure_stats(&self) -> StructureStats {
         let total_blocks = self.arena.num_blocks();
@@ -823,10 +1317,46 @@ impl GraphTinker {
             } else {
                 self.live_edges as f64 / allocated_cells as f64
             },
+            tier_inline_vertices: self.tier_counts[Tier::Inline as usize] as usize,
+            tier_blocks_vertices: self.tier_counts[Tier::Blocks as usize] as usize,
+            tier_hub_vertices: self.tier_counts[Tier::Hub as usize] as usize,
+            tier_promotions: self.tier_promotions,
+            tier_demotions: self.tier_demotions,
+            inline_bytes: self.inline_bytes(),
+            hub_bytes: self.hub_bytes(),
             memory_bytes: self.arena.memory_bytes()
                 + self.cal.as_ref().map_or(0, |c| c.memory_bytes())
-                + self.top_blocks.capacity() * 4,
+                + self.top_blocks.capacity() * 4
+                + self.tiers.capacity()
+                + self.inline_bytes()
+                + self.hub_bytes(),
         }
+    }
+
+    /// Publishes the `memory_*_bytes` gauge family from current structure
+    /// state (estimated adjacency bytes per tier, CAL, and total). Gauges
+    /// are set-from-state, so calling this again simply refreshes them.
+    pub fn publish_memory_metrics(&self) {
+        let m = crate::metrics::global();
+        let (inline, blocks, hub, cal, total) = self.memory_breakdown();
+        m.memory_inline_bytes.set(inline as i64);
+        m.memory_blocks_bytes.set(blocks as i64);
+        m.memory_hub_bytes.set(hub as i64);
+        m.memory_cal_bytes.set(cal as i64);
+        m.memory_total_bytes.set(total as i64);
+    }
+
+    /// Estimated heap bytes per component as
+    /// `(inline tier, edgeblock arena, hub tier, CAL, total)`. The parallel
+    /// wrapper sums these across instances before publishing gauges.
+    pub fn memory_breakdown(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.inline_bytes(),
+            self.arena.memory_bytes(),
+            self.hub_bytes(),
+            self.cal.as_ref().map_or(0, |c| c.memory_bytes()),
+            self.structure_stats().memory_bytes,
+        )
     }
 
     /// Direct access to the CAL (tests/diagnostics).
@@ -840,6 +1370,14 @@ impl GraphTinker {
     /// would put the k-th edge at "depth" `k / blocksize`).
     pub fn depth_histogram(&self) -> Vec<u64> {
         let mut hist: Vec<u64> = Vec::new();
+        if self.adaptive {
+            // Inline and hub adjacency is flat: everything sits at depth 0.
+            let shallow: u64 = self.inline.iter().map(|a| a.len as u64).sum::<u64>()
+                + self.hubs.iter().map(|h| h.len() as u64).sum::<u64>();
+            if shallow > 0 {
+                hist.push(shallow);
+            }
+        }
         for dense in 0..self.top_blocks.len() as u32 {
             let Some(top) = self.top_block(dense) else { continue };
             let mut stack = vec![(top, 0usize)];
@@ -864,6 +1402,11 @@ impl GraphTinker {
     /// length).
     pub fn probe_histogram(&self) -> Vec<u64> {
         let mut hist = vec![0u64; self.arena.subblock_len()];
+        if self.adaptive {
+            // Inline and hub probes are position-exact: distance 0.
+            hist[0] += self.inline.iter().map(|a| a.len as u64).sum::<u64>()
+                + self.hubs.iter().map(|h| h.len() as u64).sum::<u64>();
+        }
         for dense in 0..self.top_blocks.len() as u32 {
             let Some(top) = self.top_block(dense) else { continue };
             let mut stack = vec![top];
@@ -1388,6 +1931,189 @@ mod tests {
         assert_eq!(g.vertex_space(), 501, "expand must not shrink");
         g.expand_vertex_space(1_000);
         assert_eq!(g.vertex_space(), 1_000);
+    }
+
+    fn adaptive_tiny() -> TinkerConfig {
+        // Tiny geometry + low thresholds so every tier transition triggers
+        // within a few dozen edges.
+        tiny_config().tiers(2, 12, 6)
+    }
+
+    #[test]
+    fn inline_tier_avoids_block_allocation() {
+        let mut g = GraphTinker::new(adaptive_tiny()).unwrap();
+        g.insert_edge(Edge::new(1, 10, 7));
+        g.insert_edge(Edge::new(1, 11, 8));
+        let st = g.structure_stats();
+        assert_eq!(st.main_blocks, 0, "small vertices must not allocate edgeblocks");
+        assert_eq!(st.tier_inline_vertices, 1);
+        assert_eq!(g.edge_weight(1, 10), Some(7));
+        assert_eq!(g.out_degree(1), 2);
+        // Weight update in place.
+        assert!(!g.insert_edge(Edge::new(1, 10, 70)));
+        assert_eq!(g.edge_weight(1, 10), Some(70));
+        // Delete brings it back to one edge, still inline.
+        assert!(g.delete_edge(1, 11));
+        assert!(!g.contains_edge(1, 11));
+        assert_eq!(g.structure_stats().main_blocks, 0);
+    }
+
+    #[test]
+    fn inline_promotes_to_blocks_then_hub_and_back() {
+        let mut g = GraphTinker::new(adaptive_tiny()).unwrap();
+        // 3rd edge overflows inline_cap = 2 -> blocks tier.
+        for d in 0..3u32 {
+            g.insert_edge(Edge::new(5, d + 100, d));
+        }
+        let st = g.structure_stats();
+        assert_eq!(st.tier_blocks_vertices, 1);
+        assert_eq!(st.tier_inline_vertices, 0);
+        assert!(st.main_blocks > 0);
+        assert!(st.tier_promotions >= 1);
+
+        // Degree 12 reaches hub_promote -> hub tier, blocks recycled.
+        for d in 3..12u32 {
+            g.insert_edge(Edge::new(5, d + 100, d));
+        }
+        let st = g.structure_stats();
+        assert_eq!(st.tier_hub_vertices, 1);
+        assert_eq!(st.main_blocks, 0);
+        assert!(st.free_blocks > 0, "promotion must recycle the subtree");
+        for d in 0..12u32 {
+            assert_eq!(g.edge_weight(5, d + 100), Some(d), "edge {d} lost in promotion");
+        }
+
+        // Dropping below hub_demote = 6 falls back to blocks, then below
+        // inline_cap/2 to inline.
+        for d in 0..7u32 {
+            assert!(g.delete_edge(5, d + 100));
+        }
+        let st = g.structure_stats();
+        assert_eq!(st.tier_blocks_vertices, 1, "hub must demote below the floor: {st:?}");
+        for d in 7..11u32 {
+            assert!(g.delete_edge(5, d + 100));
+        }
+        let st = g.structure_stats();
+        assert_eq!(st.tier_inline_vertices, 1, "blocks must demote to inline: {st:?}");
+        assert!(st.tier_demotions >= 2);
+        assert_eq!(g.edge_weight(5, 111), Some(11), "last survivor intact");
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn adaptive_matches_model_under_churn() {
+        for mode in [DeleteMode::DeleteOnly, DeleteMode::DeleteAndCompact] {
+            let cfg = TinkerConfig { delete_mode: mode, ..adaptive_tiny() };
+            let mut g = GraphTinker::new(cfg).unwrap();
+            let mut model: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+            // Skewed source distribution so a few vertices cross every
+            // threshold repeatedly while most stay inline.
+            for i in 0..6_000u32 {
+                let src = (i * 7 % 97) * (i * 7 % 97) % 61;
+                let dst = i * 13 % 211;
+                if i % 4 == 3 {
+                    let was = model.remove(&(src, dst)).is_some();
+                    assert_eq!(g.delete_edge(src, dst), was, "delete mismatch at {i} ({mode:?})");
+                } else {
+                    let new = model.insert((src, dst), i).is_none();
+                    assert_eq!(
+                        g.insert_edge(Edge::new(src, dst, i)),
+                        new,
+                        "insert mismatch at {i} ({mode:?})"
+                    );
+                }
+            }
+            assert_eq!(g.num_edges() as usize, model.len());
+            let mut got: Vec<(u32, u32, u32)> = Vec::new();
+            g.for_each_edge(|s, d, w| got.push((s, d, w)));
+            got.sort_unstable();
+            let want: Vec<(u32, u32, u32)> = model.iter().map(|(&(s, d), &w)| (s, d, w)).collect();
+            assert_eq!(got, want, "CAL stream diverged ({mode:?})");
+            // Main-structure scan agrees too (snapshot encode path).
+            let mut main: Vec<(u32, u32, u32)> = Vec::new();
+            g.for_each_edge_main(|s, d, w| main.push((s, d, w)));
+            main.sort_unstable();
+            assert_eq!(main, want, "main scan diverged ({mode:?})");
+            for src in 0..61u32 {
+                let deg = model.keys().filter(|&&(s, _)| s == src).count() as u32;
+                assert_eq!(g.out_degree(src), deg, "degree mismatch for {src} ({mode:?})");
+            }
+            let st = g.structure_stats();
+            assert!(st.tier_promotions > 0, "churn must exercise promotions ({mode:?})");
+            assert_eq!(
+                st.tier_inline_vertices + st.tier_blocks_vertices + st.tier_hub_vertices,
+                (0..61).filter(|&s| g.out_degree(s) > 0).count(),
+                "tier counts must sum to active vertices ({mode:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_histograms_count_all_edges() {
+        let mut g = GraphTinker::new(adaptive_tiny()).unwrap();
+        for i in 0..1_000u32 {
+            g.insert_edge(Edge::unit(i % 13, i));
+        }
+        assert_eq!(g.depth_histogram().iter().sum::<u64>(), 1_000);
+        assert_eq!(g.probe_histogram().iter().sum::<u64>(), 1_000);
+        assert!(g.validate_rhh_invariants().is_ok());
+    }
+
+    #[test]
+    fn adaptive_rebuild_cal_spans_all_tiers() {
+        let mut g = GraphTinker::new(adaptive_tiny()).unwrap();
+        // Source 0 -> hub, source 1 -> blocks, source 2 -> inline.
+        for d in 0..20u32 {
+            g.insert_edge(Edge::new(0, d + 1000, d));
+        }
+        for d in 0..5u32 {
+            g.insert_edge(Edge::new(1, d + 1000, d));
+        }
+        g.insert_edge(Edge::new(2, 1000, 9));
+        let st = g.structure_stats();
+        assert_eq!(
+            (st.tier_inline_vertices, st.tier_blocks_vertices, st.tier_hub_vertices),
+            (1, 1, 1)
+        );
+        g.rebuild_cal();
+        assert_eq!(g.cal().unwrap().num_invalid(), 0);
+        // CAL pointers survived: weight updates land in the new CAL.
+        g.insert_edge(Edge::new(0, 1001, 777));
+        g.insert_edge(Edge::new(2, 1000, 888));
+        let mut seen = BTreeMap::new();
+        g.for_each_edge(|s, d, w| {
+            seen.insert((s, d), w);
+        });
+        assert_eq!(seen.get(&(0, 1001)), Some(&777));
+        assert_eq!(seen.get(&(2, 1000)), Some(&888));
+        assert_eq!(seen.len() as u64, g.num_edges());
+    }
+
+    #[test]
+    fn adaptive_sources_without_sgh() {
+        let cfg = TinkerConfig { enable_sgh: false, ..adaptive_tiny() };
+        let mut g = GraphTinker::new(cfg).unwrap();
+        g.insert_edge(Edge::unit(3, 1)); // inline tier, no top block
+        for d in 0..15u32 {
+            g.insert_edge(Edge::unit(7, d + 10)); // hub tier
+        }
+        let mut s = g.sources();
+        s.sort_unstable();
+        assert_eq!(s, vec![3, 7], "inline/hub sources must be visible without SGH");
+    }
+
+    #[test]
+    fn adaptive_memory_accounting_includes_tiers() {
+        let mut g = GraphTinker::new(adaptive_tiny()).unwrap();
+        for d in 0..40u32 {
+            g.insert_edge(Edge::unit(0, d));
+        }
+        g.insert_edge(Edge::unit(1, 2));
+        let st = g.structure_stats();
+        assert!(st.hub_bytes > 0, "hub tier must be accounted: {st:?}");
+        assert!(st.inline_bytes > 0);
+        assert!(st.memory_bytes >= st.hub_bytes + st.inline_bytes);
+        g.publish_memory_metrics();
     }
 
     #[test]

@@ -94,10 +94,13 @@ pub enum SpanId {
     IngestBatch = 13,
     /// Instant: the telemetry server answered an HTTP request.
     ServeRequest = 14,
+    /// A vertex changed adjacency tier (arg = its dense index). Covers the
+    /// migration work: collecting, freeing and re-anchoring edges.
+    TierPromote = 15,
 }
 
 /// Every catalogue entry, for iteration in exports and tests.
-pub const ALL_SPANS: [SpanId; 15] = [
+pub const ALL_SPANS: [SpanId; 16] = [
     SpanId::PoolClaim,
     SpanId::PoolApply,
     SpanId::PoolSettle,
@@ -113,6 +116,7 @@ pub const ALL_SPANS: [SpanId; 15] = [
     SpanId::TinkerBranchOut,
     SpanId::IngestBatch,
     SpanId::ServeRequest,
+    SpanId::TierPromote,
 ];
 
 impl SpanId {
@@ -134,6 +138,7 @@ impl SpanId {
             SpanId::TinkerBranchOut => "tinker_branch_out",
             SpanId::IngestBatch => "ingest_batch",
             SpanId::ServeRequest => "serve_request",
+            SpanId::TierPromote => "tier_promote",
         }
     }
 

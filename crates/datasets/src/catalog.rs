@@ -8,7 +8,7 @@
 
 use gtinker_types::Edge;
 
-use crate::powerlaw::PowerLawConfig;
+use crate::powerlaw::{PowerLawConfig, SourceSkewConfig};
 use crate::rmat::RmatConfig;
 
 /// Which generator family backs a dataset.
@@ -18,6 +18,9 @@ pub enum DatasetKind {
     Rmat,
     /// Power-law stand-in for a real-world collaboration graph.
     PowerLaw,
+    /// Zipf source-skew stream (hub-heavy out-degree, uniform
+    /// destinations) — the adaptive-tier stress workload, not in Table 1.
+    SourceSkew,
 }
 
 /// One dataset of Table 1.
@@ -52,6 +55,14 @@ impl DatasetSpec {
                 max_weight: 64,
             }
             .generate(),
+            DatasetKind::SourceSkew => SourceSkewConfig {
+                num_vertices: self.vertices,
+                num_edges: self.edges,
+                theta: 1.0,
+                seed: self.seed,
+                max_weight: 64,
+            }
+            .generate(),
         }
     }
 
@@ -61,7 +72,8 @@ impl DatasetSpec {
     }
 }
 
-/// Table 1's six datasets, shrunk by `scale_factor` (1 = paper size).
+/// Table 1's six datasets plus the `Zipf_SourceSkew` adaptive-tier stream,
+/// shrunk by `scale_factor` (1 = paper size).
 ///
 /// Paper-reported sizes:
 ///
@@ -120,6 +132,16 @@ pub fn scaled_datasets(scale_factor: u32) -> Vec<DatasetSpec> {
             edges: e(182_082_942),
             seed: 106,
         },
+        // Beyond Table 1: the hub-heavy stream that exercises all three
+        // adjacency tiers of the adaptive layout (classic Zipf sources,
+        // average out-degree 32).
+        DatasetSpec {
+            name: "Zipf_SourceSkew",
+            kind: DatasetKind::SourceSkew,
+            vertices: v(1_048_576),
+            edges: e(33_554_432),
+            seed: 107,
+        },
     ]
 }
 
@@ -144,7 +166,8 @@ mod tests {
                 "RMAT_1M_16M",
                 "RMAT_2M_32M",
                 "Hollywood-2009",
-                "Kron_g500-logn21"
+                "Kron_g500-logn21",
+                "Zipf_SourceSkew"
             ]
         );
         // Paper sizes at scale_factor 1.
@@ -183,7 +206,22 @@ mod tests {
     fn lookup_by_name() {
         assert!(dataset_by_name("hollywood-2009", 64).is_some());
         assert!(dataset_by_name("RMAT_2M_32M", 64).is_some());
+        assert!(dataset_by_name("zipf_sourceskew", 64).is_some());
         assert!(dataset_by_name("nope", 64).is_none());
+    }
+
+    #[test]
+    fn source_skew_dataset_is_hub_heavy() {
+        let d = dataset_by_name("Zipf_SourceSkew", 512).unwrap();
+        assert_eq!(d.kind, DatasetKind::SourceSkew);
+        let edges = d.generate();
+        assert_eq!(edges.len() as u64, d.edges);
+        let mut deg = std::collections::HashMap::new();
+        for e in &edges {
+            *deg.entry(e.src).or_insert(0u64) += 1;
+        }
+        let max = deg.values().copied().max().unwrap();
+        assert!(max > 128, "largest hub degree {max} too small to cross the hub threshold");
     }
 
     #[test]

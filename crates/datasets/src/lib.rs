@@ -32,6 +32,6 @@ pub mod stream;
 
 pub use catalog::{dataset_by_name, scaled_datasets, DatasetKind, DatasetSpec};
 pub use grid::GridConfig;
-pub use powerlaw::PowerLawConfig;
+pub use powerlaw::{PowerLawConfig, SourceSkewConfig};
 pub use rmat::RmatConfig;
-pub use stream::{deletion_batches, insertion_batches, top_degree_vertices};
+pub use stream::{churn_batches, deletion_batches, insertion_batches, top_degree_vertices};

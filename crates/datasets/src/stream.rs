@@ -52,6 +52,38 @@ pub fn top_degree_vertices(edges: &[Edge], k: usize) -> Vec<VertexId> {
     by_degree.into_iter().take(k).map(|(v, _)| v).collect()
 }
 
+/// Interleaves inserts with deletes of previously-inserted edges: every
+/// `delete_every`-th operation deletes a seeded-random earlier edge. Degrees
+/// rise and fall across the stream, so an adaptive store crosses its
+/// promotion *and* demotion thresholds repeatedly — the churn workload the
+/// tier-parity suite replays against a fixed-geometry store.
+pub fn churn_batches(
+    edges: &[Edge],
+    batch_size: usize,
+    delete_every: usize,
+    seed: u64,
+) -> Vec<EdgeBatch> {
+    assert!(batch_size > 0);
+    assert!(delete_every > 1, "delete_every must leave room for inserts");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut batches = Vec::new();
+    let mut batch = EdgeBatch::new();
+    for (i, e) in edges.iter().enumerate() {
+        batch.push_insert(*e);
+        if (i + 1) % delete_every == 0 {
+            let victim = &edges[rng.gen_range(0..=i)];
+            batch.push_delete(victim.src, victim.dst);
+        }
+        if batch.len() >= batch_size {
+            batches.push(std::mem::take(&mut batch));
+        }
+    }
+    if !batch.is_empty() {
+        batches.push(batch);
+    }
+    batches
+}
+
 /// Number of distinct `(src, dst)` pairs — the number of live edges a
 /// structure will hold after inserting the whole list.
 pub fn distinct_edge_count(edges: &[Edge]) -> u64 {
@@ -122,6 +154,27 @@ mod tests {
         let tops = top_degree_vertices(&e, 2);
         assert_eq!(tops, vec![7, 3]);
         assert_eq!(top_degree_vertices(&e, 10).len(), 3, "only 3 sources exist");
+    }
+
+    #[test]
+    fn churn_batches_interleave_and_cover_all_inserts() {
+        let e = edges();
+        let batches = churn_batches(&e, 64, 4, 5);
+        assert_eq!(batches, churn_batches(&e, 64, 4, 5), "must be seeded-deterministic");
+        let ops: Vec<_> = batches.iter().flat_map(|b| b.iter()).collect();
+        let inserts = ops.iter().filter(|op| op.is_insert()).count();
+        let deletes = ops.len() - inserts;
+        assert_eq!(inserts, e.len(), "every edge of the list must be inserted");
+        assert_eq!(deletes, e.len() / 4);
+        // Deletes only target edges inserted earlier in the stream.
+        let mut seen = std::collections::HashSet::new();
+        for op in &ops {
+            if op.is_insert() {
+                seen.insert((op.src(), op.dst()));
+            } else {
+                assert!(seen.contains(&(op.src(), op.dst())), "delete of a never-inserted edge");
+            }
+        }
     }
 
     #[test]

@@ -108,6 +108,9 @@ pub fn encode_tinker(g: &GraphTinker, wal_lsn: u64) -> Vec<u8> {
     p.put_u8(flags);
     p.put_u64(cfg.cal_group_size as u64);
     p.put_u64(cfg.cal_block_size as u64);
+    p.put_u64(cfg.inline_cap as u64);
+    p.put_u64(cfg.hub_promote as u64);
+    p.put_u64(cfg.hub_demote as u64);
     put_section(&mut w, TAG_CONFIG, p.as_bytes());
 
     if cfg.enable_sgh {
@@ -231,6 +234,9 @@ pub fn decode_tinker(bytes: &[u8]) -> Result<(GraphTinker, u64)> {
         cal_group_size: 0,
         cal_block_size: 0,
         delete_mode: DeleteMode::DeleteOnly,
+        inline_cap: 0,
+        hub_promote: 0,
+        hub_demote: 0,
     };
     let flags = r.u8("config flags")?;
     let config = TinkerConfig {
@@ -244,6 +250,19 @@ pub fn decode_tinker(bytes: &[u8]) -> Result<(GraphTinker, u64)> {
         cal_group_size: r.u64("cal_group_size")? as usize,
         cal_block_size: r.u64("cal_block_size")? as usize,
         ..config
+    };
+    // Tier thresholds were appended to the CONFIG payload after the first
+    // release of the format; snapshots written before that simply end here
+    // and decode with tiering off.
+    let config = if r.remaining() >= 24 {
+        TinkerConfig {
+            inline_cap: r.u64("inline_cap")? as usize,
+            hub_promote: r.u64("hub_promote")? as u32,
+            hub_demote: r.u64("hub_demote")? as u32,
+            ..config
+        }
+    } else {
+        config
     };
     let mut g = GraphTinker::new(config)?;
     if let Some(sgh) = s.sgh {
@@ -447,11 +466,43 @@ mod tests {
             TinkerConfig::default().cal(false),
             TinkerConfig::default().delete_mode(DeleteMode::DeleteAndCompact),
             TinkerConfig { pagewidth: 16, subblock: 4, workblock: 2, ..TinkerConfig::default() },
+            TinkerConfig::default().adaptive(),
+            TinkerConfig { pagewidth: 16, subblock: 4, workblock: 2, ..TinkerConfig::default() }
+                .tiers(2, 12, 6),
         ] {
             let g = sample_tinker(cfg);
             let (back, _) = decode_tinker(&encode_tinker(&g, 0)).unwrap();
+            assert_eq!(back.config().inline_cap, cfg.inline_cap);
+            assert_eq!(back.config().hub_promote, cfg.hub_promote);
             assert_equivalent(&g, &back);
         }
+    }
+
+    #[test]
+    fn adaptive_roundtrip_rebuilds_all_tiers() {
+        let cfg = TinkerConfig { pagewidth: 16, subblock: 4, workblock: 2, ..Default::default() }
+            .tiers(2, 12, 6);
+        let mut g = GraphTinker::new(cfg).unwrap();
+        for d in 0..20u32 {
+            g.insert_edge(Edge::new(0, d + 100, d + 1)); // hub tier
+        }
+        for d in 0..5u32 {
+            g.insert_edge(Edge::new(1, d + 100, d + 1)); // blocks tier
+        }
+        g.insert_edge(Edge::new(2, 100, 9)); // inline tier
+        let before = g.structure_stats();
+        assert_eq!(
+            (before.tier_inline_vertices, before.tier_blocks_vertices, before.tier_hub_vertices),
+            (1, 1, 1)
+        );
+        let (back, _) = decode_tinker(&encode_tinker(&g, 0)).unwrap();
+        let after = back.structure_stats();
+        assert_eq!(
+            (after.tier_inline_vertices, after.tier_blocks_vertices, after.tier_hub_vertices),
+            (1, 1, 1),
+            "tier layout must be rebuilt by replaying edges: {after:?}"
+        );
+        assert_equivalent(&g, &back);
     }
 
     #[test]

@@ -48,7 +48,25 @@ pub struct TinkerConfig {
     pub cal_block_size: usize,
     /// Deletion mechanism.
     pub delete_mode: DeleteMode,
+    /// Degree-adaptive tiering: adjacency lists of up to this many edges are
+    /// packed inline in the vertex entry instead of allocating an edgeblock.
+    /// `0` disables the inline tier (every vertex starts on edgeblocks, the
+    /// paper's fixed geometry). Capped at [`INLINE_CAP_MAX`].
+    pub inline_cap: usize,
+    /// Degree-adaptive tiering: a vertex whose out-degree reaches this value
+    /// is promoted from RHH edgeblocks to the sorted dense hub tier. `0`
+    /// disables hub promotion.
+    pub hub_promote: u32,
+    /// Hysteresis partner of [`hub_promote`](Self::hub_promote): a hub vertex
+    /// whose out-degree drops below this value is demoted back to edgeblocks.
+    /// Must be below `hub_promote` so churn around the threshold does not
+    /// oscillate.
+    pub hub_demote: u32,
 }
+
+/// Hard cap on [`TinkerConfig::inline_cap`]: the inline tier stores adjacency
+/// in fixed-width vertex-entry arrays of this many slots.
+pub const INLINE_CAP_MAX: usize = 4;
 
 impl Default for TinkerConfig {
     fn default() -> Self {
@@ -61,6 +79,9 @@ impl Default for TinkerConfig {
             cal_group_size: 1024,
             cal_block_size: 1024,
             delete_mode: DeleteMode::DeleteOnly,
+            inline_cap: 0,
+            hub_promote: 0,
+            hub_demote: 0,
         }
     }
 }
@@ -89,6 +110,29 @@ impl TinkerConfig {
     pub fn delete_mode(mut self, mode: DeleteMode) -> Self {
         self.delete_mode = mode;
         self
+    }
+
+    /// Returns the config with degree-adaptive tier thresholds. `inline_cap`
+    /// edges fit inline (0 disables the inline tier); vertices reaching
+    /// `hub_promote` out-degree move to the dense hub tier and fall back to
+    /// edgeblocks below `hub_demote` (0/0 disables the hub tier).
+    pub fn tiers(mut self, inline_cap: usize, hub_promote: u32, hub_demote: u32) -> Self {
+        self.inline_cap = inline_cap;
+        self.hub_promote = hub_promote;
+        self.hub_demote = hub_demote;
+        self
+    }
+
+    /// Returns the config with the default degree-adaptive operating point:
+    /// 4 inline slots, hub promotion at out-degree 128, demotion below 64.
+    pub fn adaptive(self) -> Self {
+        self.tiers(INLINE_CAP_MAX, 128, 64)
+    }
+
+    /// True when any adaptive tier (inline or hub) is enabled.
+    #[inline]
+    pub fn adaptive_enabled(&self) -> bool {
+        self.inline_cap > 0 || self.hub_promote > 0
     }
 
     /// Number of subblocks per edgeblock.
@@ -135,6 +179,28 @@ impl TinkerConfig {
         }
         if self.subblock > 256 {
             return Err("subblock size must fit probe distances in a byte (<= 256)".into());
+        }
+        if self.inline_cap > INLINE_CAP_MAX {
+            return Err(format!(
+                "inline_cap {} exceeds the fixed inline slot count {INLINE_CAP_MAX}",
+                self.inline_cap
+            ));
+        }
+        if self.hub_promote > 0 {
+            if self.hub_demote >= self.hub_promote {
+                return Err(format!(
+                    "hub_demote {} must be below hub_promote {} (hysteresis)",
+                    self.hub_demote, self.hub_promote
+                ));
+            }
+            if self.hub_promote as usize <= self.inline_cap
+                || self.hub_demote as usize <= self.inline_cap
+            {
+                return Err(format!(
+                    "hub thresholds {}/{} must exceed inline_cap {}",
+                    self.hub_promote, self.hub_demote, self.inline_cap
+                ));
+            }
         }
         Ok(())
     }
@@ -208,6 +274,32 @@ mod tests {
         assert!(!c.enable_cal);
         assert!(!c.enable_sgh);
         assert_eq!(c.delete_mode, DeleteMode::DeleteAndCompact);
+    }
+
+    #[test]
+    fn adaptive_tiers_default_off_and_validate() {
+        let c = TinkerConfig::default();
+        assert!(!c.adaptive_enabled());
+        assert_eq!((c.inline_cap, c.hub_promote, c.hub_demote), (0, 0, 0));
+
+        let a = TinkerConfig::default().adaptive();
+        assert!(a.adaptive_enabled());
+        assert_eq!((a.inline_cap, a.hub_promote, a.hub_demote), (INLINE_CAP_MAX, 128, 64));
+        assert!(a.validate().is_ok());
+
+        // Inline-only and hub-only variants are both legal.
+        assert!(TinkerConfig::default().tiers(2, 0, 0).validate().is_ok());
+        assert!(TinkerConfig::default().tiers(0, 32, 16).validate().is_ok());
+
+        let bad = [
+            TinkerConfig::default().tiers(INLINE_CAP_MAX + 1, 0, 0), // over the slot count
+            TinkerConfig::default().tiers(4, 64, 64),                // no hysteresis gap
+            TinkerConfig::default().tiers(4, 64, 128),               // inverted thresholds
+            TinkerConfig::default().tiers(4, 3, 2),                  // hub below inline_cap
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "{c:?} should be invalid");
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ mod config;
 mod edge;
 mod error;
 
-pub use config::{DeleteMode, StingerConfig, TinkerConfig};
+pub use config::{DeleteMode, StingerConfig, TinkerConfig, INLINE_CAP_MAX};
 pub use edge::{partition_of, shard_of_index, shard_range, Edge, EdgeBatch, UpdateOp};
 pub use error::{GraphError, Result};
 

@@ -47,10 +47,32 @@ DIR_EDGES=$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$SMOKE/stats_dir.
 test "$FILE_EDGES" = "$DIR_EDGES"
 "$GT" stats "$SMOKE/g.txt" --format prom | grep -q "gtinker_tinker_inserts $FILE_EDGES"
 
+echo "==> adaptive smoke test (skewed ingest --adaptive populates all tier counters)"
+"$GT" generate --dataset Zipf_SourceSkew --scale-factor 512 --out "$SMOKE/skew.txt"
+"$GT" stats "$SMOKE/skew.txt" --adaptive --format json | tee "$SMOKE/stats_adaptive.json"
+for field in tier_inline_vertices tier_blocks_vertices tier_hub_vertices tier_promotions; do
+    VAL=$(sed -n "s/.*\"$field\": \([0-9][0-9]*\).*/\1/p" "$SMOKE/stats_adaptive.json" | head -1)
+    test -n "$VAL"
+    test "$VAL" -gt 0 || { echo "adaptive smoke: $field is 0" >&2; exit 1; }
+done
+"$GT" stats "$SMOKE/skew.txt" --adaptive --format prom > "$SMOKE/stats_adaptive.prom"
+grep -q "gtinker_memory_total_bytes" "$SMOKE/stats_adaptive.prom"
+grep -q "gtinker_tier_hub_vertices" "$SMOKE/stats_adaptive.prom"
+# The adaptive and fixed layouts must agree on what the store contains.
+ADAPTIVE_EDGES=$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$SMOKE/stats_adaptive.json" | head -1)
+"$GT" stats "$SMOKE/skew.txt" --format json > "$SMOKE/stats_fixed.json"
+FIXED_EDGES=$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$SMOKE/stats_fixed.json" | head -1)
+test "$ADAPTIVE_EDGES" = "$FIXED_EDGES"
+
 echo "==> trace smoke test (traced pooled ingest -> Perfetto-loadable timeline with live shard tracks)"
-"$GT" trace "$SMOKE/g.txt" --wal "$SMOKE/db_trace" --batch 256 --sync never \
-    --pool 4 --pipeline --analytics --out "$SMOKE/trace.json"
-python3 - "$SMOKE/trace.json" <<'PYEOF'
+# The append/apply overlap is a timing property: with --sync never an append
+# can finish before any worker picks up the previous batch, so retry the
+# capture a few times. The structural assertions hold on every attempt.
+TRACE_OK=0
+for attempt in 1 2 3; do
+    "$GT" trace "$SMOKE/g.txt" --wal "$SMOKE/db_trace_$attempt" --batch 256 --sync never \
+        --pool 4 --pipeline --analytics --out "$SMOKE/trace.json"
+    if python3 - "$SMOKE/trace.json" <<'PYEOF'
 import json, sys
 
 d = json.load(open(sys.argv[1]))
@@ -87,6 +109,13 @@ assert any(e.get("name") == "engine_process" for e in ev), "no traced analytics"
 print(f"trace ok: {len(ev)} events, {len(shard_tids)} shard tracks, "
       f"{overlaps} append/apply overlaps")
 PYEOF
+    then
+        TRACE_OK=1
+        break
+    fi
+    echo "trace smoke: no overlap captured on attempt $attempt, retrying"
+done
+test "$TRACE_OK" = 1
 
 echo "==> serve smoke test (live telemetry endpoint answers /healthz, /metrics, /trace)"
 "$GT" serve "$SMOKE/g.txt" --addr 127.0.0.1:0 > "$SMOKE/serve.out" 2> "$SMOKE/serve.err" &
@@ -102,7 +131,8 @@ test -n "$ADDR"
 curl -fsS "http://$ADDR/healthz" | tee "$SMOKE/healthz.json"
 grep -q '"status":"ok"' "$SMOKE/healthz.json"
 grep -q '"live_edges":' "$SMOKE/healthz.json"
-curl -fsS "http://$ADDR/metrics" | grep -q "gtinker_tinker_inserts"
+curl -fsS "http://$ADDR/metrics" -o "$SMOKE/metrics.prom"
+grep -q "gtinker_tinker_inserts" "$SMOKE/metrics.prom"
 curl -fsS "http://$ADDR/trace" -o "$SMOKE/trace_live.json"
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))["traceEvents"]' "$SMOKE/trace_live.json"
 kill "$SERVE_PID"
@@ -118,6 +148,14 @@ if "$BD" "$SMOKE/old.json" "$SMOKE/new_bad.json"; then
     echo "bench_diff failed to flag a 20% regression" >&2
     exit 1
 fi
+
+echo "==> adaptive bench gate (fig_adaptive emits BENCH_adaptive.json and it passes bench_diff)"
+target/release/fig_adaptive --scale-factor 2048 --out-dir "$SMOKE/bench_adaptive"
+test -f "$SMOKE/bench_adaptive/BENCH_adaptive.json"
+grep -q '"skew_adaptive_meps"' "$SMOKE/bench_adaptive/BENCH_adaptive.json"
+grep -q '"tier_promotions"' "$SMOKE/bench_adaptive/BENCH_adaptive.json"
+# Self-comparison: the emitted file must parse through the regression gate.
+"$BD" "$SMOKE/bench_adaptive/BENCH_adaptive.json" "$SMOKE/bench_adaptive/BENCH_adaptive.json"
 
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

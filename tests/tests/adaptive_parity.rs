@@ -1,0 +1,193 @@
+//! Tier parity: a degree-adaptive store must be observationally identical
+//! to a fixed-geometry store on any update stream. The adaptive layout
+//! changes *where* adjacency lives (inline entry, RHH edgeblocks, dense
+//! hub segment) but never *what* the store contains, so edge sets,
+//! degrees, and every analytic must match exactly — across mixed
+//! insert/delete churn that crosses the promotion and demotion thresholds
+//! repeatedly, on the sequential and pooled paths, in both delete modes,
+//! and through a snapshot/recover round-trip with all three tiers live.
+
+use gtinker_core::{GraphTinker, ParallelTinker};
+use gtinker_datasets::{churn_batches, SourceSkewConfig};
+use gtinker_engine::{
+    algorithms::{Bfs, Cc},
+    dynamic::symmetrize,
+    Engine, ModePolicy,
+};
+use gtinker_persist::{recover_tinker, write_tinker_snapshot};
+use gtinker_types::{DeleteMode, Edge, EdgeBatch, TinkerConfig};
+
+/// Tiny geometry + low thresholds: a few dozen edges per hub are enough to
+/// drive inline -> blocks -> hub promotions (and the reverse on deletes).
+fn adaptive_config(mode: DeleteMode) -> TinkerConfig {
+    TinkerConfig {
+        pagewidth: 16,
+        subblock: 4,
+        workblock: 2,
+        delete_mode: mode,
+        ..Default::default()
+    }
+    .tiers(2, 12, 6)
+}
+
+fn fixed_config(mode: DeleteMode) -> TinkerConfig {
+    TinkerConfig {
+        pagewidth: 16,
+        subblock: 4,
+        workblock: 2,
+        delete_mode: mode,
+        ..Default::default()
+    }
+}
+
+/// A hub-heavy stream with interleaved deletes of earlier edges.
+fn churn_stream(seed: u64) -> Vec<EdgeBatch> {
+    let edges =
+        SourceSkewConfig { num_vertices: 512, num_edges: 20_000, theta: 1.0, seed, max_weight: 16 }
+            .generate();
+    churn_batches(&edges, 1_000, 3, seed)
+}
+
+fn edge_set(g: &impl Fn(&mut dyn FnMut(u32, u32, u32))) -> Vec<(u32, u32, u32)> {
+    let mut v = Vec::new();
+    g(&mut |s, d, w| v.push((s, d, w)));
+    v.sort_unstable();
+    v
+}
+
+fn tinker_edges(g: &GraphTinker) -> Vec<(u32, u32, u32)> {
+    edge_set(&|f| g.for_each_edge(f))
+}
+
+#[test]
+fn adaptive_matches_fixed_under_churn_both_delete_modes() {
+    for mode in [DeleteMode::DeleteOnly, DeleteMode::DeleteAndCompact] {
+        let batches = churn_stream(41);
+        let mut fixed = GraphTinker::new(fixed_config(mode)).unwrap();
+        let mut adaptive = GraphTinker::new(adaptive_config(mode)).unwrap();
+        for b in &batches {
+            let rf = fixed.apply_batch(b);
+            let ra = adaptive.apply_batch(b);
+            assert_eq!(rf, ra, "batch outcome diverged ({mode:?})");
+        }
+        assert_eq!(fixed.num_edges(), adaptive.num_edges(), "{mode:?}");
+        assert_eq!(tinker_edges(&fixed), tinker_edges(&adaptive), "{mode:?}");
+        for src in 0..512u32 {
+            assert_eq!(
+                fixed.out_degree(src),
+                adaptive.out_degree(src),
+                "degree of {src} diverged ({mode:?})"
+            );
+            assert_eq!(
+                edge_set(&|f| fixed.for_each_out_edge(src, &mut |d, w| f(src, d, w))),
+                edge_set(&|f| adaptive.for_each_out_edge(src, &mut |d, w| f(src, d, w))),
+                "adjacency of {src} diverged ({mode:?})"
+            );
+        }
+        let st = adaptive.structure_stats();
+        assert!(st.tier_promotions > 0, "stream never promoted ({mode:?}): {st:?}");
+        assert!(st.tier_demotions > 0, "stream never demoted ({mode:?}): {st:?}");
+        assert!(
+            st.tier_inline_vertices > 0 && st.tier_hub_vertices > 0,
+            "final state must hold inline and hub vertices ({mode:?}): {st:?}"
+        );
+        let stf = fixed.structure_stats();
+        assert_eq!(stf.tier_promotions, 0, "fixed store must not tier");
+        assert_eq!(stf.tier_inline_vertices + stf.tier_hub_vertices, 0);
+    }
+}
+
+#[test]
+fn pooled_adaptive_matches_sequential_fixed() {
+    let batches = churn_stream(42);
+    let mut seq = GraphTinker::new(fixed_config(DeleteMode::DeleteOnly)).unwrap();
+    let mut par = ParallelTinker::new(adaptive_config(DeleteMode::DeleteOnly), 4).unwrap();
+    for b in &batches {
+        seq.apply_batch(b);
+        par.apply_batch(b);
+    }
+    assert_eq!(par.num_edges(), seq.num_edges());
+    assert_eq!(edge_set(&|f| par.for_each_edge(f)), tinker_edges(&seq));
+    // The pipelined submit/flush path hits the same tier code.
+    let mut pipe = ParallelTinker::new(adaptive_config(DeleteMode::DeleteOnly), 3).unwrap();
+    for b in churn_stream(42) {
+        pipe.submit(b);
+    }
+    pipe.flush();
+    assert_eq!(edge_set(&|f| pipe.for_each_edge(f)), tinker_edges(&seq));
+}
+
+#[test]
+fn bfs_and_cc_identical_across_layouts() {
+    let edges = SourceSkewConfig {
+        num_vertices: 256,
+        num_edges: 6_000,
+        theta: 1.0,
+        seed: 43,
+        max_weight: 8,
+    }
+    .generate();
+    let batch = EdgeBatch::inserts(&edges);
+    let root = edges[0].src;
+
+    let mut fixed = GraphTinker::new(fixed_config(DeleteMode::DeleteOnly)).unwrap();
+    let mut adaptive = GraphTinker::new(adaptive_config(DeleteMode::DeleteOnly)).unwrap();
+    fixed.apply_batch(&batch);
+    adaptive.apply_batch(&batch);
+    assert!(adaptive.structure_stats().tier_hub_vertices > 0, "need hub-tier coverage");
+
+    for policy in [ModePolicy::AlwaysFull, ModePolicy::hybrid()] {
+        let mut ef = Engine::new(Bfs::new(root), policy);
+        ef.run_from_roots(&fixed);
+        let mut ea = Engine::new(Bfs::new(root), policy);
+        ea.run_from_roots(&adaptive);
+        assert_eq!(ef.values(), ea.values(), "BFS diverged under {policy:?}");
+    }
+
+    // CC over symmetrized copies (undirected semantics).
+    let sym = symmetrize(&batch);
+    let mut fixed = GraphTinker::new(fixed_config(DeleteMode::DeleteOnly)).unwrap();
+    let mut adaptive = GraphTinker::new(adaptive_config(DeleteMode::DeleteOnly)).unwrap();
+    fixed.apply_batch(&sym);
+    adaptive.apply_batch(&sym);
+    let mut ef = Engine::new(Cc::new(), ModePolicy::hybrid());
+    ef.run_from_roots(&fixed);
+    let mut ea = Engine::new(Cc::new(), ModePolicy::hybrid());
+    ea.run_from_roots(&adaptive);
+    assert_eq!(ef.values(), ea.values(), "CC diverged");
+}
+
+#[test]
+fn snapshot_recover_roundtrip_preserves_all_three_tiers() {
+    let dir = std::env::temp_dir().join(format!("gtinker_adaptive_snap_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let cfg = adaptive_config(DeleteMode::DeleteOnly);
+    let mut g = GraphTinker::new(cfg).unwrap();
+    // Hub (20 edges > promote threshold 12), blocks (5), inline (1).
+    for d in 0..20u32 {
+        g.insert_edge(Edge::new(0, d + 100, d + 1));
+    }
+    for d in 0..5u32 {
+        g.insert_edge(Edge::new(1, d + 100, d + 1));
+    }
+    g.insert_edge(Edge::new(2, 100, 7));
+    let before = g.structure_stats();
+    assert_eq!(
+        (before.tier_inline_vertices, before.tier_blocks_vertices, before.tier_hub_vertices),
+        (1, 1, 1)
+    );
+
+    write_tinker_snapshot(&dir, &g, 0).unwrap();
+    let (back, report) = recover_tinker(&dir, cfg).unwrap();
+    assert_eq!(report.replayed_records, 0);
+    assert_eq!(tinker_edges(&back), tinker_edges(&g));
+    let after = back.structure_stats();
+    assert_eq!(
+        (after.tier_inline_vertices, after.tier_blocks_vertices, after.tier_hub_vertices),
+        (1, 1, 1),
+        "recovery must rebuild the tier layout: {after:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
