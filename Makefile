@@ -1,5 +1,5 @@
 # Convenience targets; `make ci` mirrors the hosted pipeline.
-.PHONY: ci build test lint fmt bench doc smoke ingest-smoke stats-smoke trace-smoke adaptive-smoke
+.PHONY: ci build test lint fmt bench doc smoke ingest-smoke stats-smoke trace-smoke adaptive-smoke serve-smoke
 
 ci:
 	./scripts/ci.sh
@@ -67,6 +67,25 @@ trace-smoke: build
 	assert len(tids)>=4, "want 4 shard tracks"; \
 	assert all(any(e.get("tid")==t and e.get("ph") in ("B","E","i") for e in ev) for t in tids), "empty shard track"; \
 	print("trace ok:", len(ev), "events,", len(tids), "shard tracks")' "$$SMOKE/trace.json"
+
+# Pipelined ingest with the live query endpoint attached: curl the
+# epoch-pinned query routes, then shut the server down over HTTP (also
+# part of ci, which additionally checks 405/400 handling).
+serve-smoke: build
+	@SMOKE=$$(mktemp -d); trap 'rm -rf "$$SMOKE"' EXIT; \
+	target/release/gtinker generate --dataset Hollywood-2009 --scale-factor 512 --out "$$SMOKE/g.txt"; \
+	target/release/gtinker ingest "$$SMOKE/g.txt" --wal "$$SMOKE/db" --batch 256 --sync never \
+		--pool 2 --pipeline --serve 127.0.0.1:0 --hold > "$$SMOKE/ingest.out" 2>&1 & \
+	INGEST_PID=$$!; \
+	ADDR=""; for _ in $$(seq 1 50); do \
+		ADDR=$$(sed -n 's#serving on http://\([^ ]*\).*#\1#p' "$$SMOKE/ingest.out"); \
+		test -n "$$ADDR" && break; sleep 0.1; \
+	done; test -n "$$ADDR"; \
+	curl -fsS "http://$$ADDR/query/bfs?src=0" | grep -q '"reached":'; \
+	curl -fsS "http://$$ADDR/neighbors?v=0" | grep -q '"neighbors":'; \
+	curl -fsS "http://$$ADDR/degree?v=0" | grep -q '"degree":'; \
+	curl -fsS "http://$$ADDR/quitquitquit" | grep -q "shutting down"; \
+	wait "$$INGEST_PID"; echo "serve-smoke ok"
 
 build:
 	cargo build --release --workspace

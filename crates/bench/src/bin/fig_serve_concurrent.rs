@@ -1,0 +1,10 @@
+//! Concurrent-serving benchmark: pipelined writer throughput with epoch-
+//! pinned reader threads vs settling reads, plus reader QPS and latency.
+fn main() {
+    let args = gtinker_bench::Args::parse();
+    let table = gtinker_bench::experiments::fig_serve_concurrent::run(&args);
+    table.print();
+    if let Err(e) = table.write_tsv(&args.out_dir) {
+        eprintln!("warning: could not write TSV: {e}");
+    }
+}

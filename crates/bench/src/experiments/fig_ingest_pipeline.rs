@@ -57,7 +57,7 @@ fn fresh(n: usize) -> ParallelTinker {
 }
 
 fn measure_spawn(batches: &[EdgeBatch], ops: u64, n: usize) -> f64 {
-    let mut g = fresh(n);
+    let g = fresh(n);
     let t0 = Instant::now();
     for b in batches {
         g.apply_batch_spawn(b);
@@ -66,7 +66,7 @@ fn measure_spawn(batches: &[EdgeBatch], ops: u64, n: usize) -> f64 {
 }
 
 fn measure_pooled(batches: &[EdgeBatch], ops: u64, n: usize) -> f64 {
-    let mut g = fresh(n);
+    let g = fresh(n);
     let t0 = Instant::now();
     for b in batches {
         g.apply_batch(b);
@@ -75,7 +75,7 @@ fn measure_pooled(batches: &[EdgeBatch], ops: u64, n: usize) -> f64 {
 }
 
 fn measure_pipelined(batches: &[Arc<EdgeBatch>], ops: u64, n: usize) -> f64 {
-    let mut g = fresh(n);
+    let g = fresh(n);
     let t0 = Instant::now();
     for b in batches {
         g.submit_shared(Arc::clone(b));

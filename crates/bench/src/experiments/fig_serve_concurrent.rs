@@ -1,0 +1,317 @@
+//! Concurrent query serving vs pipelined ingest (no paper counterpart —
+//! the paper's store is single-writer with stop-the-world reads): N reader
+//! threads issue point queries against epoch-pinned snapshot views
+//! ([`ParallelTinker::pin_view`]) while a pipelined writer streams small
+//! batches, and we measure how much writer throughput survives.
+//!
+//! Three configurations:
+//!
+//! * **writer-only** — the pipelined writer with views enabled but no
+//!   readers: the baseline Meps everything is retained against.
+//! * **pinned readers** — readers pin an acked-boundary view per query
+//!   (exactly what the `gtinker serve` query endpoints do); the writer
+//!   never waits for them and they never drain the pipeline.
+//! * **settle readers** — the pre-epoch alternative: readers query the
+//!   live shards directly, which settles (drains) the pipeline on every
+//!   query. Reported for contrast, outside the regression-gated fields,
+//!   because its throughput collapse is the point, not a stable number.
+//!
+//! Alongside the TSV the run emits `BENCH_serve_concurrent.json` with
+//! `writer_only_meps` / `writer_pinned_meps` (regression-gated), the
+//! retained percentage, reader QPS, and read latency percentiles.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gtinker_core::ParallelTinker;
+use gtinker_types::{Edge, EdgeBatch, TinkerConfig};
+
+use crate::cli::Args;
+use crate::experiments::common::hollywood;
+use crate::report::{f3, meps, Table};
+
+/// Batch size for the sliced stream: small, so the writer is genuinely
+/// pipelined rather than amortizing everything into one giant apply.
+const OPS_PER_BATCH: usize = 1000;
+
+/// Shard count for every configuration (the repo's acceptance point).
+const SHARDS: usize = 4;
+
+/// Concurrent reader threads in the serving configurations.
+const READERS: usize = 4;
+
+/// Think time between queries per reader: the clients are paced (as HTTP
+/// clients are), not busy-spinning — a spin loop would measure CPU
+/// oversubscription, not snapshot-isolation overhead. 4 readers at
+/// ~1/200us each offer roughly 10-20k QPS of sustained load.
+const READER_THINK: std::time::Duration = std::time::Duration::from_micros(200);
+
+/// One query = pin (or settle) + degree + neighbor scan of one vertex —
+/// the same shape as the `gtinker serve` `/query/neighbors` endpoint.
+struct ReadStats {
+    queries: u64,
+    latencies_ns: Vec<u64>,
+    elapsed_secs: f64,
+}
+
+struct ServeSample {
+    writer_meps: f64,
+    reader_qps: f64,
+    read_p50_us: f64,
+    read_p99_us: f64,
+    queries: u64,
+}
+
+fn slice_batches(edges: &[Edge]) -> Vec<Arc<EdgeBatch>> {
+    edges.chunks(OPS_PER_BATCH).map(|c| Arc::new(EdgeBatch::inserts(c))).collect()
+}
+
+fn fresh() -> ParallelTinker {
+    ParallelTinker::new_with_views(TinkerConfig::default(), SHARDS).expect("parallel store")
+}
+
+/// Cheap deterministic per-reader vertex picker (no shared RNG state).
+fn lcg(x: u64) -> u64 {
+    x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+fn measure_writer_only(batches: &[Arc<EdgeBatch>], ops: u64) -> f64 {
+    let g = fresh();
+    let t0 = Instant::now();
+    for b in batches {
+        g.submit_shared(Arc::clone(b));
+    }
+    g.flush();
+    meps(ops, t0.elapsed())
+}
+
+fn reader_loop(
+    g: &ParallelTinker,
+    done: &AtomicBool,
+    vspace: u32,
+    seed: u64,
+    settle: bool,
+) -> ReadStats {
+    let mut stats = ReadStats { queries: 0, latencies_ns: Vec::new(), elapsed_secs: 0.0 };
+    let mut x = lcg(0x9E37_79B9_7F4A_7C15 ^ seed);
+    let started = Instant::now();
+    // `|| queries == 0` guarantees at least one observation even when the
+    // writer finishes before this thread gets scheduled (tiny test runs).
+    while !done.load(Ordering::Acquire) || stats.queries == 0 {
+        x = lcg(x);
+        let v = (x >> 33) as u32 % vspace.max(1);
+        let t = Instant::now();
+        let mut touched = 0u64;
+        if settle {
+            touched += u64::from(g.out_degree(v));
+            g.for_each_out_edge(v, |d, _| touched = touched.wrapping_add(u64::from(d)));
+        } else if let Some(view) = g.pin_view() {
+            touched += u64::from(view.out_degree(v));
+            view.for_each_out_edge(v, |d, _| touched = touched.wrapping_add(u64::from(d)));
+        }
+        std::hint::black_box(touched);
+        stats.latencies_ns.push(t.elapsed().as_nanos() as u64);
+        stats.queries += 1;
+        std::thread::sleep(READER_THINK);
+    }
+    stats.elapsed_secs = started.elapsed().as_secs_f64();
+    stats
+}
+
+fn measure_concurrent(
+    batches: &[Arc<EdgeBatch>],
+    ops: u64,
+    vspace: u32,
+    settle: bool,
+) -> ServeSample {
+    let g = fresh();
+    let done = AtomicBool::new(false);
+    let (writer_meps, readers) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..READERS)
+            .map(|r| {
+                let (g, done) = (&g, &done);
+                scope.spawn(move || reader_loop(g, done, vspace, r as u64 + 1, settle))
+            })
+            .collect();
+        let t0 = Instant::now();
+        for b in batches {
+            g.submit_shared(Arc::clone(b));
+        }
+        g.flush();
+        let rate = meps(ops, t0.elapsed());
+        done.store(true, Ordering::Release);
+        (rate, handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>())
+    });
+
+    let queries: u64 = readers.iter().map(|r| r.queries).sum();
+    let wall = readers.iter().map(|r| r.elapsed_secs).fold(0.0_f64, f64::max);
+    let mut lat: Vec<u64> = readers.into_iter().flat_map(|r| r.latencies_ns).collect();
+    lat.sort_unstable();
+    ServeSample {
+        writer_meps,
+        reader_qps: queries as f64 / wall.max(1e-9),
+        read_p50_us: percentile_us(&lat, 0.50),
+        read_p99_us: percentile_us(&lat, 0.99),
+        queries,
+    }
+}
+
+fn to_json(
+    ops: u64,
+    n_batches: usize,
+    only: f64,
+    pinned: &ServeSample,
+    settle: &ServeSample,
+) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"serve_concurrent\",\n");
+    out.push_str(&format!("  \"ops\": {ops},\n"));
+    out.push_str(&format!("  \"batches\": {n_batches},\n"));
+    out.push_str(&format!("  \"ops_per_batch\": {OPS_PER_BATCH},\n"));
+    out.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    out.push_str(&format!("  \"readers\": {READERS},\n"));
+    out.push_str(&format!("  \"writer_only_meps\": {only:.3},\n"));
+    out.push_str(&format!("  \"writer_pinned_meps\": {:.3},\n", pinned.writer_meps));
+    out.push_str(&format!(
+        "  \"retained_pct\": {:.1},\n",
+        pinned.writer_meps / only.max(1e-9) * 100.0
+    ));
+    out.push_str(&format!("  \"reader_qps\": {:.1},\n", pinned.reader_qps));
+    out.push_str(&format!("  \"read_p50_us\": {:.1},\n", pinned.read_p50_us));
+    out.push_str(&format!("  \"read_p99_us\": {:.1},\n", pinned.read_p99_us));
+    out.push_str(&format!("  \"queries\": {},\n", pinned.queries));
+    // Deliberately not `_meps`-suffixed: the settle path's collapse is the
+    // point of the contrast, not a number to regression-gate.
+    out.push_str(&format!(
+        "  \"settle_contrast\": {{\"writer_throughput\": {:.3}, \"retained_pct\": {:.1}, \
+         \"reader_qps\": {:.1}, \"read_p99_us\": {:.1}}}\n",
+        settle.writer_meps,
+        settle.writer_meps / only.max(1e-9) * 100.0,
+        settle.reader_qps,
+        settle.read_p99_us
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Runs the concurrent-serving benchmark; also writes
+/// `<out-dir>/BENCH_serve_concurrent.json`.
+pub fn run(args: &Args) -> Table {
+    let spec = hollywood(args.scale_factor);
+    let edges = spec.generate();
+    let vspace = edges.iter().map(|e| e.src.max(e.dst) + 1).max().unwrap_or(1);
+    let batches = slice_batches(&edges);
+    let ops = edges.len() as u64;
+
+    let mut t = Table::new(
+        "fig_serve_concurrent",
+        &format!(
+            "Concurrent serving: pipelined writer Meps with {READERS} readers, epoch-pinned \
+             views vs settling reads ({}, {} ops in {} batches of {})",
+            spec.name,
+            ops,
+            batches.len(),
+            OPS_PER_BATCH
+        ),
+        &["mode", "writer_meps", "retained_pct", "reader_qps", "read_p50_us", "read_p99_us"],
+    );
+
+    let only = measure_writer_only(&batches, ops);
+    let pinned = measure_concurrent(&batches, ops, vspace, false);
+    let settle = measure_concurrent(&batches, ops, vspace, true);
+
+    t.push_row(vec![
+        "writer-only".into(),
+        f3(only),
+        "100.0".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    for (label, s) in [("pinned-readers", &pinned), ("settle-readers", &settle)] {
+        t.push_row(vec![
+            label.into(),
+            f3(s.writer_meps),
+            format!("{:.1}", s.writer_meps / only.max(1e-9) * 100.0),
+            format!("{:.1}", s.reader_qps),
+            format!("{:.1}", s.read_p50_us),
+            format!("{:.1}", s.read_p99_us),
+        ]);
+    }
+
+    let json = to_json(ops, batches.len(), only, &pinned, &settle);
+    let path = std::path::Path::new(&args.out_dir).join("BENCH_serve_concurrent.json");
+    if let Err(e) =
+        std::fs::create_dir_all(&args.out_dir).and_then(|()| std::fs::write(&path, json))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let pinned = ServeSample {
+            writer_meps: 1.8,
+            reader_qps: 5000.0,
+            read_p50_us: 12.0,
+            read_p99_us: 85.0,
+            queries: 4321,
+        };
+        let settle = ServeSample {
+            writer_meps: 0.2,
+            reader_qps: 300.0,
+            read_p50_us: 900.0,
+            read_p99_us: 4500.0,
+            queries: 99,
+        };
+        let s = to_json(10_000, 10, 2.0, &pinned, &settle);
+        assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
+        assert!(s.contains("\"writer_only_meps\": 2.000"));
+        assert!(s.contains("\"writer_pinned_meps\": 1.800"));
+        assert!(s.contains("\"retained_pct\": 90.0"));
+        assert!(s.contains("\"reader_qps\": 5000.0"));
+        assert!(s.contains("\"read_p99_us\": 85.0"));
+        assert!(s.contains("\"settle_contrast\""));
+        assert!(!s.contains("settle_contrast\": {\"writer_meps"), "settle fields are not gated");
+    }
+
+    #[test]
+    fn percentiles_on_tiny_sets() {
+        assert_eq!(percentile_us(&[], 0.99), 0.0);
+        assert_eq!(percentile_us(&[2_000], 0.5), 2.0);
+        let sorted = [1_000, 2_000, 3_000, 4_000];
+        assert_eq!(percentile_us(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_us(&sorted, 1.0), 4.0);
+    }
+
+    #[test]
+    fn tiny_end_to_end_run() {
+        let dir =
+            std::env::temp_dir().join(format!("gtinker_fig_serve_out_{}", std::process::id()));
+        let args = Args {
+            scale_factor: 4096,
+            batches: 4,
+            threads: vec![1],
+            out_dir: dir.to_string_lossy().into_owned(),
+        };
+        let t = run(&args);
+        let rendered = t.render();
+        assert!(rendered.contains("pinned-readers"));
+        assert!(rendered.contains("settle-readers"));
+        assert!(dir.join("BENCH_serve_concurrent.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -68,7 +68,7 @@ fn measure_sequential(batches: &[EdgeBatch], ops: u64) -> f64 {
 }
 
 fn measure_pooled(batches: &[EdgeBatch], ops: u64) -> f64 {
-    let mut g = ParallelTinker::new(TinkerConfig::default(), SHARDS).expect("parallel store");
+    let g = ParallelTinker::new(TinkerConfig::default(), SHARDS).expect("parallel store");
     let t0 = Instant::now();
     for b in batches {
         g.apply_batch(b);

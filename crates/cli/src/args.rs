@@ -27,6 +27,7 @@ const BARE_FLAGS: &[&str] = &[
     "stats",
     "analytics",
     "adaptive",
+    "hold",
 ];
 
 /// Parses a raw argument vector (excluding the program name).

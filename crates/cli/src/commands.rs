@@ -36,10 +36,11 @@ USAGE:
   gtinker bench-insert FILE [--batch N] [--baseline]
   gtinker ingest FILE --wal DIR [--batch N] [--sync never|always|N]
                  [--snapshot-every K] [--final-snapshot] [--pipeline]
-                 [--pool N] [--stats] [--serve HOST:PORT]
+                 [--pool N] [--stats] [--serve HOST:PORT] [--hold]
+                 [--workers N]
   gtinker trace FILE --wal DIR [--out TRACE.json] [--analytics]
                 [--batch N] [--pool N] [--pipeline] [--sync never|always|N]
-  gtinker serve [FILE|WALDIR] [--addr HOST:PORT]
+  gtinker serve [FILE|WALDIR] [--addr HOST:PORT] [--shards N] [--workers N]
   gtinker snapshot FILE --dir DIR [--baseline]
   gtinker recover DIR [--baseline] [--root R]
   gtinker help
@@ -72,10 +73,17 @@ ingest, and --format json|prom for machine-readable output. 'ingest
 timeline as Chrome trace-event JSON (--out, default trace.json): load it
 in https://ui.perfetto.dev and each shard worker / the WAL thread / the
 driver is its own track (--analytics appends a traced BFS). 'serve'
-(optionally after loading FILE or recovering WALDIR) exposes /metrics
-(Prometheus), /healthz (live gauges) and /trace (timeline JSON) over
-HTTP on --addr (default 127.0.0.1:0, port printed at startup); 'ingest
---serve' runs the same endpoint in-process during the ingest.
+(optionally after loading FILE or recovering WALDIR into --shards N
+epoch-view shards) exposes /metrics (Prometheus), /healthz (live
+gauges), /trace (timeline JSON) and — when a store is loaded — the query
+API /neighbors?v= /degree?v= /query/{bfs,sssp}?src= /query/cc
+/query/pagerank over HTTP on --addr (default 127.0.0.1:0, port printed
+at startup), answered by --workers N request threads (default 4) from
+epoch-pinned snapshot views; GET /quitquitquit from loopback shuts the
+server down cleanly. 'ingest --serve' runs the same endpoint in-process
+against the live pooled store while batches apply (snapshots
+unsupported, like --pool); --hold keeps serving after the ingest
+finishes until /quitquitquit.
 ";
 
 /// Runs a parsed command; returns an error message on failure.
@@ -340,7 +348,7 @@ fn load_parallel(parsed: &Parsed, n: usize, sym: bool) -> Result<ParallelTinker,
     if sym {
         batch = symmetrize(&batch);
     }
-    let mut g = ParallelTinker::new(config(parsed)?, n).map_err(|e| e.to_string())?;
+    let g = ParallelTinker::new(config(parsed)?, n).map_err(|e| e.to_string())?;
     let t0 = Instant::now();
     g.apply_batch(&batch);
     eprintln!(
@@ -521,18 +529,23 @@ fn ingest(parsed: &Parsed) -> Result<(), String> {
     if pool == 0 {
         return Err("option --pool: must be at least 1".into());
     }
-    // Live telemetry endpoint for the duration of the ingest; the thread
-    // is detached and dies with the process.
+    // Live query + telemetry endpoint for the duration of the ingest.
+    // Serving routes through the pooled store (even at --pool 1) so the
+    // query API reads epoch-pinned views of the very store being fed.
     if let Some(addr) = parsed.get("serve") {
         let listener = crate::serve::bind(addr)?;
-        let started = Instant::now();
-        std::thread::Builder::new()
-            .name("gtinker-serve".into())
-            .spawn(move || crate::serve::serve_forever(listener, started))
-            .map_err(|e| format!("serve: cannot spawn server thread: {e}"))?;
+        return ingest_pooled(
+            parsed,
+            Path::new(dir),
+            &edges,
+            batch_size,
+            pool,
+            opts,
+            Some(listener),
+        );
     }
     if pool > 1 {
-        return ingest_pooled(parsed, Path::new(dir), &edges, batch_size, pool, opts);
+        return ingest_pooled(parsed, Path::new(dir), &edges, batch_size, pool, opts, None);
     }
     let (mut d, report) =
         DurableTinker::open(Path::new(dir), config(parsed)?, opts).map_err(|e| e.to_string())?;
@@ -579,12 +592,16 @@ fn ingest(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// `ingest --pool N`: WAL-first logging with batches applied across `n`
-/// interval-partitioned shard workers. With `--pipeline`, the apply of
-/// batch k overlaps the WAL append of batch k+1 (every batch is still
-/// logged before it is handed to the pool). 'gtinker recover' replays the
-/// resulting log into a single store, so pooled ingest requires a fresh
-/// directory and does not support snapshots.
+/// `ingest --pool N` (and any `ingest --serve`): WAL-first logging with
+/// batches applied across `n` interval-partitioned shard workers. With
+/// `--pipeline`, the apply of batch k overlaps the WAL append of batch
+/// k+1 (every batch is still logged before it is handed to the pool).
+/// 'gtinker recover' replays the resulting log into a single store, so
+/// pooled ingest requires a fresh directory and does not support
+/// snapshots. With a serve listener, the store is built with epoch views
+/// and shared with the HTTP workers, so `/query/*` runs against pinned
+/// snapshots while batches keep applying; `--hold` keeps serving after
+/// the ingest finishes until `/quitquitquit`.
 fn ingest_pooled(
     parsed: &Parsed,
     dir: &Path,
@@ -592,9 +609,11 @@ fn ingest_pooled(
     batch_size: usize,
     pool: usize,
     opts: WalOptions,
+    serve_listener: Option<std::net::TcpListener>,
 ) -> Result<(), String> {
     if parsed.num("snapshot-every", 0u64)? > 0 || parsed.flag("final-snapshot") {
-        return Err("--pool does not support snapshots (drop --snapshot-every/--final-snapshot)"
+        return Err("--pool/--serve ingest does not support snapshots (drop \
+                    --snapshot-every/--final-snapshot)"
             .to_string());
     }
     let (mut wal, _) = WalWriter::open(dir, opts).map_err(|e| e.to_string())?;
@@ -603,7 +622,20 @@ fn ingest_pooled(
                     a sharded store; rerun without --pool)"
             .to_string());
     }
-    let mut g = ParallelTinker::new(config(parsed)?, pool).map_err(|e| e.to_string())?;
+    let serving = serve_listener.is_some();
+    let g = std::sync::Arc::new(
+        if serving {
+            ParallelTinker::new_with_views(config(parsed)?, pool)
+        } else {
+            ParallelTinker::new(config(parsed)?, pool)
+        }
+        .map_err(|e| e.to_string())?,
+    );
+    let workers = parsed.num("workers", crate::serve::DEFAULT_WORKERS)?.max(1);
+    let server = serve_listener.map(|listener| {
+        let ctx = crate::serve::ServeCtx::with_store(Instant::now(), std::sync::Arc::clone(&g));
+        crate::serve::spawn(listener, ctx, workers)
+    });
     let pipelined = parsed.flag("pipeline");
     let t0 = Instant::now();
     let mut batches = 0u64;
@@ -635,6 +667,17 @@ fn ingest_pooled(
     if parsed.flag("stats") {
         g.publish_memory_metrics();
         print!("{}", gtinker_core::metrics::global().snapshot().to_prometheus());
+    }
+    if let Some(server) = server {
+        if parsed.flag("hold") {
+            eprintln!(
+                "ingest done; serving queries on http://{} until GET /quitquitquit",
+                server.addr()
+            );
+            server.join();
+        } else {
+            server.shutdown();
+        }
     }
     Ok(())
 }
@@ -682,27 +725,49 @@ fn trace_cmd(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// `gtinker serve [FILE|WALDIR]`: loads/recovers a store (if given) to
-/// populate the global registry, then serves /metrics, /healthz and
-/// /trace over HTTP until killed.
+/// `gtinker serve [FILE|WALDIR]`: loads/recovers a store (if given) into
+/// an epoch-view-enabled parallel store (`--shards N`), then serves the
+/// telemetry routes plus the `/query/*` API over HTTP until SIGTERM or a
+/// loopback `GET /quitquitquit`.
 fn serve_cmd(parsed: &Parsed) -> Result<(), String> {
     let started = Instant::now();
-    if let Some(input) = parsed.positional.first().cloned() {
-        gtinker_core::metrics::global().reset();
-        if Path::new(&input).is_dir() {
-            let (g, report) =
-                recover_tinker(Path::new(&input), config(parsed)?).map_err(|e| e.to_string())?;
-            eprintln!(
-                "recovered {} edges from {input} ({} records replayed)",
-                g.num_edges(),
-                report.replayed_records
-            );
-        } else {
-            load_graph(parsed)?;
+    let shards = parsed.num("shards", 1usize)?.max(1);
+    let workers = parsed.num("workers", crate::serve::DEFAULT_WORKERS)?.max(1);
+    let store = match parsed.positional.first().cloned() {
+        None => None,
+        Some(input) => {
+            gtinker_core::metrics::global().reset();
+            let edges: Vec<Edge> = if Path::new(&input).is_dir() {
+                let (g, report) = recover_tinker(Path::new(&input), config(parsed)?)
+                    .map_err(|e| e.to_string())?;
+                eprintln!(
+                    "recovered {} edges from {input} ({} records replayed)",
+                    g.num_edges(),
+                    report.replayed_records
+                );
+                let mut edges = Vec::with_capacity(g.num_edges() as usize);
+                g.for_each_edge(|s, d, w| edges.push(Edge::new(s, d, w)));
+                edges
+            } else {
+                io::read_edge_list(&input).map_err(|e| e.to_string())?
+            };
+            let g = ParallelTinker::new_with_views(config(parsed)?, shards)
+                .map_err(|e| e.to_string())?;
+            for chunk in edges.chunks(100_000) {
+                g.apply_batch(&EdgeBatch::inserts(chunk));
+            }
+            eprintln!("serving {} edges over {shards} shard(s)", g.num_edges());
+            Some(std::sync::Arc::new(g))
         }
-    }
+    };
     let listener = crate::serve::bind(parsed.get("addr").unwrap_or("127.0.0.1:0"))?;
-    crate::serve::serve_forever(listener, started)
+    let ctx = match store {
+        Some(s) => crate::serve::ServeCtx::with_store(started, s),
+        None => crate::serve::ServeCtx::telemetry(started),
+    };
+    crate::serve::serve_until_shutdown(listener, ctx, workers);
+    eprintln!("serve: shut down cleanly");
+    Ok(())
 }
 
 fn snapshot(parsed: &Parsed) -> Result<(), String> {

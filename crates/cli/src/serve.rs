@@ -1,33 +1,94 @@
-//! A tiny std-only HTTP/1.1 telemetry endpoint (no external crates, no
-//! thread pool): a blocking accept loop answering three read-only routes
-//! from the process-global observability state.
+//! A std-only HTTP/1.1 endpoint (no external crates): telemetry routes
+//! answered from process-global observability state, plus — when a store
+//! is attached — a query API served from epoch-pinned snapshot views.
 //!
-//! | route      | payload                                                |
-//! |------------|--------------------------------------------------------|
-//! | `/metrics` | the metric registry in Prometheus text format          |
-//! | `/healthz` | JSON liveness: uptime plus live edge/vertex gauges     |
-//! | `/trace`   | the span-trace rings as Chrome trace-event JSON        |
+//! | route              | payload                                          |
+//! |--------------------|--------------------------------------------------|
+//! | `/metrics`         | the metric registry in Prometheus text format    |
+//! | `/healthz`         | JSON liveness: uptime, live edges, pinned epoch  |
+//! | `/trace`           | the span-trace rings as Chrome trace-event JSON  |
+//! | `/neighbors?v=`    | out-edges of one vertex                          |
+//! | `/degree?v=`       | out-degree of one vertex                         |
+//! | `/query/bfs?src=`  | BFS from a root: reached count, eccentricity     |
+//! | `/query/sssp?src=` | SSSP from a root: reached count, max distance    |
+//! | `/query/cc`        | connected components count                       |
+//! | `/query/pagerank`  | top-k PageRank (`?iterations=&top=`)             |
+//! | `/quitquitquit`    | graceful shutdown (loopback clients only)        |
 //!
-//! The server exists to watch a run from outside — `gtinker serve` for a
-//! recovered store, or `ingest --serve ADDR` for a live ingest — so every
-//! route reads lock-free global state (relaxed counter loads, racy-tolerant
-//! ring dumps) and never takes a pipeline barrier: scraping `/metrics`
-//! during a pooled ingest cannot stall a shard worker.
+//! Requests are handled by a small worker pool so a slow analytics query
+//! (BFS over a large graph) does not block a `/healthz` probe. Every
+//! query pins an epoch view ([`ParallelTinker::pin_view`]) instead of
+//! draining the ingest pipeline: the writer keeps applying batches while
+//! readers traverse a consistent acked-batch-boundary snapshot. Telemetry
+//! routes read lock-free global state and never touch the store at all.
 //!
 //! HTTP support is deliberately minimal: one request per connection
-//! (`Connection: close`), request bodies ignored, `GET`/`HEAD` only. That
-//! is enough for `curl`, Prometheus scrapes, and Perfetto downloads, and
-//! keeps the whole server dependency-free and small enough to audit.
+//! (`Connection: close` on every response), request bodies ignored,
+//! `GET`/`HEAD` only (anything else draws `405` with an `Allow` header).
+//! That is enough for `curl`, Prometheus scrapes, and Perfetto downloads,
+//! and keeps the whole server dependency-free and small enough to audit.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::time::Instant;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use gtinker_core::trace::{self, SpanId};
+use gtinker_core::{ParallelTinker, StoreView};
+use gtinker_engine::{
+    algorithms::{Bfs, Cc, PageRank, Sssp},
+    Engine, ModePolicy,
+};
 
 /// Route catalogue, also used as the [`SpanId::ServeRequest`] payload so
 /// traced servers show *which* endpoint was hit.
-const ROUTES: &[&str] = &["/healthz", "/metrics", "/trace"];
+const ROUTES: &[&str] = &[
+    "/healthz",
+    "/metrics",
+    "/trace",
+    "/neighbors",
+    "/degree",
+    "/query/bfs",
+    "/query/sssp",
+    "/query/cc",
+    "/query/pagerank",
+];
+
+/// Default number of request-worker threads.
+pub const DEFAULT_WORKERS: usize = 4;
+
+/// Per-connection socket timeout: a client that stalls mid-request (or
+/// never reads the response) cannot wedge a worker forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Shared server state: the optional store queries run against, the
+/// process start time for uptime, and the shutdown latch.
+pub struct ServeCtx {
+    store: Option<Arc<ParallelTinker>>,
+    start: Instant,
+    shutdown: AtomicBool,
+}
+
+impl ServeCtx {
+    /// Telemetry-only context (no store: query routes answer 503).
+    pub fn telemetry(start: Instant) -> Arc<Self> {
+        Arc::new(ServeCtx { store: None, start, shutdown: AtomicBool::new(false) })
+    }
+
+    /// Context with a live store; queries are served from pinned views.
+    /// The store must be built with views ([`ParallelTinker::new_with_views`]).
+    pub fn with_store(start: Instant, store: Arc<ParallelTinker>) -> Arc<Self> {
+        Arc::new(ServeCtx { store: Some(store), start, shutdown: AtomicBool::new(false) })
+    }
+
+    /// Whether graceful shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
 
 /// Binds `addr` (use port 0 for an ephemeral port) and announces the
 /// resolved address on stdout — line-flushed, so scripts that pipe the
@@ -36,45 +97,114 @@ pub fn bind(addr: &str) -> Result<TcpListener, String> {
     let listener =
         TcpListener::bind(addr).map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| format!("serve: {e}"))?;
-    println!("serving on http://{local} (/healthz /metrics /trace)");
+    println!("serving on http://{local} (/healthz /metrics /trace /query/*)");
     std::io::stdout().flush().ok();
     Ok(listener)
 }
 
-/// Accept loop: serves until the process exits (or forever). Per-connection
-/// errors are logged and skipped — a dropped scrape must not kill the
-/// server.
-pub fn serve_forever(listener: TcpListener, start: Instant) -> ! {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if let Err(e) = handle_connection(stream, start) {
-                    eprintln!("serve: request failed: {e}");
-                }
-            }
-            Err(e) => eprintln!("serve: accept failed: {e}"),
-        }
+/// A running server: the acceptor thread plus its shared context.
+/// Dropping the handle does NOT stop the server; call
+/// [`shutdown`](Self::shutdown) or [`join`](Self::join).
+pub struct ServeHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServeCtx>,
+    thread: JoinHandle<()>,
+}
+
+impl ServeHandle {
+    /// The bound address (for self-connects and log lines).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and waits for the acceptor + workers to exit.
+    pub fn shutdown(self) {
+        self.ctx.shutdown.store(true, Ordering::Release);
+        // Wake the acceptor if it is parked in accept().
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.thread.join();
+    }
+
+    /// Waits until the server shuts down on its own (`/quitquitquit`).
+    pub fn join(self) {
+        let _ = self.thread.join();
     }
 }
 
-/// Answers exactly `n` requests, then returns (test harness entry point;
-/// the production loop is [`serve_forever`]).
-#[cfg(test)]
-fn serve_n(listener: &TcpListener, start: Instant, n: usize) {
-    for _ in 0..n {
+/// Starts the server on a background thread and returns immediately.
+pub fn spawn(listener: TcpListener, ctx: Arc<ServeCtx>, workers: usize) -> ServeHandle {
+    let addr = listener.local_addr().expect("bound listener has an address");
+    let actx = Arc::clone(&ctx);
+    let thread = std::thread::Builder::new()
+        .name("gtinker-serve".into())
+        .spawn(move || serve_until_shutdown(listener, actx, workers))
+        .expect("spawn serve acceptor");
+    ServeHandle { addr, ctx, thread }
+}
+
+/// Accept loop: distributes connections to `workers` handler threads and
+/// serves until shutdown is requested (`/quitquitquit` from a loopback
+/// client, or [`ServeHandle::shutdown`]). Per-connection errors are
+/// logged and skipped — a dropped scrape must not kill the server.
+pub fn serve_until_shutdown(listener: TcpListener, ctx: Arc<ServeCtx>, workers: usize) {
+    let addr = listener.local_addr().expect("bound listener has an address");
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut handles = Vec::with_capacity(workers.max(1));
+    for w in 0..workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let ctx = Arc::clone(&ctx);
+        let handle = std::thread::Builder::new()
+            .name(format!("gtinker-http-{w}"))
+            .spawn(move || worker_loop(rx, ctx, addr))
+            .expect("spawn http worker");
+        handles.push(handle);
+    }
+    loop {
         match listener.accept() {
             Ok((stream, _)) => {
-                if let Err(e) = handle_connection(stream, start) {
-                    eprintln!("serve: request failed: {e}");
+                if ctx.is_shutdown() {
+                    break;
+                }
+                // A send can only fail if every worker panicked; drop the
+                // connection rather than poisoning the acceptor.
+                if tx.send(stream).is_err() {
+                    break;
                 }
             }
-            Err(e) => eprintln!("serve: accept failed: {e}"),
+            Err(e) => {
+                if ctx.is_shutdown() {
+                    break;
+                }
+                eprintln!("serve: accept failed: {e}");
+            }
+        }
+    }
+    drop(tx);
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Request-worker body: pull connections off the shared queue until the
+/// acceptor hangs up.
+fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, ctx: Arc<ServeCtx>, addr: SocketAddr) {
+    loop {
+        let stream = match rx.lock().expect("serve queue poisoned").recv() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        if let Err(e) = handle_connection(stream, &ctx, addr) {
+            eprintln!("serve: request failed: {e}");
         }
     }
 }
 
 /// Reads one request, writes one response, closes the connection.
-fn handle_connection(stream: TcpStream, start: Instant) -> std::io::Result<()> {
+fn handle_connection(stream: TcpStream, ctx: &ServeCtx, addr: SocketAddr) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let peer = stream.peer_addr().ok();
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
@@ -88,7 +218,11 @@ fn handle_connection(stream: TcpStream, start: Instant) -> std::io::Result<()> {
 
     let mut words = request_line.split_whitespace();
     let method = words.next().unwrap_or("");
-    let path = words.next().unwrap_or("").split('?').next().unwrap_or("");
+    let target = words.next().unwrap_or("");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
     let head_only = method == "HEAD";
     if !head_only && method != "GET" {
         return respond(
@@ -104,44 +238,196 @@ fn handle_connection(stream: TcpStream, start: Instant) -> std::io::Result<()> {
         SpanId::ServeRequest,
         ROUTES.iter().position(|&r| r == path).map(|i| i as u64 + 1).unwrap_or(0),
     );
-    let (status, ctype, body) = route(path, start);
+
+    if path == "/quitquitquit" {
+        // Shutdown is local-only: refuse anything not from loopback.
+        if !peer.is_some_and(|p| p.ip().is_loopback()) {
+            return respond(
+                &mut stream,
+                403,
+                "text/plain; charset=utf-8",
+                "shutdown is loopback-only\n",
+                head_only,
+            );
+        }
+        let r =
+            respond(&mut stream, 200, "text/plain; charset=utf-8", "shutting down\n", head_only);
+        ctx.shutdown.store(true, Ordering::Release);
+        // Wake the acceptor so it notices the latch.
+        let _ = TcpStream::connect(addr);
+        return r;
+    }
+
+    let (status, ctype, body) = route(path, query, ctx);
     respond(&mut stream, status, ctype, &body, head_only)
 }
 
 /// Computes the response for one path (pure, easily testable).
-fn route(path: &str, start: Instant) -> (u16, &'static str, String) {
+fn route(path: &str, query: &str, ctx: &ServeCtx) -> (u16, &'static str, String) {
     match path {
-        "/healthz" => (200, "application/json", healthz_json(start)),
+        "/healthz" => (200, "application/json", healthz_json(ctx)),
         "/metrics" => (
             200,
             "text/plain; version=0.0.4; charset=utf-8",
             gtinker_core::metrics::global().snapshot().to_prometheus(),
         ),
         "/trace" => (200, "application/json", trace::dump().to_chrome_json()),
+        "/neighbors" | "/degree" | "/query/bfs" | "/query/sssp" | "/query/cc"
+        | "/query/pagerank" => query_route(path, query, ctx),
         "/" => (
             200,
             "text/plain; charset=utf-8",
-            "gtinker telemetry: /healthz /metrics /trace\n".to_string(),
+            "gtinker: /healthz /metrics /trace /neighbors?v= /degree?v= \
+             /query/{bfs,sssp}?src= /query/cc /query/pagerank\n"
+                .to_string(),
         ),
-        _ => {
-            (404, "text/plain; charset=utf-8", "not found (try /healthz /metrics /trace)\n".into())
-        }
+        _ => (404, "text/plain; charset=utf-8", "not found (try / for the route list)\n".into()),
     }
 }
 
-/// Liveness JSON. Live edges/vertices come straight from the hot-path
-/// counters the workers bump in real time (inserts − deletes, and the SGH
-/// new-source gauge), NOT from `num_edges()` — the latter is a pipeline
-/// barrier on a pooled store, and a health probe must never stall ingest.
-fn healthz_json(start: Instant) -> String {
+/// Dispatches one store-backed query against a freshly pinned epoch view.
+fn query_route(path: &str, query: &str, ctx: &ServeCtx) -> (u16, &'static str, String) {
+    let Some(store) = ctx.store.as_deref() else {
+        return (503, "application/json", "{\"error\":\"no store attached\"}\n".into());
+    };
+    let Some(view) = store.pin_view() else {
+        return (503, "application/json", "{\"error\":\"store built without views\"}\n".into());
+    };
     let m = gtinker_core::metrics::global();
-    let live_edges = m.tinker_inserts.get().saturating_sub(m.tinker_deletes.get());
+    m.serve_queries.inc();
+    let t = gtinker_core::metrics::timer();
+    let out = match path {
+        "/neighbors" => neighbors_json(&view, query),
+        "/degree" => degree_json(&view, query),
+        "/query/bfs" => bfs_json(&view, query),
+        "/query/sssp" => sssp_json(&view, query),
+        "/query/cc" => cc_json(&view),
+        "/query/pagerank" => pagerank_json(&view, query),
+        _ => unreachable!("query_route called for non-query path"),
+    };
+    m.serve_query_ns.record_since(t);
+    match out {
+        Ok(body) => (200, "application/json", body),
+        Err(msg) => (400, "application/json", format!("{{\"error\":\"{msg}\"}}\n")),
+    }
+}
+
+/// `?key=value` lookup in a raw query string.
+fn param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|kv| match kv.split_once('=') {
+        Some((k, v)) if k == key => Some(v),
+        _ => None,
+    })
+}
+
+fn num_param<T: std::str::FromStr>(query: &str, key: &str, default: T) -> Result<T, String> {
+    match param(query, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad {key}: '{v}'")),
+    }
+}
+
+fn required_u32(query: &str, key: &str) -> Result<u32, String> {
+    param(query, key)
+        .ok_or_else(|| format!("missing ?{key}="))?
+        .parse()
+        .map_err(|_| format!("bad {key}"))
+}
+
+fn neighbors_json(view: &StoreView<'_>, query: &str) -> Result<String, String> {
+    let v = required_u32(query, "v")?;
+    let mut out = Vec::new();
+    view.for_each_out_edge(v, |d, w| out.push(format!("[{d},{w}]")));
+    Ok(format!(
+        "{{\"v\":{v},\"epoch\":{},\"degree\":{},\"neighbors\":[{}]}}\n",
+        view.epoch(),
+        out.len(),
+        out.join(",")
+    ))
+}
+
+fn degree_json(view: &StoreView<'_>, query: &str) -> Result<String, String> {
+    let v = required_u32(query, "v")?;
+    Ok(format!("{{\"v\":{v},\"epoch\":{},\"degree\":{}}}\n", view.epoch(), view.out_degree(v)))
+}
+
+fn bfs_json(view: &StoreView<'_>, query: &str) -> Result<String, String> {
+    let src = required_u32(query, "src")?;
+    let mut e = Engine::new(Bfs::new(src), ModePolicy::hybrid());
+    let r = e.run_from_roots(view);
+    let reached = e.values().iter().filter(|&&v| v != u32::MAX).count();
+    let ecc = e.values().iter().filter(|&&v| v != u32::MAX).max().copied().unwrap_or(0);
+    Ok(format!(
+        "{{\"src\":{src},\"epoch\":{},\"reached\":{reached},\"eccentricity\":{ecc},\
+         \"iterations\":{},\"edges_processed\":{}}}\n",
+        view.epoch(),
+        r.num_iterations(),
+        r.total_edges_processed,
+    ))
+}
+
+fn sssp_json(view: &StoreView<'_>, query: &str) -> Result<String, String> {
+    let src = required_u32(query, "src")?;
+    let mut e = Engine::new(Sssp::new(src), ModePolicy::hybrid());
+    let r = e.run_from_roots(view);
+    let reached: Vec<u32> = e.values().iter().copied().filter(|&v| v != u32::MAX).collect();
+    let max_dist = reached.iter().max().copied().unwrap_or(0);
+    Ok(format!(
+        "{{\"src\":{src},\"epoch\":{},\"reached\":{},\"max_distance\":{max_dist},\
+         \"iterations\":{}}}\n",
+        view.epoch(),
+        reached.len(),
+        r.num_iterations(),
+    ))
+}
+
+fn cc_json(view: &StoreView<'_>) -> Result<String, String> {
+    let mut e = Engine::new(Cc::new(), ModePolicy::hybrid());
+    let r = e.run_from_roots(view);
+    let mut labels: Vec<u32> = e.values().to_vec();
+    labels.sort_unstable();
+    labels.dedup();
+    // Isolated label space includes never-touched vertices (u32::MAX).
+    let components = labels.iter().filter(|&&l| l != u32::MAX).count();
+    Ok(format!(
+        "{{\"epoch\":{},\"components\":{components},\"vertices\":{},\"iterations\":{}}}\n",
+        view.epoch(),
+        e.values().len(),
+        r.num_iterations(),
+    ))
+}
+
+fn pagerank_json(view: &StoreView<'_>, query: &str) -> Result<String, String> {
+    let iterations: usize = num_param(query, "iterations", 10)?;
+    let k: usize = num_param(query, "top", 10)?;
+    let pr = PageRank::new(0.85, iterations);
+    let top = pr.top_k(view, k);
+    let ranks: Vec<String> = top.iter().map(|(v, score)| format!("[{v},{score:.6}]")).collect();
+    Ok(format!(
+        "{{\"epoch\":{},\"iterations\":{iterations},\"top\":[{}]}}\n",
+        view.epoch(),
+        ranks.join(",")
+    ))
+}
+
+/// Liveness JSON. With a store attached, live edges and the epoch come
+/// from a pinned view (exact, barrier-free). Without one, live edges fall
+/// back to the hot-path counters (inserts − deletes) — NOT `num_edges()`,
+/// which is a pipeline barrier on a pooled store, and a health probe must
+/// never stall ingest.
+fn healthz_json(ctx: &ServeCtx) -> String {
+    let m = gtinker_core::metrics::global();
+    let (live_edges, epoch) = match ctx.store.as_deref().and_then(|s| s.pin_view()) {
+        Some(view) => (view.num_edges(), view.epoch() as i64),
+        None => (m.tinker_inserts.get().saturating_sub(m.tinker_deletes.get()), -1),
+    };
     format!(
         "{{\"status\":\"ok\",\"uptime_s\":{:.3},\"live_edges\":{},\"live_vertices\":{},\
-         \"trace_enabled\":{}}}\n",
-        start.elapsed().as_secs_f64(),
+         \"epoch\":{},\"trace_enabled\":{}}}\n",
+        ctx.start.elapsed().as_secs_f64(),
         live_edges,
         m.sgh_sources.get().max(0),
+        epoch,
         trace::enabled(),
     )
 }
@@ -155,13 +441,18 @@ fn respond(
 ) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Error",
     };
+    // 405 advertises what IS allowed, per RFC 9110 §15.5.6.
+    let allow = if status == 405 { "Allow: GET, HEAD\r\n" } else { "" };
     let header = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\n{allow}Connection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(header.as_bytes())?;
@@ -174,21 +465,47 @@ fn respond(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gtinker_types::{Edge, EdgeBatch};
     use std::io::Read;
     use std::net::TcpStream;
 
-    /// One raw round-trip against a single-request server thread.
-    fn get(path: &str) -> String {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let start = Instant::now();
-        let server = std::thread::spawn(move || serve_n(&listener, start, 1));
+    fn request(addr: SocketAddr, raw: &str) -> String {
         let mut c = TcpStream::connect(addr).unwrap();
-        write!(c, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        c.write_all(raw.as_bytes()).unwrap();
         let mut out = String::new();
         c.read_to_string(&mut out).unwrap();
-        server.join().unwrap();
         out
+    }
+
+    /// Spins up a full server (acceptor + workers), runs `f` against it,
+    /// then shuts it down gracefully via the handle.
+    fn with_server(ctx: Arc<ServeCtx>, f: impl FnOnce(SocketAddr)) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = spawn(listener, ctx, 2);
+        let addr = handle.addr();
+        f(addr);
+        handle.shutdown();
+    }
+
+    fn get_at(addr: SocketAddr, path: &str) -> String {
+        request(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    }
+
+    /// One telemetry-only round-trip.
+    fn get(path: &str) -> String {
+        let mut out = String::new();
+        with_server(ServeCtx::telemetry(Instant::now()), |addr| out = get_at(addr, path));
+        out
+    }
+
+    fn store_ctx() -> Arc<ServeCtx> {
+        let store = ParallelTinker::new_with_views(Default::default(), 2).unwrap();
+        store.apply_batch(&EdgeBatch::inserts(&[
+            Edge::new(0, 1, 5),
+            Edge::new(1, 2, 3),
+            Edge::new(0, 2, 7),
+        ]));
+        ServeCtx::with_store(Instant::now(), Arc::new(store))
     }
 
     #[test]
@@ -223,33 +540,109 @@ mod tests {
         assert!(get("/nope").starts_with("HTTP/1.1 404"));
         let r = get("/");
         assert!(r.starts_with("HTTP/1.1 200"));
-        assert!(r.contains("/healthz /metrics /trace"));
+        assert!(r.contains("/query/"));
     }
 
     #[test]
-    fn post_is_rejected_head_omits_body() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let start = Instant::now();
-        let server = std::thread::spawn(move || serve_n(&listener, start, 2));
-        let mut c = TcpStream::connect(addr).unwrap();
-        write!(c, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
-        let mut out = String::new();
-        c.read_to_string(&mut out).unwrap();
-        assert!(out.starts_with("HTTP/1.1 405"), "got: {out}");
-        let mut c = TcpStream::connect(addr).unwrap();
-        write!(c, "HEAD /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
-        let mut out = String::new();
-        c.read_to_string(&mut out).unwrap();
-        assert!(out.starts_with("HTTP/1.1 200"), "got: {out}");
-        assert!(out.trim_end().ends_with("Connection: close"), "HEAD must omit the body: {out}");
-        server.join().unwrap();
+    fn non_get_is_405_with_allow_and_connection_close() {
+        with_server(ServeCtx::telemetry(Instant::now()), |addr| {
+            for method in ["POST", "PUT", "DELETE", "PATCH"] {
+                let out = request(addr, &format!("{method} /metrics HTTP/1.1\r\nHost: x\r\n\r\n"));
+                assert!(out.starts_with("HTTP/1.1 405"), "{method} got: {out}");
+                assert!(out.contains("Allow: GET, HEAD"), "{method} missing Allow: {out}");
+                assert!(out.contains("Connection: close"), "{method} must close: {out}");
+            }
+        });
     }
 
     #[test]
-    fn query_strings_are_ignored_in_routing() {
+    fn head_omits_body_and_closes() {
+        with_server(ServeCtx::telemetry(Instant::now()), |addr| {
+            let out = request(addr, "HEAD /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+            assert!(out.starts_with("HTTP/1.1 200"), "got: {out}");
+            assert!(
+                out.trim_end().ends_with("Connection: close"),
+                "HEAD must omit the body: {out}"
+            );
+        });
+    }
+
+    #[test]
+    fn query_strings_are_ignored_in_telemetry_routing() {
         let r = get("/healthz?probe=1");
         assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
         assert!(r.contains("\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn query_routes_answer_503_without_a_store() {
+        for path in ["/query/bfs?src=0", "/neighbors?v=0", "/degree?v=0", "/query/cc"] {
+            let r = get(path);
+            assert!(r.starts_with("HTTP/1.1 503"), "{path} got: {r}");
+            assert!(r.contains("no store attached"), "{path} got: {r}");
+        }
+    }
+
+    #[test]
+    fn query_routes_serve_pinned_views() {
+        with_server(store_ctx(), |addr| {
+            let r = get_at(addr, "/degree?v=0");
+            assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
+            assert!(r.contains("\"degree\":2"), "got: {r}");
+            assert!(r.contains("\"epoch\":1"), "got: {r}");
+
+            let r = get_at(addr, "/neighbors?v=0");
+            assert!(r.contains("\"neighbors\":["), "got: {r}");
+            assert!(r.contains("[1,5]") && r.contains("[2,7]"), "got: {r}");
+
+            let r = get_at(addr, "/query/bfs?src=0");
+            assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
+            assert!(r.contains("\"reached\":3"), "got: {r}");
+            assert!(r.contains("\"eccentricity\":1"), "got: {r}");
+
+            let r = get_at(addr, "/query/sssp?src=0");
+            assert!(r.contains("\"reached\":3"), "got: {r}");
+            // 0→1→2 via weight 5+3=8 vs direct 7: SSSP takes 7.
+            assert!(r.contains("\"max_distance\":7"), "got: {r}");
+
+            let r = get_at(addr, "/query/cc");
+            assert!(r.contains("\"components\":1"), "got: {r}");
+
+            let r = get_at(addr, "/query/pagerank?iterations=5&top=2");
+            assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
+            assert!(r.contains("\"top\":[["), "got: {r}");
+        });
+    }
+
+    #[test]
+    fn bad_and_missing_params_are_400() {
+        with_server(store_ctx(), |addr| {
+            for path in ["/query/bfs", "/query/bfs?src=banana", "/neighbors", "/degree?v=-3"] {
+                let r = get_at(addr, path);
+                assert!(r.starts_with("HTTP/1.1 400"), "{path} got: {r}");
+                assert!(r.contains("\"error\""), "{path} got: {r}");
+            }
+        });
+    }
+
+    #[test]
+    fn healthz_reports_exact_counts_and_epoch_with_store() {
+        with_server(store_ctx(), |addr| {
+            let r = get_at(addr, "/healthz");
+            assert!(r.contains("\"live_edges\":3"), "got: {r}");
+            assert!(r.contains("\"epoch\":1"), "got: {r}");
+        });
+    }
+
+    #[test]
+    fn quitquitquit_stops_the_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = spawn(listener, ServeCtx::telemetry(Instant::now()), 2);
+        let addr = handle.addr();
+        let out = request(addr, "GET /quitquitquit HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 200"), "got: {out}");
+        assert!(out.contains("shutting down"), "got: {out}");
+        // join (not shutdown): the quit route alone must stop the server.
+        handle.join();
     }
 }

@@ -46,6 +46,7 @@
 
 pub mod cal;
 pub mod edgeblock;
+pub mod epoch;
 pub mod hash;
 pub mod hubseg;
 pub mod metrics;
@@ -60,9 +61,11 @@ pub mod vertex;
 
 pub use cal::{CalArray, CalPtr};
 pub use edgeblock::{BlockArena, CellState, EdgeCell};
+pub use epoch::{ReadGuard, ViewLayer};
 pub use hubseg::HubSegment;
 pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use parallel::ParallelTinker;
+pub use parallel::StoreView;
 pub use pool::{ShardPool, ShardStore};
 pub use sgh::SghUnit;
 pub use stats::{ProbeStats, StructureStats};

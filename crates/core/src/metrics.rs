@@ -598,6 +598,19 @@ registry! {
         memory_cal_bytes: gauge,
         /// Estimated total structure bytes (set from store state).
         memory_total_bytes: gauge,
+        /// Epoch pins taken by readers (one per `ReadGuard`).
+        epoch_pins: counter,
+        /// `ReadGuard`s currently alive (replicas frozen while > 0).
+        epoch_active_pins: gauge,
+        /// Backlogged batches folded into read replicas (deferred apply).
+        epoch_fold_batches: counter,
+        /// Un-folded batches queued behind the read replicas right now.
+        epoch_backlog_depth: gauge,
+        /// HTTP query-API requests served (the `/query/*` family plus
+        /// `/neighbors` and `/degree`).
+        serve_queries: counter,
+        /// End-to-end query handler latency in nanoseconds.
+        serve_query_ns: histogram,
     }
 }
 

@@ -18,10 +18,11 @@
 //! [`apply_batch_spawn`](ParallelTinker::apply_batch_spawn), the baseline
 //! the `fig_ingest_pipeline` benchmark compares against.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use gtinker_types::{partition_of, EdgeBatch, Result, TinkerConfig, VertexId, Weight};
 
+use crate::epoch::ReadGuard;
 use crate::pool::ShardPool;
 use crate::stats::ProbeStats;
 use crate::tinker::{BatchResult, GraphTinker};
@@ -31,21 +32,49 @@ use crate::tinker::{BatchResult, GraphTinker};
 pub struct ParallelTinker {
     pool: ShardPool<GraphTinker>,
     /// Partition scratch for the spawn-per-batch baseline, reused across
-    /// batches.
-    parts: Vec<EdgeBatch>,
+    /// batches (behind a mutex so the ingest facade stays `&self` and an
+    /// `Arc<ParallelTinker>` can be shared with HTTP query workers).
+    parts: Mutex<Vec<EdgeBatch>>,
 }
 
 impl ParallelTinker {
     /// Creates `n` empty instances sharing one configuration, and spawns
     /// the `n` worker threads that own them until drop.
     pub fn new(config: TinkerConfig, n: usize) -> Result<Self> {
+        Self::build(config, n, false)
+    }
+
+    /// Like [`new`](Self::new), but the pool also maintains epoch-pinned
+    /// read replicas, so [`pin_view`](Self::pin_view) serves barrier-free
+    /// snapshot-isolated queries while ingestion keeps running.
+    pub fn new_with_views(config: TinkerConfig, n: usize) -> Result<Self> {
+        Self::build(config, n, true)
+    }
+
+    fn build(config: TinkerConfig, n: usize, views: bool) -> Result<Self> {
         assert!(n > 0, "need at least one instance");
         let mut instances = Vec::with_capacity(n);
         for _ in 0..n {
             instances.push(GraphTinker::new(config)?);
         }
-        let parts = (0..n).map(|_| EdgeBatch::new()).collect();
-        Ok(ParallelTinker { pool: ShardPool::new(instances), parts })
+        let parts = Mutex::new((0..n).map(|_| EdgeBatch::new()).collect());
+        let pool =
+            if views { ShardPool::new_with_views(instances) } else { ShardPool::new(instances) };
+        Ok(ParallelTinker { pool, parts })
+    }
+
+    /// Whether this store was built with epoch-pinnable read views.
+    #[inline]
+    pub fn views_enabled(&self) -> bool {
+        self.pool.views_enabled()
+    }
+
+    /// Pins the current acked batch boundary and returns a consistent,
+    /// barrier-free [`StoreView`] over it — or `None` when the store was
+    /// built without views. The writer keeps applying later batches while
+    /// the view is held; see [`crate::epoch`] for the isolation contract.
+    pub fn pin_view(&self) -> Option<StoreView<'_>> {
+        self.pool.pin().map(|guard| StoreView { guard })
     }
 
     /// Number of parallel instances (one per intended core).
@@ -62,7 +91,7 @@ impl ParallelTinker {
     /// Applies a batch synchronously through the worker pool: every worker
     /// claims its interval from the shared batch and applies it, and the
     /// merged outcome counts are returned.
-    pub fn apply_batch(&mut self, batch: &EdgeBatch) -> BatchResult {
+    pub fn apply_batch(&self, batch: &EdgeBatch) -> BatchResult {
         self.pool.apply(batch)
     }
 
@@ -73,19 +102,19 @@ impl ParallelTinker {
     /// issued before a flush barrier on the in-flight batches themselves.
     ///
     /// [`flush`]: Self::flush
-    pub fn submit(&mut self, batch: EdgeBatch) {
+    pub fn submit(&self, batch: EdgeBatch) {
         self.pool.submit(Arc::new(batch));
     }
 
     /// [`submit`](Self::submit) without re-owning the batch, for callers
     /// (e.g. a WAL writer) that keep a reference to it.
-    pub fn submit_shared(&mut self, batch: Arc<EdgeBatch>) {
+    pub fn submit_shared(&self, batch: Arc<EdgeBatch>) {
         self.pool.submit(batch);
     }
 
     /// Drains the pipeline, returning the merged outcome counts of every
     /// batch submitted since the last flush.
-    pub fn flush(&mut self) -> BatchResult {
+    pub fn flush(&self) -> BatchResult {
         self.pool.flush()
     }
 
@@ -93,11 +122,11 @@ impl ParallelTinker {
     /// batch serially, then spawn one scoped thread per non-empty
     /// interval. Pays thread creation and a single-threaded partition scan
     /// on every batch.
-    pub fn apply_batch_spawn(&mut self, batch: &EdgeBatch) -> BatchResult {
-        batch.partition_into(&mut self.parts);
-        let parts = &self.parts;
+    pub fn apply_batch_spawn(&self, batch: &EdgeBatch) -> BatchResult {
+        let mut parts = self.parts.lock().expect("parts poisoned");
+        batch.partition_into(&mut parts);
         let pool = &self.pool;
-        let mut results = vec![BatchResult::default(); self.parts.len()];
+        let mut results = vec![BatchResult::default(); parts.len()];
         std::thread::scope(|scope| {
             for (i, (part, slot)) in parts.iter().zip(results.iter_mut()).enumerate() {
                 // Skip intervals that received nothing in this batch.
@@ -202,6 +231,90 @@ impl ParallelTinker {
     }
 }
 
+/// A pinned, snapshot-isolated view of a [`ParallelTinker`].
+///
+/// Obtained from [`ParallelTinker::pin_view`]; reads the pool's lagging
+/// replicas at one acked batch boundary ([`epoch`](Self::epoch)) with no
+/// pipeline barrier, so queries run while ingestion continues. The query
+/// surface mirrors `ParallelTinker`'s read API.
+pub struct StoreView<'a> {
+    guard: ReadGuard<'a, GraphTinker>,
+}
+
+impl StoreView<'_> {
+    /// The pinned batch boundary: exactly the first `epoch()` submitted
+    /// batches are visible, in submission order.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.guard.epoch()
+    }
+
+    /// Number of replica instances (same partitioning as the live store).
+    #[inline]
+    pub fn num_instances(&self) -> usize {
+        self.guard.num_shards()
+    }
+
+    #[inline]
+    fn shard(&self, src: VertexId) -> usize {
+        partition_of(src, self.num_instances())
+    }
+
+    /// Total live edges at the pinned boundary.
+    pub fn num_edges(&self) -> u64 {
+        (0..self.num_instances()).map(|i| self.guard.with_shard(i, |g| g.num_edges())).sum()
+    }
+
+    /// One past the largest vertex id at the pinned boundary.
+    pub fn vertex_space(&self) -> u32 {
+        (0..self.num_instances())
+            .map(|i| self.guard.with_shard(i, |g| g.vertex_space()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Weight of `(src, dst)`, routed to the owning replica.
+    pub fn edge_weight(&self, src: VertexId, dst: VertexId) -> Option<Weight> {
+        self.guard.with_shard(self.shard(src), |g| g.edge_weight(src, dst))
+    }
+
+    /// Whether `(src, dst)` is present at the pinned boundary.
+    pub fn contains_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        self.edge_weight(src, dst).is_some()
+    }
+
+    /// Out-degree of `src` at the pinned boundary.
+    pub fn out_degree(&self, src: VertexId) -> u32 {
+        self.guard.with_shard(self.shard(src), |g| g.out_degree(src))
+    }
+
+    /// Visits the out-edges of `src`.
+    pub fn for_each_out_edge<F: FnMut(VertexId, Weight)>(&self, src: VertexId, f: F) {
+        self.guard.with_shard(self.shard(src), |g| g.for_each_out_edge(src, f));
+    }
+
+    /// Visits every live edge, replica by replica (each streams its CAL).
+    pub fn for_each_edge<F: FnMut(VertexId, VertexId, Weight)>(&self, mut f: F) {
+        for i in 0..self.num_instances() {
+            self.guard.with_shard(i, |g| g.for_each_edge(&mut f));
+        }
+    }
+
+    /// Runs `f` over one replica read-only (shard = instance index).
+    pub fn with_instance<R>(&self, i: usize, f: impl FnOnce(&GraphTinker) -> R) -> R {
+        self.guard.with_shard(i, f)
+    }
+}
+
+impl std::fmt::Debug for StoreView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreView")
+            .field("epoch", &self.epoch())
+            .field("instances", &self.num_instances())
+            .finish()
+    }
+}
+
 impl std::fmt::Debug for ParallelTinker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ParallelTinker")
@@ -225,7 +338,7 @@ mod tests {
         let b = batch(5_000);
         let mut seq = GraphTinker::with_defaults();
         seq.apply_batch(&b);
-        let mut par = ParallelTinker::new(Default::default(), 4).unwrap();
+        let par = ParallelTinker::new(Default::default(), 4).unwrap();
         let r = par.apply_batch(&b);
         assert_eq!(par.num_edges(), seq.num_edges());
         assert_eq!(r.inserted + r.updated, 5_000);
@@ -242,16 +355,16 @@ mod tests {
     #[test]
     fn spawn_baseline_matches_pool() {
         let b = batch(4_000);
-        let mut pooled = ParallelTinker::new(Default::default(), 4).unwrap();
-        let mut spawned = ParallelTinker::new(Default::default(), 4).unwrap();
+        let pooled = ParallelTinker::new(Default::default(), 4).unwrap();
+        let spawned = ParallelTinker::new(Default::default(), 4).unwrap();
         assert_eq!(pooled.apply_batch(&b), spawned.apply_batch_spawn(&b));
         assert_eq!(pooled.num_edges(), spawned.num_edges());
     }
 
     #[test]
     fn pipelined_submit_matches_sync_apply() {
-        let mut sync = ParallelTinker::new(Default::default(), 3).unwrap();
-        let mut pipe = ParallelTinker::new(Default::default(), 3).unwrap();
+        let sync = ParallelTinker::new(Default::default(), 3).unwrap();
+        let pipe = ParallelTinker::new(Default::default(), 3).unwrap();
         let mut want = BatchResult::default();
         for round in 0..8u32 {
             let b = batch(700 + round * 53);
@@ -264,7 +377,7 @@ mod tests {
 
     #[test]
     fn queries_barrier_on_inflight_batches() {
-        let mut par = ParallelTinker::new(Default::default(), 2).unwrap();
+        let par = ParallelTinker::new(Default::default(), 2).unwrap();
         par.submit(EdgeBatch::inserts(&[Edge::new(7, 8, 9)]));
         // No flush yet: reads must still observe the submitted batch.
         assert_eq!(par.edge_weight(7, 8), Some(9));
@@ -273,7 +386,7 @@ mod tests {
 
     #[test]
     fn routing_queries() {
-        let mut par = ParallelTinker::new(Default::default(), 3).unwrap();
+        let par = ParallelTinker::new(Default::default(), 3).unwrap();
         par.apply_batch(&EdgeBatch::inserts(&[
             Edge::new(10, 20, 1),
             Edge::new(10, 21, 2),
@@ -291,7 +404,7 @@ mod tests {
 
     #[test]
     fn deletes_apply_in_parallel() {
-        let mut par = ParallelTinker::new(Default::default(), 4).unwrap();
+        let par = ParallelTinker::new(Default::default(), 4).unwrap();
         par.apply_batch(&batch(1_000));
         let before = par.num_edges();
         let dels = EdgeBatch::deletes(&(0..500u32).map(|i| (i % 101, i % 257)).collect::<Vec<_>>());
@@ -305,7 +418,7 @@ mod tests {
         // Later batches are smaller than earlier ones: stale ops left in
         // a reused claim scratch would surface as phantom edges.
         let mut seq = GraphTinker::with_defaults();
-        let mut par = ParallelTinker::new(Default::default(), 4).unwrap();
+        let par = ParallelTinker::new(Default::default(), 4).unwrap();
         for round in 0..5u32 {
             let n = 1_000 - round * 190;
             let edges: Vec<Edge> =
@@ -338,8 +451,53 @@ mod tests {
     }
 
     #[test]
+    fn pin_view_requires_views() {
+        let par = ParallelTinker::new(Default::default(), 2).unwrap();
+        par.apply_batch(&batch(10));
+        assert!(!par.views_enabled());
+        assert!(par.pin_view().is_none());
+    }
+
+    #[test]
+    fn pinned_view_matches_live_store_at_boundary() {
+        let par = ParallelTinker::new_with_views(Default::default(), 3).unwrap();
+        for round in 0..5u32 {
+            par.submit(batch(400 + round * 11));
+        }
+        par.flush();
+        let view = par.pin_view().expect("views enabled");
+        assert_eq!(view.epoch(), 5);
+        assert_eq!(view.num_edges(), par.num_edges());
+        assert_eq!(view.vertex_space(), par.vertex_space());
+        let mut live: Vec<(u32, u32, u32)> = Vec::new();
+        par.for_each_edge(|s, d, w| live.push((s, d, w)));
+        let mut pinned: Vec<(u32, u32, u32)> = Vec::new();
+        view.for_each_edge(|s, d, w| pinned.push((s, d, w)));
+        live.sort_unstable();
+        pinned.sort_unstable();
+        assert_eq!(live, pinned);
+    }
+
+    #[test]
+    fn view_queries_do_not_drain_the_pipeline() {
+        let par = ParallelTinker::new_with_views(Default::default(), 2).unwrap();
+        par.apply_batch(&EdgeBatch::inserts(&[Edge::new(1, 2, 3)]));
+        let view = par.pin_view().expect("views enabled");
+        assert_eq!(view.edge_weight(1, 2), Some(3));
+        assert_eq!(view.out_degree(1), 1);
+        assert!(view.contains_edge(1, 2));
+        // Writer applies more while the view is held; the view is frozen.
+        par.submit(EdgeBatch::inserts(&[Edge::new(1, 9, 9)]));
+        assert_eq!(view.out_degree(1), 1);
+        drop(view);
+        par.flush();
+        let fresh = par.pin_view().expect("views enabled");
+        assert_eq!(fresh.out_degree(1), 2);
+    }
+
+    #[test]
     fn vertex_space_is_max_over_instances() {
-        let mut par = ParallelTinker::new(Default::default(), 2).unwrap();
+        let par = ParallelTinker::new(Default::default(), 2).unwrap();
         par.apply_batch(&EdgeBatch::inserts(&[Edge::unit(5, 777)]));
         assert_eq!(par.vertex_space(), 778);
     }

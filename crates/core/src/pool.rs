@@ -32,6 +32,7 @@ use std::thread::JoinHandle;
 
 use gtinker_types::{partition_of, EdgeBatch};
 
+use crate::epoch::{ReadGuard, ViewLayer};
 use crate::tinker::{BatchResult, GraphTinker};
 use crate::trace::{self, SpanId};
 
@@ -40,15 +41,23 @@ use crate::trace::{self, SpanId};
 pub const PIPELINE_DEPTH: usize = 2;
 
 /// A store that can own one interval shard of a [`ShardPool`].
-pub trait ShardStore: Send + 'static {
+pub trait ShardStore: Send + Sync + 'static {
     /// Applies the claimed sub-batch for this shard, returning outcome
     /// counts (stores without per-op outcome tracking may return zeros).
     fn apply_shard_batch(&mut self, batch: &EdgeBatch) -> BatchResult;
+
+    /// An empty store with the same configuration, used as the shard's
+    /// read replica when the pool is built with epoch views.
+    fn fresh_replica(&self) -> Self;
 }
 
 impl ShardStore for GraphTinker {
     fn apply_shard_batch(&mut self, batch: &EdgeBatch) -> BatchResult {
         self.apply_batch(batch)
+    }
+
+    fn fresh_replica(&self) -> Self {
+        GraphTinker::new(*self.config()).expect("replica shares a validated config")
     }
 }
 
@@ -73,11 +82,16 @@ impl Ticket {
         }
     }
 
-    fn complete(&self, r: BatchResult) {
+    /// Folds one worker's result in. `on_last` runs for the worker that
+    /// makes the batch fully applied, while the ticket lock is still held
+    /// — so anything it publishes (the acked epoch boundary) is visible
+    /// before any `wait`er can return.
+    fn complete(&self, r: BatchResult, on_last: impl FnOnce()) {
         let mut s = self.state.lock().expect("ticket state poisoned");
         s.result.merge(&r);
         s.remaining -= 1;
         if s.remaining == 0 {
+            on_last();
             self.done.notify_all();
         }
     }
@@ -121,9 +135,18 @@ pub struct ShardPool<S> {
     pending: AtomicUsize,
     /// Dispatch sequence number carried into each job's trace spans.
     seq: AtomicU64,
+    /// Epoch-pinned read replicas (disabled unless built with
+    /// [`new_with_views`](Self::new_with_views)); shared with the workers
+    /// so they can backlog batches and publish acked boundaries.
+    views: Arc<ViewLayer<S>>,
 }
 
-fn worker_loop<S: ShardStore>(index: usize, shards: Arc<Vec<Mutex<S>>>, rx: mpsc::Receiver<Job>) {
+fn worker_loop<S: ShardStore>(
+    index: usize,
+    shards: Arc<Vec<Mutex<S>>>,
+    views: Arc<ViewLayer<S>>,
+    rx: mpsc::Receiver<Job>,
+) {
     let n = shards.len();
     let mut claim = EdgeBatch::new();
     while let Ok(job) = rx.recv() {
@@ -146,7 +169,11 @@ fn worker_loop<S: ShardStore>(index: usize, shards: Arc<Vec<Mutex<S>>>, rx: mpsc
             let _t = trace::span_arg(SpanId::PoolApply, job.seq);
             shards[index].lock().expect("shard poisoned").apply_shard_batch(&claim)
         };
-        job.ticket.complete(result);
+        // Backlog before completing: once every worker has completed seq,
+        // the batch is both fully applied and fully recorded, so the last
+        // completer publishes the new acked boundary.
+        views.record(index, job.seq, &job.batch);
+        job.ticket.complete(result, || views.publish_acked(job.seq));
     }
 }
 
@@ -154,16 +181,34 @@ impl<S: ShardStore> ShardPool<S> {
     /// Builds a pool over the given shard stores, spawning one worker per
     /// shard. Store `i` owns interval `i` of `stores.len()`.
     pub fn new(stores: Vec<S>) -> Self {
+        Self::build(stores, false)
+    }
+
+    /// Like [`new`](Self::new), but additionally maintains one read
+    /// replica per shard so readers can [`pin`](Self::pin) a consistent
+    /// acked-batch-boundary view without a pipeline barrier.
+    pub fn new_with_views(stores: Vec<S>) -> Self {
+        Self::build(stores, true)
+    }
+
+    fn build(stores: Vec<S>, with_views: bool) -> Self {
         assert!(!stores.is_empty(), "need at least one shard");
+        let replicas: Vec<S> = if with_views {
+            stores.iter().map(|s| s.fresh_replica()).collect()
+        } else {
+            Vec::new()
+        };
+        let views = Arc::new(ViewLayer::new(replicas));
         let shards: Arc<Vec<Mutex<S>>> = Arc::new(stores.into_iter().map(Mutex::new).collect());
         let mut txs = Vec::with_capacity(shards.len());
         let mut handles = Vec::with_capacity(shards.len());
         for i in 0..shards.len() {
             let (tx, rx) = mpsc::channel::<Job>();
             let shards = Arc::clone(&shards);
+            let views = Arc::clone(&views);
             let handle = std::thread::Builder::new()
                 .name(format!("gtinker-shard-{i}"))
-                .spawn(move || worker_loop(i, shards, rx))
+                .spawn(move || worker_loop(i, shards, views, rx))
                 .expect("spawn shard worker");
             txs.push(tx);
             handles.push(handle);
@@ -175,6 +220,7 @@ impl<S: ShardStore> ShardPool<S> {
             inflight: Mutex::new(Inflight::default()),
             pending: AtomicUsize::new(0),
             seq: AtomicU64::new(0),
+            views,
         }
     }
 
@@ -182,6 +228,18 @@ impl<S: ShardStore> ShardPool<S> {
     #[inline]
     pub fn num_shards(&self) -> usize {
         self.txs.len()
+    }
+
+    /// Whether this pool maintains epoch-pinnable read replicas.
+    #[inline]
+    pub fn views_enabled(&self) -> bool {
+        self.views.enabled()
+    }
+
+    /// Pins the current acked epoch for barrier-free reads; `None` when
+    /// the pool was built without views. See [`ViewLayer::pin`].
+    pub fn pin(&self) -> Option<ReadGuard<'_, S>> {
+        self.views.pin()
     }
 
     /// Number of submitted batches not yet reaped (diagnostic; racy by
@@ -382,5 +440,100 @@ mod tests {
     fn flush_without_submissions_is_zero() {
         let p = pool(2);
         assert_eq!(p.flush(), BatchResult::default());
+    }
+
+    fn view_pool(n: usize) -> ShardPool<GraphTinker> {
+        ShardPool::new_with_views((0..n).map(|_| GraphTinker::with_defaults()).collect())
+    }
+
+    #[test]
+    fn pin_is_none_without_views() {
+        let p = pool(2);
+        assert!(!p.views_enabled());
+        assert!(p.pin().is_none());
+    }
+
+    #[test]
+    fn pinned_view_matches_settled_store_after_flush() {
+        let p = view_pool(4);
+        for round in 0..6 {
+            p.submit(Arc::new(batch(800, round * 13)));
+        }
+        p.flush();
+        let view = p.pin().expect("views enabled");
+        assert_eq!(view.epoch(), 6);
+        let live: u64 = (0..4).map(|i| p.with_shard(i, |g| g.num_edges())).sum();
+        let pinned: u64 = (0..4).map(|i| view.with_shard(i, |g| g.num_edges())).sum();
+        assert_eq!(pinned, live);
+    }
+
+    #[test]
+    fn pinned_view_is_frozen_while_writer_advances() {
+        let p = view_pool(3);
+        p.apply(&batch(1_000, 0));
+        let view = p.pin().expect("views enabled");
+        assert_eq!(view.epoch(), 1);
+        let before: u64 = (0..3).map(|i| view.with_shard(i, |g| g.num_edges())).sum();
+        // Writer keeps going while the pin is held.
+        p.apply(&batch(1_000, 7));
+        let during: u64 = (0..3).map(|i| view.with_shard(i, |g| g.num_edges())).sum();
+        assert_eq!(before, during, "pinned replicas must not move");
+        drop(view);
+        let fresh = p.pin().expect("views enabled");
+        assert_eq!(fresh.epoch(), 2);
+        let after: u64 = (0..3).map(|i| fresh.with_shard(i, |g| g.num_edges())).sum();
+        let live: u64 = (0..3).map(|i| p.with_shard(i, |g| g.num_edges())).sum();
+        assert_eq!(after, live);
+    }
+
+    #[test]
+    fn concurrent_pins_share_one_epoch() {
+        let p = view_pool(2);
+        p.apply(&batch(500, 3));
+        let a = p.pin().expect("views enabled");
+        p.apply(&batch(500, 9));
+        let b = p.pin().expect("views enabled");
+        // b joined while a was pinned: it must see a's epoch, not a newer
+        // one, so the two readers agree on the graph.
+        assert_eq!(a.epoch(), b.epoch());
+        let ea: u64 = (0..2).map(|i| a.with_shard(i, |g| g.num_edges())).sum();
+        let eb: u64 = (0..2).map(|i| b.with_shard(i, |g| g.num_edges())).sum();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn backlog_folds_eagerly_without_pins() {
+        use crate::epoch::FOLD_THRESHOLD;
+        let p = view_pool(2);
+        // Far more batches than the fold threshold, with no reader ever
+        // pinning: workers must fold their own backlogs instead of
+        // retaining every batch until drop.
+        for round in 0..(FOLD_THRESHOLD as u32 * 4) {
+            p.submit(Arc::new(batch(64, round)));
+        }
+        p.flush();
+        let view = p.pin().expect("views enabled");
+        let live: u64 = (0..2).map(|i| p.with_shard(i, |g| g.num_edges())).sum();
+        let pinned: u64 = (0..2).map(|i| view.with_shard(i, |g| g.num_edges())).sum();
+        assert_eq!(pinned, live);
+    }
+
+    #[test]
+    fn views_survive_deletes_and_mixed_batches() {
+        let p = view_pool(3);
+        p.apply(&batch(1_000, 0));
+        let mut mixed = EdgeBatch::new();
+        for i in 0..400u32 {
+            mixed.push_delete((i * 7) % 113, i % 251);
+        }
+        for i in 0..100u32 {
+            mixed.push_insert(Edge::new(i % 113, i % 251, 9_999));
+        }
+        p.apply(&mixed);
+        let view = p.pin().expect("views enabled");
+        let live: u64 = (0..3).map(|i| p.with_shard(i, |g| g.num_edges())).sum();
+        let pinned: u64 = (0..3).map(|i| view.with_shard(i, |g| g.num_edges())).sum();
+        assert_eq!(pinned, live);
+        assert_eq!(view.epoch(), 2);
     }
 }

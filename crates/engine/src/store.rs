@@ -1,7 +1,7 @@
 //! The [`GraphStore`] abstraction: the two edge-retrieval paths the hybrid
 //! engine multiplexes between.
 
-use gtinker_core::{GraphTinker, ParallelTinker};
+use gtinker_core::{GraphTinker, ParallelTinker, StoreView};
 use gtinker_stinger::{ParallelStinger, Stinger};
 use gtinker_types::{VertexId, Weight};
 
@@ -164,6 +164,38 @@ impl GraphStore for ParallelTinker {
     }
 }
 
+impl GraphStore for StoreView<'_> {
+    fn vertex_space(&self) -> u32 {
+        StoreView::vertex_space(self)
+    }
+    fn num_edges(&self) -> u64 {
+        StoreView::num_edges(self)
+    }
+    fn out_degree(&self, v: VertexId) -> u32 {
+        StoreView::out_degree(self, v)
+    }
+    fn for_each_out_edge(&self, v: VertexId, f: impl FnMut(VertexId, Weight)) {
+        StoreView::for_each_out_edge(self, v, f)
+    }
+    fn stream_edges(&self, f: impl FnMut(VertexId, VertexId, Weight)) {
+        StoreView::for_each_edge(self, f)
+    }
+    fn has_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        StoreView::contains_edge(self, src, dst)
+    }
+    // Same interval layout as the live store the view was pinned from:
+    // one shard per replica, each streaming its own CAL.
+    fn num_shards(&self) -> usize {
+        StoreView::num_instances(self)
+    }
+    fn shard_of_source(&self, v: VertexId) -> usize {
+        gtinker_types::partition_of(v, StoreView::num_instances(self))
+    }
+    fn stream_shard_edges(&self, shard: usize, f: impl FnMut(VertexId, VertexId, Weight)) {
+        StoreView::with_instance(self, shard, |g| g.for_each_edge(f))
+    }
+}
+
 impl GraphStore for ParallelStinger {
     fn vertex_space(&self) -> u32 {
         ParallelStinger::vertex_space(self)
@@ -278,9 +310,14 @@ mod tests {
             csr.set_analytics_shards(shards);
             check_sharding(&csr);
 
-            let mut pt = ParallelTinker::new(Default::default(), shards).unwrap();
+            let pt = ParallelTinker::new(Default::default(), shards).unwrap();
             pt.apply_batch(&bigger_batch());
             check_sharding(&pt);
+
+            let pv = ParallelTinker::new_with_views(Default::default(), shards).unwrap();
+            pv.apply_batch(&bigger_batch());
+            let view = pv.pin_view().unwrap();
+            check_sharding(&view);
 
             let mut ps = ParallelStinger::new(Default::default(), shards).unwrap();
             ps.apply_batch(&bigger_batch());
@@ -313,9 +350,18 @@ mod tests {
 
     #[test]
     fn parallel_tinker_implements_store() {
-        let mut p = ParallelTinker::new(Default::default(), 2).unwrap();
+        let p = ParallelTinker::new(Default::default(), 2).unwrap();
         p.apply_batch(&sample_batch());
         check_store(&p);
+    }
+
+    #[test]
+    fn pinned_store_view_implements_store() {
+        let p = ParallelTinker::new_with_views(Default::default(), 2).unwrap();
+        p.apply_batch(&sample_batch());
+        let view = p.pin_view().unwrap();
+        check_store(&view);
+        assert_eq!(view.epoch(), 1);
     }
 
     #[test]

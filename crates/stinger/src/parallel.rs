@@ -20,6 +20,10 @@ impl ShardStore for Stinger {
         let (ins, del) = self.apply_batch(batch);
         BatchResult { inserted: ins, deleted: del, ..BatchResult::default() }
     }
+
+    fn fresh_replica(&self) -> Self {
+        Stinger::new(*self.config()).expect("replica shares a validated config")
+    }
 }
 
 /// Interval-partitioned STINGER instances updated in parallel by a

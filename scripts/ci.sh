@@ -117,7 +117,7 @@ PYEOF
 done
 test "$TRACE_OK" = 1
 
-echo "==> serve smoke test (live telemetry endpoint answers /healthz, /metrics, /trace)"
+echo "==> serve smoke test (telemetry endpoints answer; clean /quitquitquit shutdown)"
 "$GT" serve "$SMOKE/g.txt" --addr 127.0.0.1:0 > "$SMOKE/serve.out" 2> "$SMOKE/serve.err" &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKE"' EXIT
@@ -135,7 +135,43 @@ curl -fsS "http://$ADDR/metrics" -o "$SMOKE/metrics.prom"
 grep -q "gtinker_tinker_inserts" "$SMOKE/metrics.prom"
 curl -fsS "http://$ADDR/trace" -o "$SMOKE/trace_live.json"
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))["traceEvents"]' "$SMOKE/trace_live.json"
-kill "$SERVE_PID"
+# Non-GET methods get a 405 with an Allow header, never a hang or a 404.
+test "$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/healthz")" = 405
+# Graceful shutdown: ask the server to stop instead of killing the process.
+curl -fsS "http://$ADDR/quitquitquit" | grep -q "shutting down"
+wait "$SERVE_PID"
+grep -q "shut down cleanly" "$SMOKE/serve.err"
+trap 'rm -rf "$SMOKE"' EXIT
+
+echo "==> serve-query smoke test (ingest --serve answers epoch-pinned queries)"
+"$GT" ingest "$SMOKE/g.txt" --wal "$SMOKE/db_serve" --batch 256 --sync never \
+    --pool 2 --pipeline --serve 127.0.0.1:0 --hold \
+    > "$SMOKE/ingest_serve.out" 2> "$SMOKE/ingest_serve.err" &
+INGEST_PID=$!
+trap 'kill "$INGEST_PID" 2>/dev/null; rm -rf "$SMOKE"' EXIT
+QADDR=""
+for _ in $(seq 1 50); do
+    QADDR=$(sed -n 's#serving on http://\([^ ]*\).*#\1#p' "$SMOKE/ingest_serve.out")
+    test -n "$QADDR" && break
+    sleep 0.1
+done
+test -n "$QADDR"
+# The endpoint is live from the first batch on (and, with --hold, after the
+# stream drains): every query must be a 200 with an epoch-stamped payload.
+curl -fsS "http://$QADDR/query/bfs?src=0" | tee "$SMOKE/q_bfs.json"
+grep -q '"epoch":' "$SMOKE/q_bfs.json"
+grep -q '"reached":' "$SMOKE/q_bfs.json"
+curl -fsS "http://$QADDR/neighbors?v=0" | tee "$SMOKE/q_neighbors.json"
+grep -q '"neighbors":' "$SMOKE/q_neighbors.json"
+curl -fsS "http://$QADDR/degree?v=0" | tee "$SMOKE/q_degree.json"
+grep -q '"degree":' "$SMOKE/q_degree.json"
+curl -fsS "http://$QADDR/query/cc" | tee "$SMOKE/q_cc.json"
+grep -q '"components":' "$SMOKE/q_cc.json"
+# Bad parameters are a 400 with a JSON error, not a hang or a 500.
+test "$(curl -s -o /dev/null -w '%{http_code}' "http://$QADDR/query/bfs?src=oops")" = 400
+curl -fsS "http://$QADDR/quitquitquit" | grep -q "shutting down"
+wait "$INGEST_PID"
+grep -q "ingest done; serving queries" "$SMOKE/ingest_serve.err"
 trap 'rm -rf "$SMOKE"' EXIT
 
 echo "==> bench regression gate self-check (bench_diff flags a seeded 20% drop)"
@@ -156,6 +192,15 @@ grep -q '"skew_adaptive_meps"' "$SMOKE/bench_adaptive/BENCH_adaptive.json"
 grep -q '"tier_promotions"' "$SMOKE/bench_adaptive/BENCH_adaptive.json"
 # Self-comparison: the emitted file must parse through the regression gate.
 "$BD" "$SMOKE/bench_adaptive/BENCH_adaptive.json" "$SMOKE/bench_adaptive/BENCH_adaptive.json"
+
+echo "==> serve bench gate (fig_serve_concurrent emits BENCH_serve_concurrent.json and it passes bench_diff)"
+target/release/fig_serve_concurrent --scale-factor 2048 --out-dir "$SMOKE/bench_serve"
+test -f "$SMOKE/bench_serve/BENCH_serve_concurrent.json"
+grep -q '"writer_only_meps"' "$SMOKE/bench_serve/BENCH_serve_concurrent.json"
+grep -q '"writer_pinned_meps"' "$SMOKE/bench_serve/BENCH_serve_concurrent.json"
+grep -q '"read_p99_us"' "$SMOKE/bench_serve/BENCH_serve_concurrent.json"
+# Self-comparison: the emitted file must parse through the regression gate.
+"$BD" "$SMOKE/bench_serve/BENCH_serve_concurrent.json" "$SMOKE/bench_serve/BENCH_serve_concurrent.json"
 
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

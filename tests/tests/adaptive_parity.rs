@@ -101,7 +101,7 @@ fn adaptive_matches_fixed_under_churn_both_delete_modes() {
 fn pooled_adaptive_matches_sequential_fixed() {
     let batches = churn_stream(42);
     let mut seq = GraphTinker::new(fixed_config(DeleteMode::DeleteOnly)).unwrap();
-    let mut par = ParallelTinker::new(adaptive_config(DeleteMode::DeleteOnly), 4).unwrap();
+    let par = ParallelTinker::new(adaptive_config(DeleteMode::DeleteOnly), 4).unwrap();
     for b in &batches {
         seq.apply_batch(b);
         par.apply_batch(b);
@@ -109,7 +109,7 @@ fn pooled_adaptive_matches_sequential_fixed() {
     assert_eq!(par.num_edges(), seq.num_edges());
     assert_eq!(edge_set(&|f| par.for_each_edge(f)), tinker_edges(&seq));
     // The pipelined submit/flush path hits the same tier code.
-    let mut pipe = ParallelTinker::new(adaptive_config(DeleteMode::DeleteOnly), 3).unwrap();
+    let pipe = ParallelTinker::new(adaptive_config(DeleteMode::DeleteOnly), 3).unwrap();
     for b in churn_stream(42) {
         pipe.submit(b);
     }

@@ -45,7 +45,7 @@ fn all_structures_agree_on_mixed_stream() {
     gt.apply_batch(&stream);
     let mut st = Stinger::with_defaults();
     st.apply_batch(&stream);
-    let mut pt = ParallelTinker::new(TinkerConfig::default(), 4).unwrap();
+    let pt = ParallelTinker::new(TinkerConfig::default(), 4).unwrap();
     pt.apply_batch(&stream);
     let mut ps = ParallelStinger::new(StingerConfig::default(), 4).unwrap();
     ps.apply_batch(&stream);
@@ -128,7 +128,7 @@ fn parallel_instance_counts_do_not_change_results() {
         sorted_edges_gt(&g)
     };
     for n in [1, 2, 3, 7, 8] {
-        let mut p = ParallelTinker::new(TinkerConfig::default(), n).unwrap();
+        let p = ParallelTinker::new(TinkerConfig::default(), n).unwrap();
         for b in &batches {
             p.apply_batch(b);
         }

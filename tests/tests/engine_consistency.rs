@@ -31,7 +31,7 @@ fn bfs_matches_reference_on_all_stores_and_policies() {
     gt.apply_batch(&batch);
     let mut st = Stinger::with_defaults();
     st.apply_batch(&batch);
-    let mut pt = ParallelTinker::new(TinkerConfig::default(), 3).unwrap();
+    let pt = ParallelTinker::new(TinkerConfig::default(), 3).unwrap();
     pt.apply_batch(&batch);
 
     let n = GraphStore::vertex_space(&gt);

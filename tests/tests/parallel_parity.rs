@@ -108,7 +108,7 @@ fn parallel_tinker_store_is_itself_sharded() {
         let mut base = Engine::new(Bfs::new(root), policy);
         base.run_from_roots(&seq);
         for n in [2usize, 4] {
-            let mut pt = ParallelTinker::new(TinkerConfig::default(), n).unwrap();
+            let pt = ParallelTinker::new(TinkerConfig::default(), n).unwrap();
             pt.apply_batch(&batch);
             assert_eq!(GraphStore::num_shards(&pt), n);
             let mut e = Engine::new(Bfs::new(root), policy);
@@ -233,7 +233,7 @@ fn pooled_pipeline_mixed_stream_matches_sequential_under_both_delete_modes() {
             seq.apply_batch(b);
         }
         for n in [2usize, 4] {
-            let mut pt = ParallelTinker::new(cfg, n).unwrap();
+            let pt = ParallelTinker::new(cfg, n).unwrap();
             for b in &stream {
                 pt.submit(b.clone());
             }
@@ -263,7 +263,7 @@ fn dropping_pool_mid_stream_shuts_down_cleanly() {
     // workers (no deadlock, no panic) — for both pooled store kinds.
     let edges = rmat(10, 6_000, 79);
     let chunks: Vec<EdgeBatch> = edges.chunks(500).map(EdgeBatch::inserts).collect();
-    let mut pt = ParallelTinker::new(TinkerConfig::default(), 4).unwrap();
+    let pt = ParallelTinker::new(TinkerConfig::default(), 4).unwrap();
     for b in &chunks {
         pt.submit(b.clone());
     }

@@ -67,7 +67,7 @@ fn three_structures_stay_in_lockstep_under_churn() {
     let mut rng = StdRng::seed_from_u64(7);
     let mut gt = GraphTinker::with_defaults();
     let mut st = Stinger::with_defaults();
-    let mut pt = ParallelTinker::new(TinkerConfig::default(), 4).unwrap();
+    let pt = ParallelTinker::new(TinkerConfig::default(), 4).unwrap();
     for epoch in 0..15 {
         let mut batch = EdgeBatch::new();
         for _ in 0..800 {

@@ -22,7 +22,7 @@ const SHARDS: usize = 4;
 /// and returns the final live-edge count. Dropping the store settles the
 /// pipeline, so every worker's spans are closed when this returns.
 fn pooled_run(batches: u64, ops: u32) -> u64 {
-    let mut g = ParallelTinker::new(TinkerConfig::default(), SHARDS).expect("parallel store");
+    let g = ParallelTinker::new(TinkerConfig::default(), SHARDS).expect("parallel store");
     for k in 0..batches {
         let edges: Vec<Edge> = (0..ops)
             .map(|i| Edge::unit((k as u32 * ops + i) % 977, (i * 31 + k as u32) % 1009))
