@@ -1,5 +1,5 @@
 # Convenience targets; `make ci` mirrors the hosted pipeline.
-.PHONY: ci build test lint fmt bench doc smoke ingest-smoke stats-smoke trace-smoke adaptive-smoke serve-smoke
+.PHONY: ci build test lint fmt bench doc smoke ingest-smoke stats-smoke trace-smoke adaptive-smoke probe-smoke serve-smoke
 
 ci:
 	./scripts/ci.sh
@@ -53,6 +53,20 @@ adaptive-smoke: build
 	AE=$$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$$SMOKE/adaptive.json" | head -1); \
 	FE=$$(target/release/gtinker stats "$$SMOKE/skew.txt" --format json | sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' | head -1); \
 	test "$$AE" = "$$FE"
+
+# Ingest -> stats; the SWAR tag engine must have group-scanned and its
+# fingerprint false-positive rate per scanned lane must stay under 2%
+# (also part of ci).
+probe-smoke: build
+	@SMOKE=$$(mktemp -d); trap 'rm -rf "$$SMOKE"' EXIT; \
+	target/release/gtinker generate --dataset Hollywood-2009 --scale-factor 512 --out "$$SMOKE/g.txt"; \
+	target/release/gtinker stats "$$SMOKE/g.txt" --format json > "$$SMOKE/stats.json"; \
+	SCANS=$$(sed -n 's/.*"rhh_tag_group_scans": \([0-9][0-9]*\).*/\1/p' "$$SMOKE/stats.json" | head -1); \
+	FPS=$$(sed -n 's/.*"rhh_tag_false_positive": \([0-9][0-9]*\).*/\1/p' "$$SMOKE/stats.json" | head -1); \
+	test -n "$$SCANS"; test -n "$$FPS"; \
+	test "$$SCANS" -gt 0 || { echo "probe-smoke: rhh_tag_group_scans is 0" >&2; exit 1; }; \
+	test $$((FPS * 50)) -lt $$((SCANS * 8)) || { echo "probe-smoke: tag FP rate >= 2% ($$FPS/$$SCANS groups)" >&2; exit 1; }; \
+	echo "probe-smoke ok: $$SCANS group scans, $$FPS false positives"
 
 # Traced pooled+pipelined ingest -> Perfetto-loadable timeline; validates
 # the exported JSON and that every shard worker produced a track (also

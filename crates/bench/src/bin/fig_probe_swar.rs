@@ -1,0 +1,10 @@
+//! SWAR tag-probe benchmark: point-lookup and churn throughput plus
+//! cells-inspected-per-find of tag probing vs the seed scalar scan.
+fn main() {
+    let args = gtinker_bench::Args::parse();
+    let table = gtinker_bench::experiments::fig_probe_swar::run(&args);
+    table.print();
+    if let Err(e) = table.write_tsv(&args.out_dir) {
+        eprintln!("warning: could not write TSV: {e}");
+    }
+}

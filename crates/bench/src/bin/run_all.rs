@@ -36,6 +36,7 @@ fn main() {
         ("Metrics overhead", Box::new(experiments::fig_metrics_overhead::run)),
         ("Trace overhead", Box::new(experiments::fig_trace_overhead::run)),
         ("Adaptive tiers", Box::new(experiments::fig_adaptive::run)),
+        ("SWAR probe", Box::new(experiments::fig_probe_swar::run)),
         ("Serve concurrent", Box::new(experiments::fig_serve_concurrent::run)),
     ];
     for (label, f) in suite {

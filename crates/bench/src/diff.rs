@@ -9,6 +9,10 @@
 //! than a threshold (default [`DEFAULT_THRESHOLD_PCT`] %) below the old —
 //! the contract CI uses to refuse a PR that quietly slows ingest down.
 //!
+//! Latency fields (`_p99_us` / `_ns` suffixes, lower is better) are gated
+//! with the direction inverted: a regression is an *increase* beyond the
+//! threshold. Everything else stays informational.
+//!
 //! The parser is deliberately minimal (no serde_json in the tree): it
 //! scans for top-level `"key": number` pairs, which is exactly the shape
 //! this crate's writers produce, and ignores everything else — unknown
@@ -45,11 +49,28 @@ impl Comparison {
         self.key.ends_with("_meps")
     }
 
-    /// Whether the new value regressed beyond `threshold_pct`.
-    /// Only throughput fields can regress; informational fields
+    /// Whether this is a latency field (lower is better, gated with the
+    /// direction inverted).
+    pub fn is_latency(&self) -> bool {
+        self.key.ends_with("_p99_us") || self.key.ends_with("_ns")
+    }
+
+    /// Whether this field is held to the regression gate at all.
+    pub fn is_gated(&self) -> bool {
+        self.is_throughput() || self.is_latency()
+    }
+
+    /// Whether the new value regressed beyond `threshold_pct`: a drop for
+    /// throughput fields, a rise for latency fields. Informational fields
     /// (counts, overhead percentages) never fail the gate.
     pub fn is_regression(&self, threshold_pct: f64) -> bool {
-        self.is_throughput() && self.delta_pct() < -threshold_pct
+        if self.is_throughput() {
+            self.delta_pct() < -threshold_pct
+        } else if self.is_latency() {
+            self.delta_pct() > threshold_pct
+        } else {
+            false
+        }
     }
 }
 
@@ -118,21 +139,19 @@ pub fn report(comps: &[Comparison], threshold_pct: f64, out: &mut String) -> Vec
         let mark = if c.is_regression(threshold_pct) {
             regressed.push(c.clone());
             "  REGRESSION"
-        } else if c.is_throughput() {
+        } else if c.is_gated() {
             ""
         } else {
             "  (info)"
         };
         out.push_str(&format!("{c}{mark}\n"));
     }
-    let gated = comps.iter().filter(|c| c.is_throughput()).count();
+    let gated = comps.iter().filter(|c| c.is_gated()).count();
     if regressed.is_empty() {
-        out.push_str(&format!(
-            "OK: {gated} throughput field(s) within {threshold_pct}% of baseline\n"
-        ));
+        out.push_str(&format!("OK: {gated} gated field(s) within {threshold_pct}% of baseline\n"));
     } else {
         out.push_str(&format!(
-            "FAIL: {} of {gated} throughput field(s) regressed more than {threshold_pct}%\n",
+            "FAIL: {} of {gated} gated field(s) regressed more than {threshold_pct}%\n",
             regressed.len()
         ));
     }
@@ -201,5 +220,45 @@ mod tests {
         let c = Comparison { key: "x_meps".into(), old: 0.0, new: 0.0 };
         assert_eq!(c.delta_pct(), 0.0);
         assert!(!c.is_regression(DEFAULT_THRESHOLD_PCT));
+    }
+
+    const OLD_LAT: &str = r#"{
+  "serve_p99_us": 100.0,
+  "find_mean_ns": 250.0,
+  "ingest_meps": 10.0,
+  "ops": 5000
+}"#;
+
+    #[test]
+    fn latency_gate_fires_on_increase_not_decrease() {
+        // Latency halved: improvement, not a regression.
+        let faster = OLD_LAT.replace("100.0", "50.0").replace("250.0", "125.0");
+        assert!(report(&compare(OLD_LAT, &faster), DEFAULT_THRESHOLD_PCT, &mut String::new())
+            .is_empty());
+        // p99 doubled: regression, direction inverted vs throughput.
+        let slower = OLD_LAT.replace("100.0", "200.0");
+        let regressed =
+            report(&compare(OLD_LAT, &slower), DEFAULT_THRESHOLD_PCT, &mut String::new());
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].key, "serve_p99_us");
+        // A `_ns` mean rising past the gate regresses too.
+        let slow_ns = OLD_LAT.replace("250.0", "400.0");
+        let regressed =
+            report(&compare(OLD_LAT, &slow_ns), DEFAULT_THRESHOLD_PCT, &mut String::new());
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].key, "find_mean_ns");
+    }
+
+    #[test]
+    fn gated_field_classes_are_disjoint() {
+        let lat = Comparison { key: "x_p99_us".into(), old: 1.0, new: 1.0 };
+        let tput = Comparison { key: "x_meps".into(), old: 1.0, new: 1.0 };
+        let info = Comparison { key: "ops".into(), old: 1.0, new: 1.0 };
+        assert!(lat.is_latency() && !lat.is_throughput() && lat.is_gated());
+        assert!(tput.is_throughput() && !tput.is_latency() && tput.is_gated());
+        assert!(!info.is_gated());
+        // Counts never regress even when they balloon.
+        let ops = Comparison { key: "ops".into(), old: 10.0, new: 1000.0 };
+        assert!(!ops.is_regression(DEFAULT_THRESHOLD_PCT));
     }
 }

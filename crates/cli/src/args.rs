@@ -28,6 +28,7 @@ const BARE_FLAGS: &[&str] = &[
     "analytics",
     "adaptive",
     "hold",
+    "validate",
 ];
 
 /// Parses a raw argument vector (excluding the program name).

@@ -42,7 +42,7 @@ USAGE:
                 [--batch N] [--pool N] [--pipeline] [--sync never|always|N]
   gtinker serve [FILE|WALDIR] [--addr HOST:PORT] [--shards N] [--workers N]
   gtinker snapshot FILE --dir DIR [--baseline]
-  gtinker recover DIR [--baseline] [--root R]
+  gtinker recover DIR [--baseline] [--root R] [--validate]
   gtinker help
 
 Datasets for --dataset: RMAT_1M_10M, RMAT_500K_8M, RMAT_1M_16M,
@@ -827,6 +827,11 @@ fn recover(parsed: &Parsed) -> Result<(), String> {
         },
         t0.elapsed()
     );
+    if parsed.flag("validate") {
+        g.validate_rhh_invariants().map_err(|e| format!("RHH invariant violated: {e}"))?;
+        g.validate_tag_invariants().map_err(|e| format!("tag invariant violated: {e}"))?;
+        println!("validated: RHH probe distances and SWAR tag lanes consistent");
+    }
     if let Some(root) = parsed.get("root") {
         let root: u32 = root.parse().map_err(|_| format!("option --root: bad value '{root}'"))?;
         let mut e = Engine::new(Bfs::new(root), mode_policy(parsed)?);
@@ -1083,7 +1088,7 @@ mod tests {
             "2",
         ]))
         .unwrap();
-        run(&parsed(&["recover", db_s, "--root", "0"])).unwrap();
+        run(&parsed(&["recover", db_s, "--root", "0", "--validate"])).unwrap();
         // A direct snapshot of the same input, both store kinds (separate
         // dirs: both would publish under the same lsn-0 name).
         let sd = dir.join("snaps");

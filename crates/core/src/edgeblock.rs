@@ -18,6 +18,7 @@
 //! who points at a block (the vertex table vs. a parent subblock's child
 //! pointer). A free list recycles blocks emptied by delete-and-compact.
 
+use crate::swar::TAG_EMPTY;
 use gtinker_types::{VertexId, Weight, NIL_U32, NIL_VERTEX};
 
 /// Occupancy state of an edge-cell.
@@ -85,6 +86,11 @@ pub type BlockId = u32;
 #[derive(Debug, Clone)]
 pub struct BlockArena {
     cells: Vec<EdgeCell>,
+    /// SWAR tag lane: one control byte per cell (same indexing as `cells`)
+    /// holding the 7-bit destination fingerprint when occupied or a vacancy
+    /// sentinel ([`TAG_EMPTY`] / [`TAG_TOMBSTONE`]) otherwise, so probes can
+    /// scan 8 slots per `u64` load without touching 16-byte cells.
+    tags: Vec<u8>,
     /// Child block per (block, subblock): `children[b * spb + s]`, NIL_U32
     /// if the subblock has not branched out.
     children: Vec<u32>,
@@ -109,6 +115,7 @@ impl BlockArena {
         assert!(pagewidth > 0 && subblock > 0 && pagewidth.is_multiple_of(subblock));
         BlockArena {
             cells: Vec::new(),
+            tags: Vec::new(),
             children: Vec::new(),
             live: Vec::new(),
             parent: Vec::new(),
@@ -155,6 +162,7 @@ impl BlockArena {
         if let Some(id) = self.free.pop() {
             let base = id as usize * self.pagewidth;
             self.cells[base..base + self.pagewidth].fill(EdgeCell::EMPTY);
+            self.tags[base..base + self.pagewidth].fill(TAG_EMPTY);
             let cbase = id as usize * self.subblocks_per_block;
             self.children[cbase..cbase + self.subblocks_per_block].fill(NIL_U32);
             self.live[id as usize] = 0;
@@ -164,6 +172,7 @@ impl BlockArena {
         }
         let id = self.num_blocks() as BlockId;
         self.cells.resize(self.cells.len() + self.pagewidth, EdgeCell::EMPTY);
+        self.tags.resize(self.tags.len() + self.pagewidth, TAG_EMPTY);
         self.children.resize(self.children.len() + self.subblocks_per_block, NIL_U32);
         self.live.push(0);
         self.parent.push(NIL_U32);
@@ -201,6 +210,46 @@ impl BlockArena {
     pub fn subblock_cells_mut(&mut self, id: BlockId, sub: usize) -> &mut [EdgeCell] {
         let base = id as usize * self.pagewidth + sub * self.subblock;
         &mut self.cells[base..base + self.subblock]
+    }
+
+    /// The tag lane of one subblock of a block (parallel to
+    /// [`Self::subblock_cells`]).
+    #[inline]
+    pub fn subblock_tags(&self, id: BlockId, sub: usize) -> &[u8] {
+        let base = id as usize * self.pagewidth + sub * self.subblock;
+        &self.tags[base..base + self.subblock]
+    }
+
+    /// The cells *and* tag lane of one subblock, mutably — insertion paths
+    /// update both in lockstep.
+    #[inline]
+    pub fn subblock_cells_and_tags_mut(
+        &mut self,
+        id: BlockId,
+        sub: usize,
+    ) -> (&mut [EdgeCell], &mut [u8]) {
+        let base = id as usize * self.pagewidth + sub * self.subblock;
+        (&mut self.cells[base..base + self.subblock], &mut self.tags[base..base + self.subblock])
+    }
+
+    /// The tag lane of a whole block (diagnostics / invariant validation).
+    #[inline]
+    pub fn block_tags(&self, id: BlockId) -> &[u8] {
+        let base = id as usize * self.pagewidth;
+        &self.tags[base..base + self.pagewidth]
+    }
+
+    /// One tag byte, by (block, offset within block).
+    #[inline]
+    pub fn tag(&self, id: BlockId, offset: usize) -> u8 {
+        self.tags[id as usize * self.pagewidth + offset]
+    }
+
+    /// Writes one tag byte. Callers keep it consistent with the cell at the
+    /// same offset: fingerprint when occupied, sentinel when vacant.
+    #[inline]
+    pub fn set_tag(&mut self, id: BlockId, offset: usize, tag: u8) {
+        self.tags[id as usize * self.pagewidth + offset] = tag;
     }
 
     /// One cell, by (block, offset within block).
@@ -321,6 +370,7 @@ impl BlockArena {
     /// Heap footprint of the arena in bytes (cells + topology).
     pub fn memory_bytes(&self) -> usize {
         self.cells.capacity() * std::mem::size_of::<EdgeCell>()
+            + self.tags.capacity()
             + self.children.capacity() * std::mem::size_of::<u32>()
             + self.live.capacity() * std::mem::size_of::<u32>()
             + self.parent.capacity() * std::mem::size_of::<u32>()
@@ -332,6 +382,7 @@ impl BlockArena {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::swar::TAG_TOMBSTONE;
 
     fn arena() -> BlockArena {
         BlockArena::new(64, 8)
@@ -467,6 +518,33 @@ mod tests {
     fn memory_accounting_positive_after_alloc() {
         let mut a = arena();
         a.alloc_block();
-        assert!(a.memory_bytes() >= 64 * std::mem::size_of::<EdgeCell>());
+        assert!(a.memory_bytes() >= 64 * (std::mem::size_of::<EdgeCell>() + 1));
+    }
+
+    #[test]
+    fn tag_lane_starts_empty_and_tracks_writes() {
+        let mut a = arena();
+        let b = a.alloc_block();
+        assert!(a.block_tags(b).iter().all(|&t| t == TAG_EMPTY));
+        a.set_tag(b, 5, 0x2A);
+        a.set_tag(b, 9, TAG_TOMBSTONE);
+        assert_eq!(a.tag(b, 5), 0x2A);
+        assert_eq!(a.subblock_tags(b, 0)[5], 0x2A);
+        assert_eq!(a.subblock_tags(b, 1)[1], TAG_TOMBSTONE);
+        let (cells, tags) = a.subblock_cells_and_tags_mut(b, 0);
+        assert_eq!(cells.len(), tags.len());
+        tags[3] = 0x11;
+        assert_eq!(a.tag(b, 3), 0x11);
+    }
+
+    #[test]
+    fn recycled_blocks_get_fresh_tag_lanes() {
+        let mut a = arena();
+        let b = a.alloc_block();
+        a.set_tag(b, 7, 0x33);
+        a.free_block(b);
+        let b2 = a.alloc_block();
+        assert_eq!(b2, b);
+        assert!(a.block_tags(b2).iter().all(|&t| t == TAG_EMPTY));
     }
 }

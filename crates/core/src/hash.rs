@@ -61,8 +61,37 @@ pub fn subblock_and_bucket(
     subblock_len: usize,
 ) -> (usize, usize) {
     debug_assert!(subblocks_per_block.is_power_of_two() && subblock_len.is_power_of_two());
-    let h = edge_hash(dst, depth);
+    split_hash(edge_hash(dst, depth), subblocks_per_block, subblock_len)
+}
+
+/// Splits an already-computed [`edge_hash`] into `(subblock index, RHH
+/// bucket)` — the hoisted-hash variant of [`subblock_and_bucket`] for
+/// callers that derived the depth-0 hash once per operation (alongside the
+/// tag byte) and pass it down.
+#[inline]
+pub fn split_hash(h: u64, subblocks_per_block: usize, subblock_len: usize) -> (usize, usize) {
     (((h >> 32) as usize) & (subblocks_per_block - 1), (h as u32 as usize) & (subblock_len - 1))
+}
+
+/// 7-bit SWAR tag fingerprint from an [`edge_hash`]. Bits 57–63 are
+/// disjoint from both the subblock-index bits (32..) and the bucket bits
+/// (0..32) actually consumed by the geometry masks (subblock counts are
+/// ≤ 256 and subblock lengths ≤ 256, so at most bits 32–39 and 0–7 are
+/// used), keeping the fingerprint independent of slot placement. The high
+/// bit is cleared so fingerprints never collide with the vacancy sentinels
+/// in [`crate::swar`].
+#[inline]
+pub fn tag_of_hash(h: u64) -> u8 {
+    ((h >> 57) as u8) & 0x7F
+}
+
+/// Per-destination tag byte, derived from the **depth-0** edge hash. The
+/// tag is deliberately depth-independent: a displaced edge that overflows
+/// into a child edgeblock keeps its tag, so branch-out and tier migration
+/// move the byte instead of rehashing.
+#[inline]
+pub fn dst_tag(dst: VertexId) -> u8 {
+    tag_of_hash(edge_hash(dst, 0))
 }
 
 #[cfg(test)]
@@ -123,6 +152,35 @@ mod tests {
         for &c in &counts {
             let dev = (c as f64 - 10_000.0).abs() / 10_000.0;
             assert!(dev < 0.05);
+        }
+    }
+
+    #[test]
+    fn tags_are_fingerprints_and_depth_stable() {
+        let mut counts = [0usize; 128];
+        for dst in 0..64_000u32 {
+            let t = dst_tag(dst);
+            assert!(t < 0x80, "tag high bit must be clear");
+            assert_eq!(t, tag_of_hash(edge_hash(dst, 0)));
+            counts[t as usize] += 1;
+        }
+        // Roughly uniform over the 128 fingerprint values.
+        let expected = 500.0;
+        for (t, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.25, "tag {t} count {c} deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn split_hash_matches_subblock_and_bucket() {
+        for dst in 0..5_000u32 {
+            for depth in 0..3 {
+                assert_eq!(
+                    subblock_and_bucket(dst, depth, 8, 16),
+                    split_hash(edge_hash(dst, depth), 8, 16)
+                );
+            }
         }
     }
 

@@ -12,8 +12,19 @@
 //! sorted and merged into the main run in one backward two-pointer pass when
 //! it exceeds [`TAIL_CAP`], so insertion is a push plus an amortized
 //! O(degree / TAIL_CAP) share of the merge.
+//!
+//! The tail additionally carries a SWAR tag lane (one fingerprint byte per
+//! tail entry, see [`crate::swar`]): [`HubSegment::find_tagged`] scans it
+//! eight bytes per `u64` with the shared group-match primitive and touches
+//! the 8-byte keys only on fingerprint candidates, replacing the seed
+//! 4-wide key compare on the hot path. The seed scan is kept as
+//! [`HubSegment::find`] for A/B comparison; the lane is maintained in both
+//! modes.
 
 use gtinker_types::{VertexId, Weight};
+
+use crate::hash::dst_tag;
+use crate::swar::{indices, load_padded, match_tag, GROUP};
 
 /// Maximum unsorted-tail length before it is merged into the main run.
 pub const TAIL_CAP: usize = 256;
@@ -101,6 +112,11 @@ pub struct HubSegment {
     /// insert is a guaranteed miss, so most of them skip the tail scan on a
     /// clear bit instead of sweeping up to [`TAIL_CAP`] entries.
     tail_filter: [u64; 4],
+    /// SWAR fingerprint lane parallel to `keys[split..]`: one
+    /// [`dst_tag`] byte per tail entry, cleared on merge. Every tail slot
+    /// is occupied, so no sentinel bytes appear here — the scan just
+    /// bound-checks padded lanes.
+    tail_tags: Vec<u8>,
 }
 
 /// Word index and bit mask of `key` in the 256-bit tail filter.
@@ -122,6 +138,7 @@ impl HubSegment {
             split: n,
             fences: Vec::new(),
             tail_filter: [0; 4],
+            tail_tags: Vec::new(),
         };
         for (dst, w, ptr) in edges {
             seg.keys.push(dst as u64);
@@ -154,16 +171,24 @@ impl HubSegment {
         self.keys.is_empty()
     }
 
-    /// Index of `dst`, probing the main run then the tail.
-    pub fn find(&self, dst: VertexId) -> Option<usize> {
-        let key = dst as u64;
-        let hit = if self.fences.len() > 1 {
+    /// Gallop over the sorted main run (fences first, then one window).
+    #[inline]
+    fn find_main(&self, key: u64) -> Option<usize> {
+        if self.fences.len() > 1 {
             let start = lower_block(&self.fences, key) << FENCE_SHIFT;
             let end = (start + FENCE_STRIDE).min(self.split);
             find_key(&self.keys[start..end], key).map(|i| start + i)
         } else {
             find_key(&self.keys[..self.split], key)
-        };
+        }
+    }
+
+    /// Index of `dst`, probing the main run then the tail with the seed
+    /// chunked key compare (the `probe_tags = false` baseline; see
+    /// [`Self::find_tagged`] for the SWAR path).
+    pub fn find(&self, dst: VertexId) -> Option<usize> {
+        let key = dst as u64;
+        let hit = self.find_main(key);
         if hit.is_some() {
             return hit;
         }
@@ -174,15 +199,54 @@ impl HubSegment {
         find_key_chunked(&self.keys[self.split..], key).map(|i| self.split + i)
     }
 
+    /// [`Self::find`] with the tail scanned through the SWAR tag lane:
+    /// eight fingerprint bytes per `u64` load, full 8-byte keys touched
+    /// only at candidate lanes. `tag` is the caller's hoisted
+    /// [`dst_tag`]`(dst)` byte (derived once per operation in the update
+    /// path).
+    pub fn find_tagged(&self, dst: VertexId, tag: u8) -> Option<usize> {
+        debug_assert_eq!(tag, dst_tag(dst));
+        let key = dst as u64;
+        let hit = self.find_main(key);
+        if hit.is_some() {
+            return hit;
+        }
+        let (w, bit) = filter_slot(key);
+        if self.tail_filter[w] & bit == 0 {
+            return None;
+        }
+        let n = self.tail_tags.len();
+        let mut at = 0;
+        while at < n {
+            for lane in indices(match_tag(load_padded(&self.tail_tags, at), tag)) {
+                let i = at + lane;
+                // Padding lanes are TAG_EMPTY and cannot fingerprint-match.
+                debug_assert!(i < n);
+                if self.keys[self.split + i] == key {
+                    return Some(self.split + i);
+                }
+            }
+            at += GROUP;
+        }
+        None
+    }
+
     /// Inserts a new edge. The caller must have checked `dst` is absent.
     pub fn insert(&mut self, dst: VertexId, weight: Weight, cal_ptr: u32) {
+        self.insert_tagged(dst, weight, cal_ptr, dst_tag(dst));
+    }
+
+    /// [`Self::insert`] with the fingerprint byte precomputed by the caller.
+    pub fn insert_tagged(&mut self, dst: VertexId, weight: Weight, cal_ptr: u32, tag: u8) {
         debug_assert!(self.find(dst).is_none());
+        debug_assert_eq!(tag, dst_tag(dst));
         let key = dst as u64;
         let (w, bit) = filter_slot(key);
         self.tail_filter[w] |= bit;
         self.keys.push(key);
         self.weights.push(weight);
         self.cal_ptrs.push(cal_ptr);
+        self.tail_tags.push(tag);
         if self.len() - self.split > TAIL_CAP {
             self.merge_tail();
         }
@@ -217,6 +281,7 @@ impl HubSegment {
         }
         self.split = n;
         self.tail_filter = [0; 4];
+        self.tail_tags.clear();
         self.rebuild_fences();
         debug_assert!(self.keys.is_sorted());
     }
@@ -233,8 +298,26 @@ impl HubSegment {
         if idx < self.split {
             self.split -= 1;
             self.rebuild_fences();
+        } else {
+            self.tail_tags.remove(idx - self.split);
         }
         ptr
+    }
+
+    /// Checks the tail tag lane: one byte per tail entry, each the
+    /// [`dst_tag`] of its key. Part of `validate_tag_invariants`.
+    pub fn validate_tail_tags(&self) -> Result<(), String> {
+        let tail = self.len() - self.split;
+        if self.tail_tags.len() != tail {
+            return Err(format!("hub tail tags {} != tail len {tail}", self.tail_tags.len()));
+        }
+        for (i, &t) in self.tail_tags.iter().enumerate() {
+            let dst = self.keys[self.split + i] as VertexId;
+            if t != dst_tag(dst) {
+                return Err(format!("hub tail slot {i} (dst {dst}): tag {t:#04x}"));
+            }
+        }
+        Ok(())
     }
 
     /// Destination at `idx`.
@@ -290,6 +373,7 @@ impl HubSegment {
             + self.weights.capacity() * std::mem::size_of::<Weight>()
             + self.cal_ptrs.capacity() * std::mem::size_of::<u32>()
             + self.fences.capacity() * std::mem::size_of::<u64>()
+            + self.tail_tags.capacity()
     }
 }
 
@@ -396,5 +480,47 @@ mod tests {
     fn memory_bytes_nonzero_when_populated() {
         let seg = HubSegment::from_edges(vec![(1, 1, 0)]);
         assert!(seg.memory_bytes() >= 16);
+    }
+
+    #[test]
+    fn tagged_find_matches_seed_through_churn() {
+        let mut seg = HubSegment::from_edges((0..50).map(|i| (i * 3, i, i)).collect());
+        // Grow a tail past one merge, removing from both regions along the way.
+        for i in 0..(TAIL_CAP as u32 + 40) {
+            seg.insert(i * 3 + 1, i, i);
+            seg.validate_tail_tags().unwrap();
+            if i % 17 == 0 {
+                if let Some(at) = seg.find(i * 3 + 1) {
+                    seg.remove(at);
+                }
+            }
+            if i % 23 == 0 {
+                if let Some(at) = seg.find((i % 50) * 3) {
+                    seg.remove(at);
+                }
+            }
+        }
+        seg.validate_tail_tags().unwrap();
+        for d in 0..(TAIL_CAP as u32 * 4) {
+            assert_eq!(
+                seg.find_tagged(d, crate::hash::dst_tag(d)),
+                seg.find(d),
+                "tagged/seed find diverged for {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_tag_lane_tracks_removals() {
+        let mut seg = HubSegment::from_edges(vec![(1, 1, 0)]);
+        for d in [100u32, 200, 300, 400] {
+            seg.insert(d, d, d);
+        }
+        // Remove from the middle of the tail; the lane must shift with it.
+        let at = seg.find(200).unwrap();
+        seg.remove(at);
+        seg.validate_tail_tags().unwrap();
+        assert!(seg.find_tagged(300, crate::hash::dst_tag(300)).is_some());
+        assert!(seg.find_tagged(200, crate::hash::dst_tag(200)).is_none());
     }
 }

@@ -55,6 +55,7 @@ pub mod pool;
 pub mod rhh;
 pub mod sgh;
 pub mod stats;
+pub mod swar;
 pub mod tinker;
 pub mod trace;
 pub mod vertex;

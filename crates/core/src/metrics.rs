@@ -511,15 +511,28 @@ registry! {
     /// The full metric catalogue. Field names double as the metric names in
     /// both renderings (prefixed `gtinker_` in Prometheus text).
     struct Metrics / MetricsSnapshot {
-        /// RHH placement probe distances: one observation per insertion
-        /// (the chain max when Robin Hood swaps displaced residents), so
-        /// the top populated bucket bounds the largest stored probe.
+        /// Edge-cells inspected per RHH placement: one observation per
+        /// insertion attempt, recording how many full-width cells the
+        /// placement touched. The unit is identical on the SWAR tagged
+        /// fast path (which jumps via the tag lane and touches ~1 cell)
+        /// and the seed scalar walk, so before/after distributions in
+        /// `BENCH_probe_swar.json` compare directly.
         rhh_probe: histogram,
         /// Robin Hood swaps: residents displaced to seat a richer arrival.
         rhh_displacements: counter,
         /// Inserts that ran off the end of a full subblock (workblock fetch
         /// / branch-out follows).
         rhh_overflows: counter,
+        /// 8-wide SWAR tag groups scanned across RHH subblock probes (one
+        /// per `u64` fingerprint load). Nonzero proves the tag engine is
+        /// live; together with `rhh_tag_false_positive` it prices the scan
+        /// in cells-inspected terms.
+        rhh_tag_group_scans: counter,
+        /// Tag fingerprint candidates whose full destination compare then
+        /// missed (7-bit collisions). The false-positive *rate* is this
+        /// over scanned tag lanes (`rhh_tag_group_scans` × 8); the CI
+        /// probe smoke bounds it at 2 %.
+        rhh_tag_false_positive: counter,
         /// SGH source-remap placement probe distances: recorded when a new
         /// source is inserted (and for every key on a grow-rehash), not on
         /// lookups — the lookup path is too hot to instrument, and a key's

@@ -12,10 +12,18 @@
 //! lookup sits on the hot path of every single edge update, where SipHash
 //! and the generic `HashMap` layout would dominate the cost the structure is
 //! designed to avoid.
+//!
+//! The table carries a SWAR tag lane (see [`crate::swar`]): one fingerprint
+//! byte per slot plus a [`GROUP`]-byte mirror of the table's head appended
+//! at the tail, so a wrapping probe can always load eight contiguous tag
+//! bytes. SGH never deletes, so an empty tag terminates any probe cluster
+//! exactly — the tagged lookup scans eight slots per `u64` and touches a
+//! full slot only on fingerprint candidates.
 
 use gtinker_types::{VertexId, NIL_VERTEX};
 
-use crate::hash::mix64;
+use crate::hash::{mix64, tag_of_hash};
+use crate::swar::{indices, load, match_empty, match_tag, GROUP, TAG_EMPTY};
 
 /// A slot in the SGH table.
 #[derive(Clone, Copy)]
@@ -33,11 +41,19 @@ const EMPTY_SLOT: Slot = Slot { key: NIL_VERTEX, value: 0, probe: 0 };
 /// Dense remapping unit: original source id <-> dense main-region index.
 pub struct SghUnit {
     slots: Vec<Slot>,
+    /// Tag lane: `slots.len() + GROUP` bytes, where the trailing [`GROUP`]
+    /// bytes mirror the leading ones so wrapping group loads stay
+    /// contiguous. Fingerprint byte when occupied, [`TAG_EMPTY`] otherwise
+    /// (SGH never deletes, so there is no tombstone state).
+    tags: Vec<u8>,
     /// Inverse mapping: dense id -> original id.
     reverse: Vec<VertexId>,
     mask: usize,
     /// Resize when len * 4 > capacity * 3 (load factor 0.75).
     len: usize,
+    /// Scan strategy: SWAR tag groups (default) or the seed scalar probe.
+    /// The lane is maintained either way.
+    probe_tags: bool,
 }
 
 impl SghUnit {
@@ -49,7 +65,21 @@ impl SghUnit {
     /// Creates an empty unit sized for at least `cap` vertices.
     pub fn with_capacity(cap: usize) -> Self {
         let n = cap.next_power_of_two().max(16);
-        SghUnit { slots: vec![EMPTY_SLOT; n], reverse: Vec::new(), mask: n - 1, len: 0 }
+        SghUnit {
+            slots: vec![EMPTY_SLOT; n],
+            tags: vec![TAG_EMPTY; n + GROUP],
+            reverse: Vec::new(),
+            mask: n - 1,
+            len: 0,
+            probe_tags: true,
+        }
+    }
+
+    /// Returns the unit with SWAR tag probing switched on/off (on by
+    /// default; off selects the seed scalar probe for A/B comparison).
+    pub fn probe_tags(mut self, enable: bool) -> Self {
+        self.probe_tags = enable;
+        self
     }
 
     /// Number of distinct source vertices hashed so far (= number of
@@ -65,6 +95,15 @@ impl SghUnit {
         self.len == 0
     }
 
+    /// Writes a tag byte, maintaining the wrap-around mirror.
+    #[inline]
+    fn set_tag(&mut self, pos: usize, tag: u8) {
+        self.tags[pos] = tag;
+        if pos < GROUP {
+            self.tags[self.slots.len() + pos] = tag;
+        }
+    }
+
     /// Looks up the dense id for an original id, if it has been hashed.
     #[inline]
     pub fn get(&self, orig: VertexId) -> Option<u32> {
@@ -77,6 +116,9 @@ impl SghUnit {
     pub fn get_hashed(&self, hash: u64, orig: VertexId) -> Option<u32> {
         debug_assert_ne!(orig, NIL_VERTEX, "NIL_VERTEX is reserved");
         debug_assert_eq!(hash, mix64(orig as u64), "hash must be mix64(orig)");
+        if self.probe_tags {
+            return self.get_tagged(hash, orig);
+        }
         let mut pos = (hash as usize) & self.mask;
         let mut probe: u16 = 0;
         loop {
@@ -91,6 +133,39 @@ impl SghUnit {
             }
             pos = (pos + 1) & self.mask;
             probe += 1;
+        }
+    }
+
+    /// Tagged lookup: scan eight tag bytes per step from the home slot,
+    /// verify fingerprint candidates against the full key, and stop at the
+    /// first group containing a truly-empty slot (exact — SGH never
+    /// deletes, so a probe cluster cannot span an empty slot). The mirror
+    /// tail makes the unaligned wrapping loads contiguous.
+    #[inline]
+    fn get_tagged(&self, hash: u64, orig: VertexId) -> Option<u32> {
+        let n = self.slots.len();
+        let tag = tag_of_hash(hash);
+        let mut at = (hash as usize) & self.mask;
+        let mut scanned = 0usize;
+        loop {
+            let group = load(&self.tags, at);
+            for lane in indices(match_tag(group, tag)) {
+                let i = (at + lane) & self.mask;
+                let s = &self.slots[i];
+                if s.key == orig {
+                    return Some(s.value);
+                }
+            }
+            if match_empty(group) != 0 {
+                return None;
+            }
+            at = (at + GROUP) & self.mask;
+            scanned += GROUP;
+            if scanned >= n {
+                // Defensive: load factor 0.75 guarantees an empty slot, so
+                // a full cycle without one cannot happen on a valid table.
+                return None;
+            }
         }
     }
 
@@ -141,6 +216,43 @@ impl SghUnit {
         self.slots.iter().filter(|s| s.key != NIL_VERTEX).map(|s| s.probe).max().unwrap_or(0)
     }
 
+    /// Checks that every tag byte matches its slot (fingerprint when
+    /// occupied, [`TAG_EMPTY`] when free) and that the mirror tail agrees
+    /// with the table head. Part of `validate_tag_invariants`.
+    pub fn validate_tags(&self) -> Result<(), String> {
+        let n = self.slots.len();
+        if self.tags.len() != n + GROUP {
+            return Err(format!("SGH tag lane length {} != {} + {GROUP}", self.tags.len(), n));
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            let want =
+                if s.key == NIL_VERTEX { TAG_EMPTY } else { tag_of_hash(mix64(s.key as u64)) };
+            if self.tags[i] != want {
+                return Err(format!(
+                    "SGH slot {i} (key {}): tag {:#04x}, want {want:#04x}",
+                    s.key, self.tags[i]
+                ));
+            }
+        }
+        for i in 0..GROUP {
+            if self.tags[n + i] != self.tags[i] {
+                return Err(format!(
+                    "SGH mirror byte {i}: {:#04x} != head {:#04x}",
+                    self.tags[n + i],
+                    self.tags[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Heap footprint of the table in bytes (slots + tags + reverse map).
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot>()
+            + self.tags.capacity()
+            + self.reverse.capacity() * std::mem::size_of::<VertexId>()
+    }
+
     fn insert_fresh(&mut self, key: VertexId, value: u32) {
         self.insert_fresh_hashed(mix64(key as u64), key, value);
     }
@@ -151,22 +263,27 @@ impl SghUnit {
         }
         self.len += 1;
         let mut floating = Slot { key, value, probe: 0 };
+        let mut ftag = tag_of_hash(hash);
         // The mask may have just changed in `grow`; the hash is mask-free.
         let mut pos = (hash as usize) & self.mask;
         loop {
-            let s = &mut self.slots[pos];
-            if s.key == NIL_VERTEX {
+            if self.slots[pos].key == NIL_VERTEX {
                 // Probe histogram sampled on the (rare) new-source path, so
                 // the per-op lookup path stays free of atomic traffic. The
                 // placement probe bounds the lookup probe of this key, and
                 // rehash during `grow` re-records the whole table, keeping
                 // the histogram tracking table health over time.
                 crate::metrics::global().sgh_probe.record(floating.probe as u64);
-                *s = floating;
+                self.slots[pos] = floating;
+                self.set_tag(pos, ftag);
                 return;
             }
-            if s.probe < floating.probe {
-                std::mem::swap(s, &mut floating);
+            if self.slots[pos].probe < floating.probe {
+                // The displaced resident carries its tag byte with it.
+                std::mem::swap(&mut self.slots[pos], &mut floating);
+                let displaced_tag = self.tags[pos];
+                self.set_tag(pos, ftag);
+                ftag = displaced_tag;
             }
             pos = (pos + 1) & self.mask;
             floating.probe += 1;
@@ -177,6 +294,7 @@ impl SghUnit {
         crate::metrics::global().sgh_grows.inc();
         let new_cap = self.slots.len() * 2;
         let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
+        self.tags = vec![TAG_EMPTY; new_cap + GROUP];
         self.mask = self.slots.len() - 1;
         self.len = 0;
         for s in old {
@@ -199,6 +317,7 @@ impl std::fmt::Debug for SghUnit {
             .field("len", &self.len)
             .field("capacity", &self.slots.len())
             .field("max_probe", &self.max_probe())
+            .field("probe_tags", &self.probe_tags)
             .finish()
     }
 }
@@ -246,6 +365,7 @@ mod tests {
             assert_eq!(sgh.original_of(i), i * 3 + 1);
         }
         assert_eq!(sgh.len(), 10_000);
+        sgh.validate_tags().unwrap();
     }
 
     #[test]
@@ -267,6 +387,7 @@ mod tests {
         }
         // Robin Hood at load 0.75 keeps the max probe small; allow slack.
         assert!(sgh.max_probe() < 64, "max probe {} unexpectedly large", sgh.max_probe());
+        sgh.validate_tags().unwrap();
     }
 
     #[test]
@@ -283,11 +404,48 @@ mod tests {
     }
 
     #[test]
+    fn tagged_and_seed_probes_agree() {
+        // Same keys into a tagged and a seed-scanned unit: every present
+        // and absent lookup must agree, through multiple grows (which
+        // rebuild the lane) and wrap-around clusters.
+        let mut tagged = SghUnit::with_capacity(16);
+        let mut seed = SghUnit::with_capacity(16).probe_tags(false);
+        for i in 0..20_000u32 {
+            let orig = i.wrapping_mul(2_654_435_761) | 1;
+            assert_eq!(tagged.get_or_insert(orig), seed.get_or_insert(orig));
+        }
+        for i in 0..40_000u32 {
+            let orig = i.wrapping_mul(2_654_435_761) | 1;
+            assert_eq!(tagged.get(orig), seed.get(orig), "lookup diverged for {orig}");
+            // A key that was never inserted (even ids).
+            assert_eq!(tagged.get(orig ^ 1), seed.get(orig ^ 1));
+        }
+        tagged.validate_tags().unwrap();
+        seed.validate_tags().unwrap();
+    }
+
+    #[test]
+    fn mirror_tracks_head_writes() {
+        // Keys that land in the first GROUP slots must be visible through
+        // the mirror (exercised by wrapping lookups near the table end).
+        let mut sgh = SghUnit::with_capacity(16);
+        for i in 0..12u32 {
+            sgh.get_or_insert(i * 7 + 3);
+        }
+        sgh.validate_tags().unwrap();
+        for i in 0..12u32 {
+            assert!(sgh.get(i * 7 + 3).is_some());
+        }
+    }
+
+    #[test]
     fn empty_unit_behaves() {
         let sgh = SghUnit::new();
         assert!(sgh.is_empty());
         assert_eq!(sgh.get(5), None);
         assert_eq!(sgh.max_probe(), 0);
         assert_eq!(sgh.iter_dense().count(), 0);
+        sgh.validate_tags().unwrap();
+        assert!(sgh.memory_bytes() > 0);
     }
 }

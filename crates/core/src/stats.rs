@@ -31,6 +31,10 @@ pub struct ProbeStats {
     pub deletes: u64,
     /// Delete operations that found no matching edge.
     pub delete_misses: u64,
+    /// 8-wide SWAR tag groups scanned (RHH subblock fingerprint loads).
+    pub tag_group_scans: u64,
+    /// Tag fingerprint matches whose full destination compare then missed.
+    pub tag_false_positives: u64,
 }
 
 impl ProbeStats {
@@ -56,6 +60,8 @@ impl ProbeStats {
         self.updates += other.updates;
         self.deletes += other.deletes;
         self.delete_misses += other.delete_misses;
+        self.tag_group_scans += other.tag_group_scans;
+        self.tag_false_positives += other.tag_false_positives;
     }
 }
 
@@ -130,6 +136,8 @@ mod tests {
             updates: 7,
             deletes: 8,
             delete_misses: 9,
+            tag_group_scans: 10,
+            tag_false_positives: 11,
         };
         let b = ProbeStats {
             operations: 10,
@@ -142,6 +150,8 @@ mod tests {
             updates: 70,
             deletes: 80,
             delete_misses: 90,
+            tag_group_scans: 100,
+            tag_false_positives: 110,
         };
         a.merge(&b);
         assert_eq!(a.operations, 11);
@@ -154,5 +164,7 @@ mod tests {
         assert_eq!(a.updates, 77);
         assert_eq!(a.deletes, 88);
         assert_eq!(a.delete_misses, 99);
+        assert_eq!(a.tag_group_scans, 110);
+        assert_eq!(a.tag_false_positives, 121);
     }
 }

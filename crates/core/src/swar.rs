@@ -1,0 +1,255 @@
+//! Safe-Rust SWAR group-probe primitives over packed 1-byte slot tags.
+//!
+//! SwissTable-style control bytes: every slot in a probed table carries one
+//! tag byte holding either a 7-bit hash fingerprint (occupied, high bit
+//! clear) or a vacancy sentinel (high bit set — [`TAG_EMPTY`] for
+//! never-used, [`TAG_TOMBSTONE`] for deleted). A probe loads eight tags as
+//! one little-endian `u64` and answers "which bytes match this fingerprint /
+//! are vacant / are empty" with three or four ALU ops, so full-width cells
+//! are only touched on candidate hits. Everything here is plain integer
+//! arithmetic on `u64` — no `std::simd` (unstable) and no pointer casts,
+//! which keeps the crate's `#![forbid(unsafe_code)]` intact while still
+//! scanning a whole cache-line's worth of tags per iteration.
+//!
+//! The fingerprint matcher uses the classic haszero trick on the XOR of the
+//! group and a broadcast tag: `(x - 0x0101..) & !x & 0x8080..` has the high
+//! bit of byte *i* set when byte *i* of `x` is zero. Borrow propagation can
+//! additionally set high bits in bytes *more significant* than a true zero
+//! byte (e.g. an `0x01` byte directly above a `0x00` byte), so the mask may
+//! contain false positives above the first true match — callers always
+//! verify candidates against the full key, so a spurious bit costs one
+//! extra compare and never affects correctness. The lowest set bit is
+//! always a true match. The vacancy and empty matchers are exact (pure bit
+//! tests, no subtraction).
+
+/// Tags scanned per SWAR step: one `u64` = 8 bytes.
+pub const GROUP: usize = 8;
+
+/// Tag for a never-occupied slot (high bit and all fingerprint bits set).
+pub const TAG_EMPTY: u8 = 0xFF;
+
+/// Tag for a deleted slot (high bit set, fingerprint bits clear).
+pub const TAG_TOMBSTONE: u8 = 0x80;
+
+/// Every-byte-LSB constant for the haszero trick.
+const LSB: u64 = 0x0101_0101_0101_0101;
+
+/// Every-byte-MSB constant: the "vacant" bit lane.
+const MSB: u64 = 0x8080_8080_8080_8080;
+
+/// Whether a tag byte denotes an occupied slot (fingerprint, high bit 0).
+#[inline]
+pub fn tag_is_occupied(tag: u8) -> bool {
+    tag & 0x80 == 0
+}
+
+/// Broadcasts a byte into all eight lanes of a `u64`.
+#[inline]
+pub fn repeat(b: u8) -> u64 {
+    (b as u64).wrapping_mul(LSB)
+}
+
+/// Loads exactly [`GROUP`] tag bytes starting at `at` (little-endian, so
+/// byte index within the group == lane index in the match masks). The
+/// slice must hold at least `at + GROUP` bytes.
+#[inline]
+pub fn load(tags: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(tags[at..at + GROUP].try_into().expect("GROUP bytes"))
+}
+
+/// Loads up to [`GROUP`] tag bytes starting at `at`, padding past the end
+/// of the slice with [`TAG_EMPTY`]. Lets callers scan tables shorter than
+/// a group (or a ragged tail) with the same primitives; padded lanes read
+/// as empty, which match-tag never hits and vacancy scans must bound-check.
+#[inline]
+pub fn load_padded(tags: &[u8], at: usize) -> u64 {
+    let avail = tags.len().saturating_sub(at).min(GROUP);
+    let mut buf = [TAG_EMPTY; GROUP];
+    buf[..avail].copy_from_slice(&tags[at..at + avail]);
+    u64::from_le_bytes(buf)
+}
+
+/// Mask of candidate lanes whose tag byte equals `tag`. High bit of lane
+/// *i* set → byte *i* is a candidate. May contain false positives in lanes
+/// above a true match (see module docs); the lowest set lane is exact.
+/// `tag` must be an occupied fingerprint (high bit clear) — sentinel bytes
+/// never XOR to zero against one.
+#[inline]
+pub fn match_tag(group: u64, tag: u8) -> u64 {
+    debug_assert!(tag_is_occupied(tag), "match_tag takes a fingerprint, not a sentinel");
+    let x = group ^ repeat(tag);
+    x.wrapping_sub(LSB) & !x & MSB
+}
+
+/// Mask of vacant lanes (empty **or** tombstone): exactly the high bit of
+/// every sentinel byte. Exact — occupied fingerprints have the high bit
+/// clear by construction.
+#[inline]
+pub fn match_vacant(group: u64) -> u64 {
+    group & MSB
+}
+
+/// Mask of truly-empty lanes ([`TAG_EMPTY`] only, tombstones excluded).
+/// Exact over the tag alphabet: it tests bits 7 *and* 6, and among legal
+/// tag bytes only `0xFF` has both set (occupied tags clear bit 7;
+/// `TAG_TOMBSTONE` clears bit 6). Bytes `0xC0..=0xFE` would also fire,
+/// but no maintained tag lane ever contains them.
+#[inline]
+pub fn match_empty(group: u64) -> u64 {
+    group & (group << 1) & MSB
+}
+
+/// Mask selecting the low `lanes` lanes of a match mask (all lanes when
+/// `lanes >= GROUP`). Used to drop padded or out-of-window lanes from
+/// vacancy scans, where the [`TAG_EMPTY`] padding would otherwise read as
+/// a real empty slot.
+#[inline]
+pub fn low_lanes(lanes: usize) -> u64 {
+    if lanes >= GROUP {
+        !0
+    } else {
+        (1u64 << (lanes * 8)) - 1
+    }
+}
+
+/// Lane index (0..8) of the lowest set bit of a match mask, if any.
+#[inline]
+pub fn first_index(mask: u64) -> Option<usize> {
+    if mask == 0 {
+        None
+    } else {
+        Some((mask.trailing_zeros() >> 3) as usize)
+    }
+}
+
+/// Iterator over the lane indices set in a match mask, lowest first.
+#[derive(Debug, Clone, Copy)]
+pub struct MaskIter(u64);
+
+impl Iterator for MaskIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = (self.0.trailing_zeros() >> 3) as usize;
+        self.0 &= self.0 - 1;
+        Some(i)
+    }
+}
+
+/// Iterates the lane indices set in a match mask.
+#[inline]
+pub fn indices(mask: u64) -> MaskIter {
+    MaskIter(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_classes_are_disjoint() {
+        assert!(!tag_is_occupied(TAG_EMPTY));
+        assert!(!tag_is_occupied(TAG_TOMBSTONE));
+        for fp in 0u8..0x80 {
+            assert!(tag_is_occupied(fp));
+        }
+    }
+
+    #[test]
+    fn match_tag_finds_every_true_position() {
+        for pos in 0..GROUP {
+            let mut tags = [TAG_EMPTY; GROUP];
+            tags[pos] = 0x2A;
+            let m = match_tag(load(&tags, 0), 0x2A);
+            assert!(indices(m).any(|i| i == pos), "missed lane {pos}");
+            assert_eq!(first_index(m), Some(pos));
+        }
+    }
+
+    #[test]
+    fn match_tag_lowest_lane_is_exact_and_no_false_negatives() {
+        // Adversarial group exercising the borrow-propagation false
+        // positive: a 0x2B byte (target+1) directly above a true match.
+        let tags = [0x2Au8, 0x2B, 0x00, 0x2A, TAG_TOMBSTONE, 0x7F, TAG_EMPTY, 0x2A];
+        let m = match_tag(load(&tags, 0), 0x2A);
+        let hits: Vec<usize> = indices(m).collect();
+        // All true positions present...
+        for want in [0, 3, 7] {
+            assert!(hits.contains(&want), "missing true match {want}: {hits:?}");
+        }
+        // ...the lowest is exact, and any extras are verifiable supersets.
+        assert_eq!(first_index(m), Some(0));
+        for i in &hits {
+            assert!(tags[*i] == 0x2A || *i > 0, "false positive below first true match");
+        }
+    }
+
+    #[test]
+    fn vacant_and_empty_masks_are_exact() {
+        let tags = [0x00u8, TAG_EMPTY, 0x7F, TAG_TOMBSTONE, 0x2A, TAG_EMPTY, 0x01, TAG_TOMBSTONE];
+        let g = load(&tags, 0);
+        let vacant: Vec<usize> = indices(match_vacant(g)).collect();
+        assert_eq!(vacant, vec![1, 3, 5, 7]);
+        let empty: Vec<usize> = indices(match_empty(g)).collect();
+        assert_eq!(empty, vec![1, 5]);
+    }
+
+    #[test]
+    fn exhaustive_single_byte_semantics() {
+        // Every *legal* tag value in lane 0 against an otherwise-occupied
+        // group: the three matchers must classify lane 0 exactly. The legal
+        // alphabet is fingerprints plus the two sentinels — `match_empty`
+        // is only exact over that alphabet (see its docs).
+        let legal = (0u8..0x80).chain([TAG_TOMBSTONE, TAG_EMPTY]);
+        for t in legal {
+            let tags = [t, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17];
+            let g = load(&tags, 0);
+            assert_eq!(match_vacant(g) & 0x80 != 0, !tag_is_occupied(t), "vacant({t:#04x})");
+            assert_eq!(match_empty(g) & 0x80 != 0, t == TAG_EMPTY, "empty({t:#04x})");
+            if tag_is_occupied(t) {
+                assert!(match_tag(g, t) & 0x80 != 0, "self-match({t:#04x})");
+            }
+        }
+    }
+
+    #[test]
+    fn load_padded_fills_with_empty() {
+        let tags = [0x2Au8, 0x01, 0x02];
+        let g = load_padded(&tags, 1);
+        assert_eq!(g & 0xFF, 0x01);
+        assert_eq!((g >> 8) & 0xFF, 0x02);
+        for lane in 2..GROUP {
+            assert_eq!((g >> (lane * 8)) & 0xFF, TAG_EMPTY as u64, "lane {lane} not padded");
+        }
+        // Past-the-end load is all empty.
+        assert_eq!(load_padded(&tags, 3), repeat(TAG_EMPTY));
+        let m = match_tag(load_padded(&tags, 0), 0x2A);
+        assert_eq!(first_index(m), Some(0));
+    }
+
+    #[test]
+    fn low_lanes_bounds() {
+        assert_eq!(low_lanes(0), 0);
+        assert_eq!(low_lanes(1), 0xFF);
+        assert_eq!(low_lanes(4), 0xFFFF_FFFF);
+        assert_eq!(low_lanes(8), !0);
+        assert_eq!(low_lanes(99), !0);
+        // Padding past a 3-tag table must not read as vacancies.
+        let tags = [0x01u8, 0x02, 0x03];
+        assert_eq!(match_vacant(load_padded(&tags, 0)) & low_lanes(tags.len()), 0);
+    }
+
+    #[test]
+    fn mask_iteration_clears_low_bits_first() {
+        let mut tags = [0x05u8; GROUP];
+        tags[2] = TAG_EMPTY;
+        tags[6] = TAG_EMPTY;
+        let hits: Vec<usize> = indices(match_vacant(load(&tags, 0))).collect();
+        assert_eq!(hits, vec![2, 6]);
+        assert_eq!(first_index(0), None);
+    }
+}

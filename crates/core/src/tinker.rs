@@ -20,11 +20,15 @@ use gtinker_types::{
 
 use crate::cal::CalArray;
 use crate::edgeblock::{BlockArena, BlockId, CellState, EdgeCell};
-use crate::hash::{source_hash, subblock_and_bucket};
+use crate::hash::{dst_tag, edge_hash, source_hash, split_hash, subblock_and_bucket, tag_of_hash};
 use crate::hubseg::HubSegment;
-use crate::rhh::{find_in_subblock, linear_insert, rhh_insert, Floating, RhhOutcome};
+use crate::rhh::{
+    find_in_subblock, find_in_subblock_tagged, has_vacant_tags, linear_insert,
+    linear_insert_tagged, rhh_insert, vacant_tag, Floating, RhhOutcome,
+};
 use crate::sgh::SghUnit;
 use crate::stats::{ProbeStats, StructureStats};
+use crate::swar::{TAG_EMPTY, TAG_TOMBSTONE};
 use crate::vertex::{InlineAdj, Tier, VertexPropertyArray};
 
 /// Outcome counts of applying an [`EdgeBatch`].
@@ -64,6 +68,8 @@ struct FindCost {
     subblocks: u64,
     workblocks: u64,
     depth: u32,
+    tag_groups: u64,
+    tag_false_positives: u64,
 }
 
 /// The GraphTinker dynamic-graph data structure.
@@ -118,7 +124,7 @@ impl GraphTinker {
         Ok(GraphTinker {
             arena: BlockArena::new(config.pagewidth, config.subblock),
             top_blocks: Vec::new(),
-            sgh: config.enable_sgh.then(SghUnit::new),
+            sgh: config.enable_sgh.then(|| SghUnit::new().probe_tags(config.probe_tags)),
             props: VertexPropertyArray::new(),
             cal: config
                 .enable_cal
@@ -248,26 +254,51 @@ impl GraphTinker {
 
     /// FIND mode: walks the subblock chain of `top` for `dst`. Pure (no
     /// stats mutation); returns the location and the traversal cost.
-    fn locate(&self, top: BlockId, dst: VertexId) -> (Option<(BlockId, usize)>, FindCost) {
+    ///
+    /// `h0` is the precomputed depth-0 [`edge_hash`] of `dst` — it seeds
+    /// both the depth-0 bucket split and the SWAR tag, so the hot find
+    /// path mixes the destination exactly once. With tag probing enabled
+    /// only fingerprint-matching candidate cells are inspected; the seed
+    /// path scans whole subblocks.
+    fn locate(&self, top: BlockId, dst: VertexId, h0: u64) -> (Option<(BlockId, usize)>, FindCost) {
         let spb = self.arena.subblocks_per_block();
         let sublen = self.arena.subblock_len();
+        let tagged = self.config.probe_tags;
+        let tag = tag_of_hash(h0);
         let mut cost = FindCost::default();
         let mut block = top;
         let mut depth: u32 = 0;
         loop {
-            let (sub, _) = subblock_and_bucket(dst, depth, spb, sublen);
+            let (sub, _) = if depth == 0 {
+                split_hash(h0, spb, sublen)
+            } else {
+                subblock_and_bucket(dst, depth, spb, sublen)
+            };
             cost.subblocks += 1;
             let cells = self.arena.subblock_cells(block, sub);
-            if let Some(off) = find_in_subblock(cells, dst) {
+            if tagged {
+                let tags = self.arena.subblock_tags(block, sub);
+                let scan = find_in_subblock_tagged(cells, tags, dst, tag);
+                cost.tag_groups += scan.groups;
+                cost.tag_false_positives += scan.false_positives;
+                cost.cells += scan.inspected;
+                // The tag lane itself is one fetch; candidate cells add more.
+                cost.workblocks += self.workblocks_for(scan.inspected).max(1);
+                cost.depth = depth;
+                if let Some(off) = scan.hit {
+                    return (Some((block, sub * sublen + off)), cost);
+                }
+            } else if let Some(off) = find_in_subblock(cells, dst) {
                 // The matching workblock and its predecessors were fetched.
                 cost.cells += (off + 1) as u64;
                 cost.workblocks += self.workblocks_for((off + 1) as u64);
                 cost.depth = depth;
                 return (Some((block, sub * sublen + off)), cost);
+            } else {
+                cost.cells += sublen as u64;
+                cost.workblocks += self.workblocks_for(sublen as u64);
+                cost.depth = depth;
             }
-            cost.cells += sublen as u64;
-            cost.workblocks += self.workblocks_for(sublen as u64);
-            cost.depth = depth;
             match self.arena.child(block, sub) {
                 Some(c) => {
                     block = c;
@@ -283,6 +314,8 @@ impl GraphTinker {
         self.stats.subblocks_visited += cost.subblocks;
         self.stats.workblocks_fetched += cost.workblocks;
         self.stats.max_depth = self.stats.max_depth.max(cost.depth);
+        self.stats.tag_group_scans += cost.tag_groups;
+        self.stats.tag_false_positives += cost.tag_false_positives;
     }
 
     /// Inserts an edge; returns `true` if it was new, `false` if an existing
@@ -293,6 +326,7 @@ impl GraphTinker {
     /// vacant cell, so a miss can anchor the new edge without re-traversing
     /// the chain. RHH displacement still runs within the target subblock.
     pub fn insert_edge(&mut self, e: Edge) -> bool {
+        let tags0 = (self.stats.tag_group_scans, self.stats.tag_false_positives);
         let fresh = self.insert_edge_local(e);
         let m = crate::metrics::global();
         if fresh {
@@ -300,7 +334,24 @@ impl GraphTinker {
         } else {
             m.tinker_updates.inc();
         }
+        self.flush_tag_counters(tags0);
         fresh
+    }
+
+    /// Flushes the delta of the instance tag counters since `before`
+    /// (`(tag_group_scans, tag_false_positives)`) to the global metrics.
+    /// Batched entry points snapshot once per batch so the instrumented
+    /// ingest path pays one atomic RMW per counter per batch.
+    fn flush_tag_counters(&self, before: (u64, u64)) {
+        let m = crate::metrics::global();
+        let groups = self.stats.tag_group_scans - before.0;
+        let fps = self.stats.tag_false_positives - before.1;
+        if groups > 0 {
+            m.rhh_tag_group_scans.add(groups);
+        }
+        if fps > 0 {
+            m.rhh_tag_false_positive.add(fps);
+        }
     }
 
     /// [`insert_edge`](Self::insert_edge) minus the global metric counters:
@@ -316,7 +367,10 @@ impl GraphTinker {
         self.stats.operations += 1;
         // The source hash is mixed exactly once per operation: the lookup
         // and (on a miss) the SGH registration both reuse it, on every tier.
+        // The destination is likewise mixed once — its depth-0 hash seeds
+        // both the depth-0 bucket split and the SWAR fingerprint.
         let src_hash = source_hash(e.src);
+        let h0 = edge_hash(e.dst, 0);
         let dense = match self.dense_lookup_hashed(e.src, src_hash) {
             Some(d) => d,
             None => self.dense_insert_absent(e.src, src_hash),
@@ -324,27 +378,30 @@ impl GraphTinker {
         if self.adaptive {
             self.ensure_tier_slots(dense);
             match self.tiers[dense as usize] {
-                Tier::Inline => self.insert_inline(dense, e),
-                Tier::Blocks => self.insert_blocks(dense, e),
-                Tier::Hub => self.insert_hub(dense, e),
+                Tier::Inline => self.insert_inline(dense, e, h0),
+                Tier::Blocks => self.insert_blocks(dense, e, h0),
+                Tier::Hub => self.insert_hub(dense, e, h0),
             }
         } else {
-            self.insert_blocks(dense, e)
+            self.insert_blocks(dense, e, h0)
         }
     }
 
     /// Insert into the RHH edgeblock tier (the only tier when adaptive
-    /// layout is disabled). `dense` is already resolved.
-    fn insert_blocks(&mut self, dense: u32, e: Edge) -> bool {
+    /// layout is disabled). `dense` is already resolved; `h0` is the
+    /// precomputed depth-0 [`edge_hash`] of the destination.
+    fn insert_blocks(&mut self, dense: u32, e: Edge, h0: u64) -> bool {
         let spb = self.arena.subblocks_per_block();
         let sublen = self.arena.subblock_len();
+        let tagged = self.config.probe_tags;
+        let tag = tag_of_hash(h0);
 
         // Existing-edge fast path: a repeat insertion of an un-displaced
         // edge sits in its home bucket of the top block's depth-0 subblock.
         // One probe settles it (weight update + CAL refresh) without the
         // full FIND walk; any miss falls through to the general path.
         if let Some(top) = self.top_block(dense) {
-            let (sub, bucket) = subblock_and_bucket(e.dst, 0, spb, sublen);
+            let (sub, bucket) = split_hash(h0, spb, sublen);
             let cell = self.arena.subblock_cells(top, sub)[bucket];
             if cell.is_occupied() && cell.dst == e.dst {
                 self.stats.subblocks_visited += 1;
@@ -371,12 +428,43 @@ impl GraphTinker {
         let mut candidate: Option<(BlockId, usize, usize)> = None;
         let (tail_block, tail_sub);
         loop {
-            let (sub, bucket) = subblock_and_bucket(e.dst, depth, spb, sublen);
+            let (sub, bucket) = if depth == 0 {
+                split_hash(h0, spb, sublen)
+            } else {
+                subblock_and_bucket(e.dst, depth, spb, sublen)
+            };
             self.stats.subblocks_visited += 1;
-            let cells = self.arena.subblock_cells(block, sub);
-            if let Some(off) = find_in_subblock(cells, e.dst) {
-                self.stats.cells_inspected += (off + 1) as u64;
-                self.stats.workblocks_fetched += self.workblocks_for((off + 1) as u64);
+            let hit = if tagged {
+                let cells = self.arena.subblock_cells(block, sub);
+                let tags = self.arena.subblock_tags(block, sub);
+                let scan = find_in_subblock_tagged(cells, tags, e.dst, tag);
+                self.stats.tag_group_scans += scan.groups;
+                self.stats.tag_false_positives += scan.false_positives;
+                self.stats.cells_inspected += scan.inspected;
+                self.stats.workblocks_fetched += self.workblocks_for(scan.inspected).max(1);
+                if scan.hit.is_none() && candidate.is_none() && has_vacant_tags(tags) {
+                    candidate = Some((block, sub, bucket));
+                }
+                scan.hit
+            } else {
+                let cells = self.arena.subblock_cells(block, sub);
+                let found = find_in_subblock(cells, e.dst);
+                match found {
+                    Some(off) => {
+                        self.stats.cells_inspected += (off + 1) as u64;
+                        self.stats.workblocks_fetched += self.workblocks_for((off + 1) as u64);
+                    }
+                    None => {
+                        self.stats.cells_inspected += sublen as u64;
+                        self.stats.workblocks_fetched += self.workblocks_for(sublen as u64);
+                        if candidate.is_none() && cells.iter().any(|c| c.is_vacant()) {
+                            candidate = Some((block, sub, bucket));
+                        }
+                    }
+                }
+                found
+            };
+            if let Some(off) = hit {
                 let offset = sub * sublen + off;
                 let cell = self.arena.cell_mut(block, offset);
                 cell.weight = e.weight;
@@ -388,11 +476,6 @@ impl GraphTinker {
                 }
                 self.stats.updates += 1;
                 return false;
-            }
-            self.stats.cells_inspected += sublen as u64;
-            self.stats.workblocks_fetched += self.workblocks_for(sublen as u64);
-            if candidate.is_none() && cells.iter().any(|c| c.is_vacant()) {
-                candidate = Some((block, sub, bucket));
             }
             match self.arena.child(block, sub) {
                 Some(c) => {
@@ -432,11 +515,13 @@ impl GraphTinker {
         };
         let mut touched = 0u64;
         let outcome = {
-            let cells = self.arena.subblock_cells_mut(target_block, target_sub);
+            let (cells, tags) = self.arena.subblock_cells_and_tags_mut(target_block, target_sub);
             if rhh {
-                rhh_insert(cells, target_bucket, floating, &mut touched)
+                rhh_insert(cells, tags, target_bucket, floating, tag, &mut touched)
+            } else if tagged {
+                linear_insert_tagged(cells, tags, target_bucket, floating, tag, &mut touched)
             } else {
-                linear_insert(cells, target_bucket, floating, &mut touched)
+                linear_insert(cells, tags, target_bucket, floating, tag, &mut touched)
             }
         };
         self.stats.cells_inspected += touched;
@@ -461,7 +546,7 @@ impl GraphTinker {
 
     /// Insert into the inline tier; a full inline entry promotes the vertex
     /// to the edgeblock tier and retries there.
-    fn insert_inline(&mut self, dense: u32, e: Edge) -> bool {
+    fn insert_inline(&mut self, dense: u32, e: Edge, h0: u64) -> bool {
         let idx = dense as usize;
         // Nominal probe accounting: one 4-wide compare over the entry.
         self.stats.subblocks_visited += 1;
@@ -488,18 +573,24 @@ impl GraphTinker {
             return true;
         }
         self.promote_inline_to_blocks(dense);
-        self.insert_blocks(dense, e)
+        self.insert_blocks(dense, e, h0)
     }
 
     /// Insert into the dense hub tier.
-    fn insert_hub(&mut self, dense: u32, e: Edge) -> bool {
+    fn insert_hub(&mut self, dense: u32, e: Edge, h0: u64) -> bool {
         let h = self.hub_of[dense as usize] as usize;
+        let tag = tag_of_hash(h0);
         // Nominal probe accounting: the gallop narrows to a scan window
         // in the main run, plus (at most) one more over the tail.
         self.stats.subblocks_visited += 1;
         self.stats.cells_inspected += 2 * crate::hubseg::SCAN_WINDOW as u64;
         self.stats.workblocks_fetched += 1;
-        if let Some(i) = self.hubs[h].find(e.dst) {
+        let found = if self.config.probe_tags {
+            self.hubs[h].find_tagged(e.dst, tag)
+        } else {
+            self.hubs[h].find(e.dst)
+        };
+        if let Some(i) = found {
             self.hubs[h].set_weight(i, e.weight);
             // Only touch the parallel cal_ptrs array when a CAL exists —
             // otherwise a weight update costs an extra cache line for
@@ -517,7 +608,7 @@ impl GraphTinker {
             Some(cal) => cal.insert(dense, e.src, e.dst, e.weight),
             None => NIL_U32,
         };
-        self.hubs[h].insert(e.dst, e.weight, cal_ptr);
+        self.hubs[h].insert_tagged(e.dst, e.weight, cal_ptr, tag);
         self.note_insert(dense, e.src);
         true
     }
@@ -615,11 +706,20 @@ impl GraphTinker {
         let spb = self.arena.subblocks_per_block();
         let sublen = self.arena.subblock_len();
         let rhh = self.rhh_enabled();
+        let tagged = self.config.probe_tags;
+        // Tier migration is a cold path: recomputing the fingerprint here
+        // keeps the hot-path plumbing (which hoists it) uncluttered.
+        let tag = dst_tag(f.dst);
         let mut block = self.ensure_top_block(dense);
         let mut depth: u32 = 0;
         let (target_block, target_sub, target_bucket) = loop {
             let (sub, bucket) = subblock_and_bucket(f.dst, depth, spb, sublen);
-            if self.arena.subblock_cells(block, sub).iter().any(|c| c.is_vacant()) {
+            let vacant = if tagged {
+                has_vacant_tags(self.arena.subblock_tags(block, sub))
+            } else {
+                self.arena.subblock_cells(block, sub).iter().any(|c| c.is_vacant())
+            };
+            if vacant {
                 break (block, sub, bucket);
             }
             match self.arena.child(block, sub) {
@@ -641,11 +741,13 @@ impl GraphTinker {
         };
         self.stats.max_depth = self.stats.max_depth.max(depth);
         let mut touched = 0u64;
-        let cells = self.arena.subblock_cells_mut(target_block, target_sub);
+        let (cells, tags) = self.arena.subblock_cells_and_tags_mut(target_block, target_sub);
         let outcome = if rhh {
-            rhh_insert(cells, target_bucket, f, &mut touched)
+            rhh_insert(cells, tags, target_bucket, f, tag, &mut touched)
+        } else if tagged {
+            linear_insert_tagged(cells, tags, target_bucket, f, tag, &mut touched)
         } else {
-            linear_insert(cells, target_bucket, f, &mut touched)
+            linear_insert(cells, tags, target_bucket, f, tag, &mut touched)
         };
         let RhhOutcome::Placed = outcome else { unreachable!("vacancy was scouted") };
         self.arena.add_live(target_block, 1);
@@ -735,6 +837,7 @@ impl GraphTinker {
 
     /// Deletes the edge `(src, dst)`. Returns `true` if it existed.
     pub fn delete_edge(&mut self, src: VertexId, dst: VertexId) -> bool {
+        let tags0 = (self.stats.tag_group_scans, self.stats.tag_false_positives);
         let deleted = self.delete_edge_local(src, dst);
         let m = crate::metrics::global();
         if deleted {
@@ -742,6 +845,7 @@ impl GraphTinker {
         } else {
             m.tinker_delete_misses.inc();
         }
+        self.flush_tag_counters(tags0);
         deleted
     }
 
@@ -759,17 +863,19 @@ impl GraphTinker {
     }
 
     fn delete_edge_inner(&mut self, src: VertexId, dst: VertexId) -> bool {
-        // One hash per operation, shared by the SGH probe on every tier.
+        // One hash per operation, shared by the SGH probe on every tier;
+        // the destination hash likewise seeds bucket and tag exactly once.
         let src_hash = source_hash(src);
+        let h0 = edge_hash(dst, 0);
         let Some(dense) = self.dense_lookup_hashed(src, src_hash) else { return false };
         if self.adaptive {
-            return self.delete_adaptive(dense, dst);
+            return self.delete_adaptive(dense, dst, h0);
         }
-        self.delete_blocks(dense, dst)
+        self.delete_blocks(dense, dst, h0)
     }
 
     /// Tier-dispatched delete, with hysteresis demotions.
-    fn delete_adaptive(&mut self, dense: u32, dst: VertexId) -> bool {
+    fn delete_adaptive(&mut self, dense: u32, dst: VertexId, h0: u64) -> bool {
         // A source registered by `import_sources` but never inserted through
         // the adaptive path has no tier slot (and no edges).
         if dense as usize >= self.tiers.len() {
@@ -792,7 +898,7 @@ impl GraphTinker {
                 true
             }
             Tier::Blocks => {
-                let deleted = self.delete_blocks(dense, dst);
+                let deleted = self.delete_blocks(dense, dst, h0);
                 if deleted
                     && self.config.inline_cap > 0
                     && self.props.out_degree(dense) as usize * 2 <= self.config.inline_cap
@@ -806,7 +912,12 @@ impl GraphTinker {
                 self.stats.subblocks_visited += 1;
                 self.stats.cells_inspected += 2 * crate::hubseg::SCAN_WINDOW as u64;
                 self.stats.workblocks_fetched += 1;
-                let Some(i) = self.hubs[h].find(dst) else { return false };
+                let found = if self.config.probe_tags {
+                    self.hubs[h].find_tagged(dst, tag_of_hash(h0))
+                } else {
+                    self.hubs[h].find(dst)
+                };
+                let Some(i) = found else { return false };
                 let ptr = self.hubs[h].remove(i);
                 if ptr != NIL_U32 {
                     if let Some(cal) = &mut self.cal {
@@ -824,24 +935,23 @@ impl GraphTinker {
 
     /// Delete from the RHH edgeblock tier (the only tier when adaptive
     /// layout is disabled).
-    fn delete_blocks(&mut self, dense: u32, dst: VertexId) -> bool {
+    fn delete_blocks(&mut self, dense: u32, dst: VertexId, h0: u64) -> bool {
         let Some(top) = self.top_block(dense) else { return false };
-        let (found, cost) = self.locate(top, dst);
+        let (found, cost) = self.locate(top, dst, h0);
         self.absorb_cost(cost);
         let Some((block, offset)) = found else { return false };
 
         let sublen = self.arena.subblock_len();
         let sub = offset / sublen;
+        let tombstone = self.config.delete_mode == DeleteMode::DeleteOnly;
         let cell = self.arena.cell_mut(block, offset);
         let cal_ptr = cell.cal_ptr;
-        match self.config.delete_mode {
-            DeleteMode::DeleteOnly => {
-                *cell = EdgeCell { state: CellState::Tombstone, ..EdgeCell::EMPTY };
-            }
-            DeleteMode::DeleteAndCompact => {
-                *cell = EdgeCell::EMPTY;
-            }
+        if tombstone {
+            *cell = EdgeCell { state: CellState::Tombstone, ..EdgeCell::EMPTY };
+        } else {
+            *cell = EdgeCell::EMPTY;
         }
+        self.arena.set_tag(block, offset, vacant_tag(tombstone));
         self.arena.add_live(block, -1);
         if cal_ptr != NIL_U32 {
             if let Some(cal) = &mut self.cal {
@@ -913,11 +1023,15 @@ impl GraphTinker {
             .expect("donor block advertises live edges");
         let moved = *self.arena.cell(donor, donor_off);
         *self.arena.cell_mut(donor, donor_off) = EdgeCell::EMPTY;
+        self.arena.set_tag(donor, donor_off, TAG_EMPTY);
         self.arena.add_live(donor, -1);
 
         // Anchor it in the freed slot. Probe distances carry no meaning in
-        // compact mode (finds scan whole subblocks), so store 0.
+        // compact mode (finds scan whole subblocks), so store 0. The tag
+        // lane follows the edge: fingerprints are depth-independent, so the
+        // moved cell's tag is valid at its new depth too.
         *self.arena.cell_mut(block, offset) = EdgeCell { probe: 0, ..moved };
+        self.arena.set_tag(block, offset, dst_tag(moved.dst));
         self.arena.add_live(block, 1);
         crate::metrics::global().tinker_backfill_moves.inc();
 
@@ -960,7 +1074,7 @@ impl GraphTinker {
             }
         }
         let top = self.top_block(dense)?;
-        let (found, _) = self.locate(top, dst);
+        let (found, _) = self.locate(top, dst, edge_hash(dst, 0));
         found.map(|(b, off)| self.arena.cell(b, off).weight)
     }
 
@@ -982,6 +1096,7 @@ impl GraphTinker {
     /// counter per batch), keeping the instrumented ingest path within the
     /// metrics-overhead budget.
     pub fn apply_batch(&mut self, batch: &EdgeBatch) -> BatchResult {
+        let tags0 = (self.stats.tag_group_scans, self.stats.tag_false_positives);
         let mut r = BatchResult::default();
         for op in batch.iter() {
             match *op {
@@ -1006,6 +1121,7 @@ impl GraphTinker {
         m.tinker_updates.add(r.updated);
         m.tinker_deletes.add(r.deleted);
         m.tinker_delete_misses.add(r.not_found);
+        self.flush_tag_counters(tags0);
         r
     }
 
@@ -1502,6 +1618,57 @@ impl GraphTinker {
                     }
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Checks the SWAR tag lanes against ground truth over the whole
+    /// structure (diagnostic / test hook; valid in both delete modes and
+    /// regardless of [`TinkerConfig::probe_tags`], because tag maintenance
+    /// is unconditional):
+    ///
+    /// 1. every edgeblock cell's tag byte matches its state — the
+    ///    destination fingerprint when occupied, [`TAG_EMPTY`] when empty,
+    ///    [`TAG_TOMBSTONE`] when tombstoned;
+    /// 2. the SGH slot-table tag lane (including its wrap-around mirror)
+    ///    matches the resident keys;
+    /// 3. every hub segment's tail-tag lane matches its unsorted tail keys.
+    ///
+    /// Returns the first violation as an error string.
+    pub fn validate_tag_invariants(&self) -> std::result::Result<(), String> {
+        let pw = self.arena.pagewidth();
+        for dense in 0..self.top_blocks.len() as u32 {
+            let Some(top) = self.top_block(dense) else { continue };
+            let mut stack = vec![top];
+            while let Some(b) = stack.pop() {
+                for off in 0..pw {
+                    let cell = self.arena.cell(b, off);
+                    let expect = match cell.state {
+                        CellState::Occupied => dst_tag(cell.dst),
+                        CellState::Empty => TAG_EMPTY,
+                        CellState::Tombstone => TAG_TOMBSTONE,
+                    };
+                    let got = self.arena.tag(b, off);
+                    if got != expect {
+                        return Err(format!(
+                            "block {b} offset {off}: cell state {:?} (dst {}) expects tag \
+                             {expect:#04x} but the lane holds {got:#04x}",
+                            cell.state, cell.dst
+                        ));
+                    }
+                }
+                for &c in self.arena.child_slots(b) {
+                    if c != NIL_U32 {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        if let Some(sgh) = &self.sgh {
+            sgh.validate_tags().map_err(|e| format!("sgh: {e}"))?;
+        }
+        for (h, seg) in self.hubs.iter().enumerate() {
+            seg.validate_tail_tags().map_err(|e| format!("hub {h}: {e}"))?;
         }
         Ok(())
     }
@@ -2142,6 +2309,74 @@ mod tests {
         for src in 0..211u32 {
             let deg = model.keys().filter(|&&(s, _)| s == src).count() as u32;
             assert_eq!(g.out_degree(src), deg, "degree mismatch for {src}");
+        }
+    }
+
+    /// Mixed churn on one store; returns it for post-hoc validation.
+    fn churned(cfg: TinkerConfig) -> GraphTinker {
+        let mut g = GraphTinker::new(cfg).unwrap();
+        for i in 0..4_000u32 {
+            let src = i * 7 % 97;
+            let dst = i * 13 % 431;
+            if i % 4 == 3 {
+                g.delete_edge(src, dst);
+            } else {
+                g.insert_edge(Edge::new(src, dst, i));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn tag_invariants_hold_under_churn_in_both_delete_modes() {
+        for mode in [DeleteMode::DeleteOnly, DeleteMode::DeleteAndCompact] {
+            let g = churned(TinkerConfig { delete_mode: mode, ..tiny_config() });
+            g.validate_rhh_invariants().unwrap();
+            g.validate_tag_invariants().unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn tag_invariants_hold_with_probing_disabled() {
+        // Tag lanes are maintained even when the scan strategy is the seed
+        // scalar walk, so flipping the flag per-instance stays comparable.
+        let g = churned(tiny_config().probe_tags(false));
+        g.validate_tag_invariants().unwrap();
+    }
+
+    #[test]
+    fn tag_invariants_hold_across_adaptive_tiers() {
+        let g = churned(adaptive_tiny());
+        let st = g.structure_stats();
+        assert!(st.tier_promotions > 0, "churn should exercise tier moves: {st:?}");
+        g.validate_tag_invariants().unwrap();
+    }
+
+    #[test]
+    fn tagged_and_seed_probe_paths_agree() {
+        for mode in [DeleteMode::DeleteOnly, DeleteMode::DeleteAndCompact] {
+            let base = TinkerConfig { delete_mode: mode, ..tiny_config() };
+            let tagged = churned(base);
+            let seed = churned(base.probe_tags(false));
+            assert_eq!(tagged.num_edges(), seed.num_edges(), "{mode:?}");
+            let mut a: Vec<(u32, u32, u32)> = Vec::new();
+            tagged.for_each_edge(|s, d, w| a.push((s, d, w)));
+            let mut b: Vec<(u32, u32, u32)> = Vec::new();
+            seed.for_each_edge(|s, d, w| b.push((s, d, w)));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{mode:?}: tagged and seed probe paths diverged");
+            assert!(
+                tagged.stats().tag_group_scans > 0,
+                "tagged store must exercise the SWAR engine"
+            );
+            assert_eq!(seed.stats().tag_group_scans, 0, "seed store must not");
+            assert!(
+                tagged.stats().cells_inspected < seed.stats().cells_inspected,
+                "tag probing must inspect fewer cells ({} vs {})",
+                tagged.stats().cells_inspected,
+                seed.stats().cells_inspected
+            );
         }
     }
 }

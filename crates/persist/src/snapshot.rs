@@ -111,6 +111,7 @@ pub fn encode_tinker(g: &GraphTinker, wal_lsn: u64) -> Vec<u8> {
     p.put_u64(cfg.inline_cap as u64);
     p.put_u64(cfg.hub_promote as u64);
     p.put_u64(cfg.hub_demote as u64);
+    p.put_u64(cfg.probe_tags as u64);
     put_section(&mut w, TAG_CONFIG, p.as_bytes());
 
     if cfg.enable_sgh {
@@ -237,6 +238,7 @@ pub fn decode_tinker(bytes: &[u8]) -> Result<(GraphTinker, u64)> {
         inline_cap: 0,
         hub_promote: 0,
         hub_demote: 0,
+        probe_tags: true,
     };
     let flags = r.u8("config flags")?;
     let config = TinkerConfig {
@@ -261,6 +263,13 @@ pub fn decode_tinker(bytes: &[u8]) -> Result<(GraphTinker, u64)> {
             hub_demote: r.u64("hub_demote")? as u32,
             ..config
         }
+    } else {
+        config
+    };
+    // The probe-tags flag was appended still later; older snapshots decode
+    // with the SWAR tag engine on (its default).
+    let config = if r.remaining() >= 8 {
+        TinkerConfig { probe_tags: r.u64("probe_tags")? != 0, ..config }
     } else {
         config
     };

@@ -23,8 +23,9 @@ SMOKE=$(mktemp -d)
 trap 'rm -rf "$SMOKE"' EXIT
 "$GT" generate --dataset Hollywood-2009 --scale-factor 512 --out "$SMOKE/g.txt"
 "$GT" ingest "$SMOKE/g.txt" --wal "$SMOKE/db" --batch 1024 --snapshot-every 4
-"$GT" recover "$SMOKE/db" --root 0 | tee "$SMOKE/recover.out"
+"$GT" recover "$SMOKE/db" --root 0 --validate | tee "$SMOKE/recover.out"
 grep -q "replayed" "$SMOKE/recover.out"
+grep -q "validated: RHH probe distances and SWAR tag lanes" "$SMOKE/recover.out"
 
 echo "==> pipeline smoke test (pooled+pipelined ingest -> recover, edge counts agree)"
 "$GT" ingest "$SMOKE/g.txt" --wal "$SMOKE/db_pool" --batch 512 --sync never \
@@ -46,6 +47,16 @@ grep -q '"rhh_probe"' "$SMOKE/stats_file.json"
 DIR_EDGES=$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$SMOKE/stats_dir.json" | head -1)
 test "$FILE_EDGES" = "$DIR_EDGES"
 "$GT" stats "$SMOKE/g.txt" --format prom | grep -q "gtinker_tinker_inserts $FILE_EDGES"
+
+echo "==> probe smoke test (SWAR tag engine live; fingerprint FP rate per scanned lane < 2%)"
+SCANS=$(sed -n 's/.*"rhh_tag_group_scans": \([0-9][0-9]*\).*/\1/p' "$SMOKE/stats_file.json" | head -1)
+FPS=$(sed -n 's/.*"rhh_tag_false_positive": \([0-9][0-9]*\).*/\1/p' "$SMOKE/stats_file.json" | head -1)
+test -n "$SCANS" && test -n "$FPS"
+test "$SCANS" -gt 0 || { echo "probe smoke: rhh_tag_group_scans is 0 (tag engine dead?)" >&2; exit 1; }
+# A group scan covers 8 tag lanes; a 7-bit fingerprint collides on ~1/128
+# of occupied lanes, so 2% of scanned lanes is a generous ceiling.
+test $((FPS * 50)) -lt $((SCANS * 8)) || {
+    echo "probe smoke: tag FP rate >= 2% ($FPS false positives / $SCANS group scans)" >&2; exit 1; }
 
 echo "==> adaptive smoke test (skewed ingest --adaptive populates all tier counters)"
 "$GT" generate --dataset Zipf_SourceSkew --scale-factor 512 --out "$SMOKE/skew.txt"
@@ -184,6 +195,15 @@ if "$BD" "$SMOKE/old.json" "$SMOKE/new_bad.json"; then
     echo "bench_diff failed to flag a 20% regression" >&2
     exit 1
 fi
+# Latency fields gate in the inverted direction: a drop passes, a rise fails.
+printf '{\n  "find_mean_ns": 100.0,\n  "ops": 5\n}\n' > "$SMOKE/old_lat.json"
+printf '{\n  "find_mean_ns": 80.0,\n  "ops": 5\n}\n' > "$SMOKE/new_lat_ok.json"
+printf '{\n  "find_mean_ns": 130.0,\n  "ops": 5\n}\n' > "$SMOKE/new_lat_bad.json"
+"$BD" "$SMOKE/old_lat.json" "$SMOKE/new_lat_ok.json"
+if "$BD" "$SMOKE/old_lat.json" "$SMOKE/new_lat_bad.json"; then
+    echo "bench_diff failed to flag a 30% latency rise" >&2
+    exit 1
+fi
 
 echo "==> adaptive bench gate (fig_adaptive emits BENCH_adaptive.json and it passes bench_diff)"
 target/release/fig_adaptive --scale-factor 2048 --out-dir "$SMOKE/bench_adaptive"
@@ -192,6 +212,16 @@ grep -q '"skew_adaptive_meps"' "$SMOKE/bench_adaptive/BENCH_adaptive.json"
 grep -q '"tier_promotions"' "$SMOKE/bench_adaptive/BENCH_adaptive.json"
 # Self-comparison: the emitted file must parse through the regression gate.
 "$BD" "$SMOKE/bench_adaptive/BENCH_adaptive.json" "$SMOKE/bench_adaptive/BENCH_adaptive.json"
+
+echo "==> probe bench gate (fig_probe_swar emits BENCH_probe_swar.json and it passes bench_diff)"
+target/release/fig_probe_swar --scale-factor 2048 --out-dir "$SMOKE/bench_probe"
+test -f "$SMOKE/bench_probe/BENCH_probe_swar.json"
+grep -q '"zipf_find_tagged_meps"' "$SMOKE/bench_probe/BENCH_probe_swar.json"
+grep -q '"find_cells_ratio"' "$SMOKE/bench_probe/BENCH_probe_swar.json"
+grep -q '"find_tagged_mean_ns"' "$SMOKE/bench_probe/BENCH_probe_swar.json"
+# Self-comparison: the emitted file (throughput + latency fields) must
+# parse through the regression gate.
+"$BD" "$SMOKE/bench_probe/BENCH_probe_swar.json" "$SMOKE/bench_probe/BENCH_probe_swar.json"
 
 echo "==> serve bench gate (fig_serve_concurrent emits BENCH_serve_concurrent.json and it passes bench_diff)"
 target/release/fig_serve_concurrent --scale-factor 2048 --out-dir "$SMOKE/bench_serve"

@@ -75,6 +75,7 @@ proptest! {
     fn rhh_probe_invariant(dsts in prop::collection::vec(0..10_000u32, 1..24)) {
         let n = 8usize;
         let mut cells = vec![EdgeCell::EMPTY; n];
+        let mut tags = vec![gtinker_core::swar::TAG_EMPTY; n];
         let mut inspected = 0u64;
         let mut buckets: std::collections::HashMap<u32, usize> = Default::default();
         for &d in &dsts {
@@ -82,9 +83,17 @@ proptest! {
             buckets.insert(d, bucket);
             // Ignore overflowed edges; placed/displaced ones must keep the
             // invariant.
-            let _ = rhh::rhh_insert(&mut cells, bucket, rhh::Floating {
+            let _ = rhh::rhh_insert(&mut cells, &mut tags, bucket, rhh::Floating {
                 dst: d, weight: 1, cal_ptr: NIL_U32,
-            }, &mut inspected);
+            }, gtinker_core::hash::dst_tag(d), &mut inspected);
+        }
+        for (pos, c) in cells.iter().enumerate() {
+            let want = match c.state {
+                CellState::Occupied => gtinker_core::hash::dst_tag(c.dst),
+                CellState::Empty => gtinker_core::swar::TAG_EMPTY,
+                CellState::Tombstone => gtinker_core::swar::TAG_TOMBSTONE,
+            };
+            prop_assert_eq!(tags[pos], want, "tag lane diverged at {}", pos);
         }
         for (pos, c) in cells.iter().enumerate() {
             if c.state == CellState::Occupied {
@@ -106,13 +115,14 @@ proptest! {
         uniq.dedup();
         let n = 8usize;
         let mut cells = vec![EdgeCell::EMPTY; n];
+        let mut tags = vec![gtinker_core::swar::TAG_EMPTY; n];
         let mut inspected = 0u64;
         let mut overflowed = Vec::new();
         for &d in &uniq {
             let bucket = gtinker_core::hash::cell_bucket(d, 0, n);
-            match rhh::rhh_insert(&mut cells, bucket, rhh::Floating {
+            match rhh::rhh_insert(&mut cells, &mut tags, bucket, rhh::Floating {
                 dst: d, weight: d, cal_ptr: NIL_U32,
-            }, &mut inspected) {
+            }, gtinker_core::hash::dst_tag(d), &mut inspected) {
                 rhh::RhhOutcome::Placed => {}
                 rhh::RhhOutcome::Overflow(f) => overflowed.push(f.dst),
             }
