@@ -1,5 +1,5 @@
 # Convenience targets; `make ci` mirrors the hosted pipeline.
-.PHONY: ci build test lint fmt bench doc smoke ingest-smoke stats-smoke trace-smoke adaptive-smoke probe-smoke serve-smoke
+.PHONY: ci build test lint fmt bench doc smoke ingest-smoke stats-smoke trace-smoke adaptive-smoke probe-smoke serve-smoke incremental-smoke
 
 ci:
 	./scripts/ci.sh
@@ -100,6 +100,30 @@ serve-smoke: build
 	curl -fsS "http://$$ADDR/degree?v=0" | grep -q '"degree":'; \
 	curl -fsS "http://$$ADDR/quitquitquit" | grep -q "shutting down"; \
 	wait "$$INGEST_PID"; echo "serve-smoke ok"
+
+# Churn ingest through the incremental repair engine: deletion-heavy
+# incremental CC must equal a cold fixpoint on the same store, churn-free
+# incremental CC must match the static solve, and an ingest -> recover
+# round trip must agree with incremental BFS on reached vertices (also
+# part of ci).
+incremental-smoke: build
+	@SMOKE=$$(mktemp -d); trap 'rm -rf "$$SMOKE"' EXIT; \
+	target/release/gtinker generate --dataset Hollywood-2009 --scale-factor 512 --out "$$SMOKE/g.txt"; \
+	target/release/gtinker cc "$$SMOKE/g.txt" --restart incremental --churn-every 5 --batch 512 --verify | tee "$$SMOKE/cc_churn.out"; \
+	grep -q "verify: PASS" "$$SMOKE/cc_churn.out"; \
+	target/release/gtinker cc "$$SMOKE/g.txt" | tee "$$SMOKE/cc_cold.out"; \
+	COLD=$$(sed -n 's/CC: \([0-9][0-9]*\) components.*/\1/p' "$$SMOKE/cc_cold.out"); test -n "$$COLD"; \
+	target/release/gtinker cc "$$SMOKE/g.txt" --restart incremental --batch 1024 --verify | tee "$$SMOKE/cc_incr.out"; \
+	grep -q "verify: PASS" "$$SMOKE/cc_incr.out"; \
+	INCR=$$(sed -n 's/CC: \([0-9][0-9]*\) components.*/\1/p' "$$SMOKE/cc_incr.out"); \
+	test "$$COLD" = "$$INCR"; \
+	target/release/gtinker ingest "$$SMOKE/g.txt" --wal "$$SMOKE/db" --batch 1024 --sync never; \
+	target/release/gtinker recover "$$SMOKE/db" --root 0 | tee "$$SMOKE/recover.out"; \
+	RREACH=$$(sed -n 's/BFS from 0: \([0-9][0-9]*\) reached.*/\1/p' "$$SMOKE/recover.out"); test -n "$$RREACH"; \
+	target/release/gtinker bfs "$$SMOKE/g.txt" --root 0 --restart incremental --batch 1024 | tee "$$SMOKE/bfs_incr.out"; \
+	IREACH=$$(sed -n 's/BFS from 0: \([0-9][0-9]*\) reached.*/\1/p' "$$SMOKE/bfs_incr.out"); \
+	test "$$RREACH" = "$$IREACH"; \
+	echo "incremental-smoke ok: $$COLD components, $$RREACH reachable from 0"
 
 build:
 	cargo build --release --workspace

@@ -1,0 +1,11 @@
+//! Incremental-analytics benchmark: per-batch BFS/CC re-solve time under
+//! 1k-op churn for cold, hybrid, monotone-incremental and
+//! invalidate-and-repair restart strategies.
+fn main() {
+    let args = gtinker_bench::Args::parse();
+    let table = gtinker_bench::experiments::fig_incremental::run(&args);
+    table.print();
+    if let Err(e) = table.write_tsv(&args.out_dir) {
+        eprintln!("warning: could not write TSV: {e}");
+    }
+}

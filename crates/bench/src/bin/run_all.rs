@@ -38,6 +38,7 @@ fn main() {
         ("Adaptive tiers", Box::new(experiments::fig_adaptive::run)),
         ("SWAR probe", Box::new(experiments::fig_probe_swar::run)),
         ("Serve concurrent", Box::new(experiments::fig_serve_concurrent::run)),
+        ("Incremental analytics", Box::new(experiments::fig_incremental::run)),
     ];
     for (label, f) in suite {
         let t0 = std::time::Instant::now();

@@ -7,7 +7,7 @@ use gtinker_datasets::{dataset_by_name, insertion_batches, DatasetSpec};
 use gtinker_engine::{
     algorithms::{Bfs, Cc, Sssp},
     dynamic::symmetrize,
-    DynamicRunner, GasProgram, GraphStore, ModePolicy, RestartPolicy,
+    DynamicRunner, GraphStore, IncrementalState, ModePolicy, RestartPolicy,
 };
 use gtinker_stinger::Stinger;
 use gtinker_types::{EdgeBatch, TinkerConfig, VertexId};
@@ -152,7 +152,7 @@ impl AnalyticsOutcome {
     }
 }
 
-fn drive<S: DynStore, P: GasProgram>(
+fn drive<S: DynStore, P: IncrementalState>(
     store: &mut S,
     batches: &[EdgeBatch],
     program: P,

@@ -9,7 +9,7 @@ use std::time::Instant;
 use gtinker_engine::{
     algorithms::{Bfs, Cc, Sssp},
     dynamic::prediction_accuracy,
-    DynamicRunner, GasProgram, GraphStore, ModePolicy, RestartPolicy, RunReport,
+    DynamicRunner, GraphStore, IncrementalState, ModePolicy, RestartPolicy, RunReport,
 };
 
 use crate::cli::Args;
@@ -35,7 +35,7 @@ pub fn measure_seq_advantage<S: GraphStore>(store: &S) -> f64 {
     (rnd / seq).max(1.0)
 }
 
-fn policy_report<P: GasProgram>(
+fn policy_report<P: IncrementalState>(
     batches: &[gtinker_types::EdgeBatch],
     program: P,
     policy: ModePolicy,

@@ -29,6 +29,7 @@ const BARE_FLAGS: &[&str] = &[
     "adaptive",
     "hold",
     "validate",
+    "verify",
 ];
 
 /// Parses a raw argument vector (excluding the program name).

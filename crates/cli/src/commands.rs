@@ -7,15 +7,15 @@ use gtinker_core::{GraphTinker, ParallelTinker};
 use gtinker_datasets::{dataset_by_name, io, RmatConfig};
 use gtinker_engine::{
     algorithms::{Bfs, Cc, PageRank, Sssp, TriangleCount},
-    dynamic::symmetrize,
-    Engine, GraphStore, ModePolicy,
+    dynamic::{symmetrize, DynamicRunner, RestartPolicy},
+    Engine, GasProgram, GraphStore, IncrementalState, ModePolicy,
 };
 use gtinker_persist::{
     list_snapshots, recover_stinger, recover_tinker, write_stinger_snapshot, write_tinker_snapshot,
     DurableTinker, SyncPolicy, WalOptions, WalWriter,
 };
 use gtinker_stinger::Stinger;
-use gtinker_types::{DeleteMode, Edge, EdgeBatch, StingerConfig, TinkerConfig};
+use gtinker_types::{DeleteMode, Edge, EdgeBatch, StingerConfig, TinkerConfig, UpdateOp};
 
 use crate::args::Parsed;
 
@@ -29,8 +29,12 @@ USAGE:
   gtinker stats FILE|WALDIR [--format text|json|prom] [--pagewidth N]
                 [--no-sgh] [--no-cal] [--compact] [--adaptive]
   gtinker bfs FILE --root R [--mode hybrid|da|fp|ip] [--shards N]
-  gtinker sssp FILE --root R [--mode hybrid|da|fp|ip] [--shards N]
+              [--restart static|incremental] [--churn-every K]
+              [--batch N] [--verify]
+  gtinker sssp FILE --root R [options as bfs]
   gtinker cc FILE [--mode hybrid|da|fp|ip] [--shards N]
+             [--restart static|incremental] [--churn-every K]
+             [--batch N] [--verify]
   gtinker pagerank FILE [--iterations N] [--top K] [--shards N]
   gtinker triangles FILE
   gtinker bench-insert FILE [--batch N] [--baseline]
@@ -57,6 +61,19 @@ crossing 128 edges move to a dense sorted hub segment (demoted below
 64). 'stats --adaptive' reports per-tier vertex counts and the
 memory_*_bytes gauge family.
 
+--restart picks how bfs/sssp/cc consume FILE: 'static' (default) loads
+everything and solves one cold fixpoint; 'incremental' streams FILE
+through the delta engine in --batch-op batches (default 10000),
+repairing the standing result after each batch instead of re-solving —
+deletions invalidate the broken witness cone, which is re-seeded from
+its still-valid boundary. --churn-every K (implies --restart
+incremental) turns every K-th op into a delete of a pseudo-random
+earlier edge, so a plain insert-only edge list exercises the
+invalidate-and-repair path end to end. --verify (any restart policy)
+recomputes a cold AlwaysFull fixpoint on the final store and asserts
+the standing result equals it, printing a greppable 'verify: PASS'
+line.
+
 FILE is a plain edge list: 'src dst [weight]' per line, '#' comments.
 --shards N (> 1) runs the analytic over an interval-partitioned parallel
 store. 'ingest' streams FILE through a write-ahead log in DIR so a crash
@@ -72,7 +89,9 @@ ingest, and --format json|prom for machine-readable output. 'ingest
 'trace' runs the same ingest with span tracing enabled and writes the
 timeline as Chrome trace-event JSON (--out, default trace.json): load it
 in https://ui.perfetto.dev and each shard worker / the WAL thread / the
-driver is its own track (--analytics appends a traced BFS). 'serve'
+driver is its own track (--analytics appends a traced BFS plus a
+delete/re-insert churn round through the incremental repair engine, so
+'repair' spans carry per-batch cone sizes). 'serve'
 (optionally after loading FILE or recovering WALDIR into --shards N
 epoch-view shards) exposes /metrics (Prometheus), /healthz (live
 gauges), /trace (timeline JSON) and — when a store is loaded — the query
@@ -118,6 +137,127 @@ fn mode_policy(parsed: &Parsed) -> Result<ModePolicy, String> {
         "ip" | "incremental" => Ok(ModePolicy::AlwaysIncremental),
         other => Err(format!("unknown mode '{other}' (hybrid|da|fp|ip)")),
     }
+}
+
+/// Whether `--restart incremental` (or `--churn-every`, which implies it)
+/// routes this analytic through the [`DynamicRunner`] delta engine.
+fn incremental_restart(parsed: &Parsed) -> Result<bool, String> {
+    let churn = parsed.num("churn-every", 0usize)?;
+    match parsed.get("restart") {
+        None => Ok(churn > 0),
+        Some("incremental") => Ok(true),
+        Some("static") if churn > 0 => {
+            Err("option --churn-every requires --restart incremental".into())
+        }
+        Some("static") => Ok(false),
+        Some(other) => Err(format!("unknown restart policy '{other}' (static|incremental)")),
+    }
+}
+
+/// The input edge list as an update stream: when `churn > 0`, every
+/// `churn`-th op is followed by a delete of a pseudo-randomly chosen
+/// earlier insert, so a plain insert-only file exercises the
+/// invalidate-and-repair path.
+fn churn_ops(edges: &[Edge], churn: usize) -> Vec<UpdateOp> {
+    let extra = edges.len().checked_div(churn).unwrap_or(0);
+    let mut ops = Vec::with_capacity(edges.len() + extra);
+    let mut live: Vec<Edge> = Vec::new();
+    let mut lcg: u64 = 0x9E37_79B9_7F4A_7C15;
+    for (i, &e) in edges.iter().enumerate() {
+        ops.push(UpdateOp::Insert(e));
+        live.push(e);
+        if churn > 0 && (i + 1) % churn == 0 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let victim = live.swap_remove((lcg >> 33) as usize % live.len());
+            ops.push(UpdateOp::Delete { src: victim.src, dst: victim.dst });
+        }
+    }
+    ops
+}
+
+/// Store kinds the incremental driver can feed batches into (the
+/// sequential store mutates through `&mut self`, the sharded pool
+/// through `&self`).
+trait BatchStore: GraphStore + Sync {
+    fn apply(&mut self, batch: &EdgeBatch);
+}
+
+impl BatchStore for GraphTinker {
+    fn apply(&mut self, batch: &EdgeBatch) {
+        self.apply_batch(batch);
+    }
+}
+
+impl BatchStore for ParallelTinker {
+    fn apply(&mut self, batch: &EdgeBatch) {
+        ParallelTinker::apply_batch(self, batch);
+    }
+}
+
+/// Streams the input through a [`DynamicRunner`] in `--batch`-op batches
+/// (repairing the standing result after each) and returns the runner
+/// plus the number of batches driven.
+fn drive_incremental<S: BatchStore, P: IncrementalState>(
+    g: &mut S,
+    parsed: &Parsed,
+    program: P,
+    sym: bool,
+) -> Result<(DynamicRunner<P>, usize), String> {
+    let path = parsed.input()?;
+    let edges = io::read_edge_list(path).map_err(|e| e.to_string())?;
+    let ops = churn_ops(&edges, parsed.num("churn-every", 0usize)?);
+    let batch_size = parsed.num("batch", 10_000usize)?.max(1);
+    let mut runner = DynamicRunner::new(program, mode_policy(parsed)?, RestartPolicy::Incremental);
+    let m = gtinker_core::metrics::global();
+    let (cone0, iters0) = (m.engine_repair_invalidated.get(), m.engine_repair_iters.get());
+    let t0 = Instant::now();
+    let mut batches = 0usize;
+    for chunk in ops.chunks(batch_size) {
+        let mut batch = EdgeBatch::with_capacity(chunk.len());
+        for &op in chunk {
+            batch.push(op);
+        }
+        if sym {
+            batch = symmetrize(&batch);
+        }
+        g.apply(&batch);
+        runner.after_batch(&*g, &batch);
+        batches += 1;
+    }
+    eprintln!(
+        "incremental: {} ops over {batches} batches from {path} in {:.2?} \
+         ({} vertices invalidated, {} repair iterations)",
+        ops.len(),
+        t0.elapsed(),
+        m.engine_repair_invalidated.get() - cone0,
+        m.engine_repair_iters.get() - iters0,
+    );
+    Ok((runner, batches))
+}
+
+/// `--verify`: recomputes a cold AlwaysFull fixpoint on the final store
+/// and compares it vertex by vertex against the standing result. Prints
+/// a greppable equality line, or fails with the first mismatch.
+fn verify_against_cold<S: GraphStore + Sync, P: GasProgram + Copy>(
+    g: &S,
+    engine: &Engine<P>,
+) -> Result<(), String> {
+    let p = *engine.program();
+    let mut cold = Engine::new(p, ModePolicy::AlwaysFull);
+    cold.run_from_roots(g);
+    let (a, b) = (engine.values(), cold.values());
+    let n = a.len().max(b.len());
+    for v in 0..n {
+        let x = a.get(v).copied().unwrap_or_else(|| p.default_value(v as u32));
+        let y = b.get(v).copied().unwrap_or_else(|| p.default_value(v as u32));
+        if x != y {
+            return Err(format!(
+                "verify: MISMATCH at vertex {v}: standing {x:?} != cold fixpoint {y:?}"
+            ));
+        }
+    }
+    println!("verify: PASS (standing result == cold fixpoint over {n} vertices)");
+    Ok(())
 }
 
 fn config(parsed: &Parsed) -> Result<TinkerConfig, String> {
@@ -361,6 +501,18 @@ fn load_parallel(parsed: &Parsed, n: usize, sym: bool) -> Result<ParallelTinker,
 }
 
 fn bfs(parsed: &Parsed) -> Result<(), String> {
+    if incremental_restart(parsed)? {
+        return match shards(parsed)? {
+            1 => {
+                let mut g = GraphTinker::new(config(parsed)?).map_err(|e| e.to_string())?;
+                bfs_incremental(&mut g, parsed)
+            }
+            n => {
+                let mut g = ParallelTinker::new(config(parsed)?, n).map_err(|e| e.to_string())?;
+                bfs_incremental(&mut g, parsed)
+            }
+        };
+    }
     match shards(parsed)? {
         1 => bfs_on(&load_graph(parsed)?.0, parsed),
         n => bfs_on(&load_parallel(parsed, n, false)?, parsed),
@@ -381,10 +533,43 @@ fn bfs_on<S: GraphStore + Sync>(g: &S, parsed: &Parsed) -> Result<(), String> {
         r.num_iterations(),
         t0.elapsed()
     );
+    if parsed.flag("verify") {
+        verify_against_cold(g, &e)?;
+    }
+    Ok(())
+}
+
+fn bfs_incremental<S: BatchStore>(g: &mut S, parsed: &Parsed) -> Result<(), String> {
+    let root = parsed.num("root", 0u32)?;
+    let t0 = Instant::now();
+    let (runner, batches) = drive_incremental(g, parsed, Bfs::new(root), false)?;
+    let e = runner.engine();
+    let reached = e.values().iter().filter(|&&v| v != u32::MAX).count();
+    let max_level = e.values().iter().filter(|&&v| v != u32::MAX).max().copied().unwrap_or(0);
+    println!(
+        "BFS from {root}: {reached} reached, eccentricity {max_level}, \
+         {batches} incremental batches in {:.2?}",
+        t0.elapsed()
+    );
+    if parsed.flag("verify") {
+        verify_against_cold(&*g, e)?;
+    }
     Ok(())
 }
 
 fn sssp(parsed: &Parsed) -> Result<(), String> {
+    if incremental_restart(parsed)? {
+        return match shards(parsed)? {
+            1 => {
+                let mut g = GraphTinker::new(config(parsed)?).map_err(|e| e.to_string())?;
+                sssp_incremental(&mut g, parsed)
+            }
+            n => {
+                let mut g = ParallelTinker::new(config(parsed)?, n).map_err(|e| e.to_string())?;
+                sssp_incremental(&mut g, parsed)
+            }
+        };
+    }
     match shards(parsed)? {
         1 => sssp_on(&load_graph(parsed)?.0, parsed),
         n => sssp_on(&load_parallel(parsed, n, false)?, parsed),
@@ -404,10 +589,44 @@ fn sssp_on<S: GraphStore + Sync>(g: &S, parsed: &Parsed) -> Result<(), String> {
         r.num_iterations(),
         t0.elapsed()
     );
+    if parsed.flag("verify") {
+        verify_against_cold(g, &e)?;
+    }
+    Ok(())
+}
+
+fn sssp_incremental<S: BatchStore>(g: &mut S, parsed: &Parsed) -> Result<(), String> {
+    let root = parsed.num("root", 0u32)?;
+    let t0 = Instant::now();
+    let (runner, batches) = drive_incremental(g, parsed, Sssp::new(root), false)?;
+    let e = runner.engine();
+    let reached: Vec<u32> = e.values().iter().copied().filter(|&v| v != u32::MAX).collect();
+    let max = reached.iter().max().copied().unwrap_or(0);
+    println!(
+        "SSSP from {root}: {} reached, max distance {max}, {batches} incremental batches \
+         in {:.2?}",
+        reached.len(),
+        t0.elapsed()
+    );
+    if parsed.flag("verify") {
+        verify_against_cold(&*g, e)?;
+    }
     Ok(())
 }
 
 fn cc(parsed: &Parsed) -> Result<(), String> {
+    if incremental_restart(parsed)? {
+        return match shards(parsed)? {
+            1 => {
+                let mut g = GraphTinker::new(config(parsed)?).map_err(|e| e.to_string())?;
+                cc_incremental(&mut g, parsed)
+            }
+            n => {
+                let mut g = ParallelTinker::new(config(parsed)?, n).map_err(|e| e.to_string())?;
+                cc_incremental(&mut g, parsed)
+            }
+        };
+    }
     match shards(parsed)? {
         1 => {
             let path = parsed.input()?;
@@ -434,6 +653,28 @@ fn cc_on<S: GraphStore + Sync>(g: &S, parsed: &Parsed) -> Result<(), String> {
         r.num_iterations(),
         t0.elapsed()
     );
+    if parsed.flag("verify") {
+        verify_against_cold(g, &e)?;
+    }
+    Ok(())
+}
+
+fn cc_incremental<S: BatchStore>(g: &mut S, parsed: &Parsed) -> Result<(), String> {
+    let t0 = Instant::now();
+    let (runner, batches) = drive_incremental(g, parsed, Cc::new(), true)?;
+    let e = runner.engine();
+    let mut labels: Vec<u32> = e.values().to_vec();
+    labels.sort_unstable();
+    labels.dedup();
+    println!(
+        "CC: {} components over {} vertices, {batches} incremental batches in {:.2?}",
+        labels.len(),
+        e.values().len(),
+        t0.elapsed()
+    );
+    if parsed.flag("verify") {
+        verify_against_cold(&*g, e)?;
+    }
     Ok(())
 }
 
@@ -702,11 +943,25 @@ fn trace_cmd(parsed: &Parsed) -> Result<(), String> {
     // branch-out instants must not evict the ingest's WAL/pool spans.
     let mut dump = gtinker_core::trace::dump();
     if parsed.flag("analytics") {
-        let (g, _) = load_graph(parsed)?;
+        let (mut g, edges) = load_graph(parsed)?;
         let root = parsed.num("root", 0u32)?;
-        let mut e = Engine::new(Bfs::new(root), mode_policy(parsed)?);
-        let r = e.run_from_roots(&g);
-        eprintln!("traced BFS from {root}: {} iterations", r.num_iterations());
+        let mut runner =
+            DynamicRunner::new(Bfs::new(root), mode_policy(parsed)?, RestartPolicy::Incremental);
+        let r = runner.after_batch(&g, &EdgeBatch::new());
+        // A delete + re-insert churn round so the timeline carries
+        // 'repair' spans with real cone sizes, not just the cold solve.
+        let k = edges.len().min(256);
+        let pairs: Vec<_> = edges[..k].iter().map(|e| (e.src, e.dst)).collect();
+        let del = EdgeBatch::deletes(&pairs);
+        g.apply_batch(&del);
+        runner.after_batch(&g, &del);
+        let ins = EdgeBatch::inserts(&edges[..k]);
+        g.apply_batch(&ins);
+        runner.after_batch(&g, &ins);
+        eprintln!(
+            "traced BFS from {root}: {} iterations, then 2 repair batches ({k} ops each)",
+            r.num_iterations()
+        );
     }
     gtinker_core::trace::set_enabled(false);
     dump.merge(gtinker_core::trace::dump());
@@ -980,6 +1235,93 @@ mod tests {
         run(&parsed(&["cc", file_s, "--shards", "3"])).unwrap();
         run(&parsed(&["pagerank", file_s, "--iterations", "3", "--shards", "2"])).unwrap();
         assert!(run(&parsed(&["bfs", file_s, "--shards", "0"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_and_churn_parsing() {
+        assert!(!incremental_restart(&parsed(&["bfs", "f"])).unwrap());
+        assert!(!incremental_restart(&parsed(&["bfs", "f", "--restart", "static"])).unwrap());
+        assert!(incremental_restart(&parsed(&["bfs", "f", "--restart", "incremental"])).unwrap());
+        assert!(incremental_restart(&parsed(&["bfs", "f", "--churn-every", "8"])).unwrap());
+        let e = incremental_restart(&parsed(&[
+            "bfs",
+            "f",
+            "--restart",
+            "static",
+            "--churn-every",
+            "8",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--churn-every"), "got: {e}");
+        assert!(incremental_restart(&parsed(&["bfs", "f", "--restart", "sometimes"])).is_err());
+    }
+
+    #[test]
+    fn churn_ops_interleave_deletes_of_earlier_inserts() {
+        let edges: Vec<Edge> = (0..20).map(|i| Edge::unit(i, i + 1)).collect();
+        let ops = churn_ops(&edges, 5);
+        assert_eq!(ops.len(), 24, "20 inserts + 4 churn deletes");
+        let mut inserted = std::collections::HashSet::new();
+        for op in &ops {
+            match *op {
+                UpdateOp::Insert(e) => {
+                    inserted.insert((e.src, e.dst));
+                }
+                UpdateOp::Delete { src, dst } => {
+                    assert!(inserted.contains(&(src, dst)), "delete of a never-inserted edge");
+                }
+            }
+        }
+        assert_eq!(churn_ops(&edges, 0).len(), 20, "no churn without --churn-every");
+    }
+
+    #[test]
+    fn incremental_analytics_verify_against_cold() {
+        let dir = std::env::temp_dir().join("gtinker_cli_incremental");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("g.txt");
+        let mut edges = String::new();
+        for i in 0u32..600 {
+            edges.push_str(&format!("{} {} {}\n", i % 53, (i * 7 + 1) % 59, i % 9 + 1));
+        }
+        std::fs::write(&file, edges).unwrap();
+        let f = file.to_str().unwrap();
+        // Every analytic, churn-heavy incremental restart, checked
+        // against a cold fixpoint on the final store.
+        for cmd in ["bfs", "sssp", "cc"] {
+            run(&parsed(&[
+                cmd,
+                f,
+                "--root",
+                "0",
+                "--restart",
+                "incremental",
+                "--churn-every",
+                "7",
+                "--batch",
+                "100",
+                "--verify",
+            ]))
+            .unwrap();
+        }
+        // Sharded incremental, and --verify on the static path.
+        run(&parsed(&[
+            "bfs",
+            f,
+            "--root",
+            "0",
+            "--shards",
+            "3",
+            "--restart",
+            "incremental",
+            "--batch",
+            "150",
+            "--verify",
+        ]))
+        .unwrap();
+        run(&parsed(&["cc", f, "--verify"])).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

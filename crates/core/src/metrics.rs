@@ -591,6 +591,15 @@ registry! {
         engine_process_ns: counter,
         /// Total engine apply-phase time, nanoseconds.
         engine_apply_ns: counter,
+        /// Deletion batches that forced a cold recompute because
+        /// invalidate-and-repair was unavailable (legacy monotone-only
+        /// incremental mode) — never a silent fallback.
+        engine_delete_fallbacks: counter,
+        /// Vertices invalidated by delete-cone sweeps (tag-and-sweep over
+        /// the witness forest), summed across repair batches.
+        engine_repair_invalidated: counter,
+        /// Engine iterations spent repairing invalidated cones.
+        engine_repair_iters: counter,
         /// Active vertices currently stored in the inline tier.
         tier_inline_vertices: gauge,
         /// Active vertices currently stored in the RHH edgeblock tier.

@@ -97,10 +97,14 @@ pub enum SpanId {
     /// A vertex changed adjacency tier (arg = its dense index). Covers the
     /// migration work: collecting, freeing and re-anchoring edges.
     TierPromote = 15,
+    /// Invalidate-and-repair pass after a batch containing deletions
+    /// (arg = size of the invalidated cone). Covers the witness sweep,
+    /// boundary re-seeding, and the repair fixpoint.
+    Repair = 16,
 }
 
 /// Every catalogue entry, for iteration in exports and tests.
-pub const ALL_SPANS: [SpanId; 16] = [
+pub const ALL_SPANS: [SpanId; 17] = [
     SpanId::PoolClaim,
     SpanId::PoolApply,
     SpanId::PoolSettle,
@@ -117,6 +121,7 @@ pub const ALL_SPANS: [SpanId; 16] = [
     SpanId::IngestBatch,
     SpanId::ServeRequest,
     SpanId::TierPromote,
+    SpanId::Repair,
 ];
 
 impl SpanId {
@@ -139,6 +144,7 @@ impl SpanId {
             SpanId::IngestBatch => "ingest_batch",
             SpanId::ServeRequest => "serve_request",
             SpanId::TierPromote => "tier_promote",
+            SpanId::Repair => "repair",
         }
     }
 

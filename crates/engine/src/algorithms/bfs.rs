@@ -2,7 +2,7 @@
 
 use gtinker_types::{VertexId, Weight};
 
-use crate::gas::GasProgram;
+use crate::gas::{GasProgram, IncrementalState};
 
 /// BFS from a root: vertex property = hop count from the root
 /// (`u32::MAX` = unreached).
@@ -55,6 +55,11 @@ impl GasProgram for Bfs {
     // vertices affected by the update batch comprise the source vertices of
     // the edges in the update batch" for BFS.
 }
+
+// Min-reduce is selective, so the derived witness attribution and invariant
+// (`parent_level + 1 == child_level`) are exact: the witness forest is the
+// BFS parent tree.
+impl IncrementalState for Bfs {}
 
 #[cfg(test)]
 mod tests {

@@ -8,7 +8,7 @@
 
 use gtinker_types::{UpdateOp, VertexId, Weight};
 
-use crate::gas::GasProgram;
+use crate::gas::{GasProgram, IncrementalState};
 
 /// Connected components: vertex property = smallest vertex id in the
 /// component (label propagation to fixpoint).
@@ -59,6 +59,14 @@ impl GasProgram for Cc {
         vs
     }
 }
+
+// Each component's label-propagation forest is anchored at its minimum-id
+// vertex (the anchor witnesses itself: `NO_WITNESS`, value = own id), and
+// every other member witnesses the neighbor that supplied its label, so the
+// invariant is `parent_label == child_label`. Deleting a bridge severs the
+// anchor-free side's witness subtree; repair resets it to own-id labels and
+// re-propagates, which is exactly what lets components *split*.
+impl IncrementalState for Cc {}
 
 #[cfg(test)]
 mod tests {

@@ -13,6 +13,6 @@ mod triangles;
 
 pub use bfs::Bfs;
 pub use cc::Cc;
-pub use pagerank::PageRank;
+pub use pagerank::{IncrementalPageRank, PageRank};
 pub use sssp::Sssp;
 pub use triangles::TriangleCount;

@@ -2,7 +2,7 @@
 
 use gtinker_types::{VertexId, Weight};
 
-use crate::gas::GasProgram;
+use crate::gas::{GasProgram, IncrementalState};
 
 /// SSSP from a root over non-negative integer edge weights: vertex
 /// property = shortest known distance (`u32::MAX` = unreached).
@@ -57,6 +57,12 @@ impl GasProgram for Sssp {
         vec![(self.root, 0)]
     }
 }
+
+// The witness forest is the shortest-path tree; the derived invariant
+// `parent_dist + weight == child_dist` is weight-sensitive, so a batch that
+// *raises* a tree edge's weight fails `witness_holds` and invalidates the
+// child's subtree (BFS/CC ignore weights and never do).
+impl IncrementalState for Sssp {}
 
 #[cfg(test)]
 mod tests {

@@ -9,6 +9,11 @@ use serde::{Deserialize, Serialize};
 use crate::gas::{ExecMode, GasProgram, ModePolicy};
 use crate::store::GraphStore;
 
+/// Witness sentinel: the vertex's committed value has no witness parent —
+/// it is a program root, a per-vertex default, or witness tracking was off
+/// when it was committed.
+pub const NO_WITNESS: VertexId = VertexId::MAX;
+
 /// Record of one engine iteration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IterationStats {
@@ -102,6 +107,9 @@ impl RunReport {
 /// parallel iterations allocate nothing.
 struct WorkerScratch<V> {
     temp: Vec<Option<V>>,
+    /// Witness source of each pending message in `temp` (maintained only
+    /// under witness tracking, empty otherwise).
+    witness: Vec<VertexId>,
     touched: Vec<VertexId>,
     frontier: Vec<VertexId>,
     edges_processed: u64,
@@ -113,6 +121,7 @@ impl<V> Default for WorkerScratch<V> {
     fn default() -> Self {
         WorkerScratch {
             temp: Vec::new(),
+            witness: Vec::new(),
             touched: Vec::new(),
             frontier: Vec::new(),
             edges_processed: 0,
@@ -148,6 +157,15 @@ pub struct Engine<P: GasProgram> {
     /// Current active list and its bitset (used by FP-mode filtering).
     active: Vec<VertexId>,
     active_bits: Vec<bool>,
+    /// Witness parents: per vertex, the source of the message that set its
+    /// committed value ([`NO_WITNESS`] = root/default). Maintained only
+    /// under witness tracking; the invalidate-and-repair path reads it.
+    witness: Vec<VertexId>,
+    /// Witness source of the pending message in `temp`, taken by apply.
+    witness_temp: Vec<VertexId>,
+    /// Whether deposits attribute witnesses (enabled by repair users; a
+    /// single predictable branch per deposit otherwise).
+    track_witness: bool,
     /// Whether the program's roots have been seeded (first run bootstraps
     /// them even on the incremental path).
     seeded: bool,
@@ -170,6 +188,9 @@ impl<P: GasProgram> Engine<P> {
             touched: Vec::new(),
             active: Vec::new(),
             active_bits: Vec::new(),
+            witness: Vec::new(),
+            witness_temp: Vec::new(),
+            track_witness: false,
             seeded: false,
             max_iterations: usize::MAX,
             workers: Vec::new(),
@@ -206,13 +227,17 @@ impl<P: GasProgram> Engine<P> {
 
     /// Grows engine arrays to cover `n` vertices, filling new slots with the
     /// program's per-vertex default.
-    fn ensure_capacity(&mut self, n: u32) {
+    pub(crate) fn ensure_capacity(&mut self, n: u32) {
         let n = n as usize;
         if self.values.len() < n {
             let start = self.values.len() as u32;
             self.values.extend((start..n as u32).map(|v| self.program.default_value(v)));
             self.temp.resize(n, None);
             self.active_bits.resize(n, false);
+        }
+        if self.track_witness && self.witness.len() < self.values.len() {
+            self.witness.resize(self.values.len(), NO_WITNESS);
+            self.witness_temp.resize(self.values.len(), NO_WITNESS);
         }
     }
 
@@ -228,7 +253,77 @@ impl<P: GasProgram> Engine<P> {
             self.active_bits[v as usize] = false;
         }
         self.active.clear();
+        self.witness.fill(NO_WITNESS);
+        self.witness_temp.fill(NO_WITNESS);
         self.seeded = false;
+    }
+
+    /// Turns witness attribution on or off. Repair drivers enable it so
+    /// every committed property carries the source of its winning message;
+    /// the arrays are (re)sized on the next capacity check.
+    pub fn set_witness_tracking(&mut self, on: bool) {
+        self.track_witness = on;
+        if on && self.witness.len() < self.values.len() {
+            self.witness.resize(self.values.len(), NO_WITNESS);
+            self.witness_temp.resize(self.values.len(), NO_WITNESS);
+        }
+    }
+
+    /// Whether witness attribution is enabled.
+    pub fn witness_tracking(&self) -> bool {
+        self.track_witness
+    }
+
+    /// Witness parents, indexed by vertex id ([`NO_WITNESS`] where none).
+    /// Empty until witness tracking is enabled and a run commits values.
+    pub fn witness(&self) -> &[VertexId] {
+        &self.witness
+    }
+
+    /// Resets each vertex in `invalidated` to its per-vertex default,
+    /// clears its witness, and marks it active — the destructive half of
+    /// invalidate-and-repair. The caller then injects the cone's still-
+    /// valid boundary messages ([`inject_message`](Self::inject_message))
+    /// and runs [`run_incremental`](Self::run_incremental) to repair.
+    pub fn invalidate(&mut self, invalidated: &[VertexId]) {
+        for &v in invalidated {
+            self.ensure_capacity(v + 1);
+            let vi = v as usize;
+            self.values[vi] = self.program.default_value(v);
+            if self.track_witness {
+                self.witness[vi] = NO_WITNESS;
+            }
+            if !self.active_bits[vi] {
+                self.active_bits[vi] = true;
+                self.active.push(v);
+            }
+        }
+    }
+
+    /// Deposits `msg` into the pending buffer as if `src` had sent it
+    /// during a processing phase; the next run's first apply phase reduces
+    /// and commits it. The repair path uses this to re-seed an invalidated
+    /// cone from its still-valid in-boundary.
+    pub fn inject_message(&mut self, src: VertexId, dst: VertexId, msg: P::Value) {
+        self.ensure_capacity(dst + 1);
+        let di = dst as usize;
+        let slot = &mut self.temp[di];
+        *slot = Some(match slot.take() {
+            Some(prev) => {
+                let combined = self.program.reduce(prev, msg);
+                if self.track_witness && combined == msg && msg != prev {
+                    self.witness_temp[di] = src;
+                }
+                combined
+            }
+            None => {
+                self.touched.push(dst);
+                if self.track_witness {
+                    self.witness_temp[di] = src;
+                }
+                msg
+            }
+        });
     }
 
     fn seed_roots(&mut self, vertex_space: u32) {
@@ -259,10 +354,13 @@ impl<P: GasProgram> Engine<P> {
     /// prior analysis to continue from yet).
     ///
     /// Incremental continuation is sound only for *monotone* updates (new
-    /// edges, or weight changes in the program's improving direction);
-    /// deletions and adverse weight changes can invalidate committed
-    /// properties and require [`run_from_roots`](Self::run_from_roots) —
-    /// the same restriction the paper's incremental-compute model carries.
+    /// edges, or weight changes in the program's improving direction).
+    /// Deletions and adverse weight changes invalidate committed
+    /// properties first: either re-run [`run_from_roots`](Self::run_from_roots)
+    /// cold, or — the delta-driven path [`crate::DynamicRunner`] drives —
+    /// [`invalidate`](Self::invalidate) the affected witness cone, inject
+    /// its boundary messages ([`inject_message`](Self::inject_message)),
+    /// and continue here to repair.
     pub fn run_incremental<S: GraphStore + Sync>(
         &mut self,
         store: &S,
@@ -296,7 +394,11 @@ impl<P: GasProgram> Engine<P> {
         // hybrid policies skip it entirely.
         let needs_degree = matches!(self.policy, ModePolicy::DegreeAware { .. });
         let num_shards = store.num_shards().max(1);
-        while !self.active.is_empty() && report.iterations.len() < self.max_iterations {
+        // Injected (repair-boundary) messages may be pending with no vertex
+        // active yet; the loop must run at least one apply to drain them.
+        while (!self.active.is_empty() || !self.touched.is_empty())
+            && report.iterations.len() < self.max_iterations
+        {
             let iter_start = Instant::now();
             let active_degree: u64 = if needs_degree {
                 self.active.iter().map(|&v| store.out_degree(v) as u64).sum()
@@ -335,6 +437,9 @@ impl<P: GasProgram> Engine<P> {
                 if let Some(msg) = self.temp[d as usize].take() {
                     if let Some(new) = self.program.apply(self.values[d as usize], msg) {
                         self.values[d as usize] = new;
+                        if self.track_witness {
+                            self.witness[d as usize] = self.witness_temp[d as usize];
+                        }
                         if !self.active_bits[d as usize] {
                             self.active_bits[d as usize] = true;
                             self.active.push(d);
@@ -380,15 +485,26 @@ impl<P: GasProgram> Engine<P> {
         let program = &self.program;
         let values = &self.values;
         let temp = &mut self.temp;
+        let witness_temp = &mut self.witness_temp;
+        let track = self.track_witness;
         let touched = &mut self.touched;
         let active_bits = &self.active_bits;
-        let mut deposit = |dst: VertexId, msg: P::Value| {
+        let mut deposit = |src: VertexId, dst: VertexId, msg: P::Value| {
             messages += 1;
             let slot = &mut temp[dst as usize];
             *slot = Some(match slot.take() {
-                Some(prev) => program.reduce(prev, msg),
+                Some(prev) => {
+                    let combined = program.reduce(prev, msg);
+                    if track && combined == msg && msg != prev {
+                        witness_temp[dst as usize] = src;
+                    }
+                    combined
+                }
                 None => {
                     touched.push(dst);
+                    if track {
+                        witness_temp[dst as usize] = src;
+                    }
                     msg
                 }
             });
@@ -401,7 +517,7 @@ impl<P: GasProgram> Engine<P> {
                     edges_processed += 1;
                     if active_bits[src as usize] {
                         if let Some(m) = program.process_edge(values[src as usize], dst, w) {
-                            deposit(dst, m);
+                            deposit(src, dst, m);
                         }
                     }
                 });
@@ -412,7 +528,7 @@ impl<P: GasProgram> Engine<P> {
                     store.for_each_out_edge(v, |dst, w| {
                         edges_processed += 1;
                         if let Some(m) = program.process_edge(sv, dst, w) {
-                            deposit(dst, m);
+                            deposit(v, dst, m);
                         }
                     });
                 }
@@ -440,9 +556,13 @@ impl<P: GasProgram> Engine<P> {
             self.workers.resize_with(num_shards, WorkerScratch::default);
         }
         let space = self.temp.len();
+        let track = self.track_witness;
         for w in &mut self.workers[..num_shards] {
             if w.temp.len() < space {
                 w.temp.resize(space, None);
+            }
+            if track && w.witness.len() < space {
+                w.witness.resize(space, NO_WITNESS);
             }
         }
         if mode == ExecMode::Incremental {
@@ -462,6 +582,7 @@ impl<P: GasProgram> Engine<P> {
                         let start = Instant::now();
                         let WorkerScratch {
                             temp,
+                            witness,
                             touched,
                             frontier,
                             edges_processed,
@@ -470,13 +591,22 @@ impl<P: GasProgram> Engine<P> {
                         } = scratch;
                         let mut edges: u64 = 0;
                         let mut msgs: u64 = 0;
-                        let mut deposit = |dst: VertexId, msg: P::Value| {
+                        let mut deposit = |src: VertexId, dst: VertexId, msg: P::Value| {
                             msgs += 1;
                             let slot = &mut temp[dst as usize];
                             *slot = Some(match slot.take() {
-                                Some(prev) => program.reduce(prev, msg),
+                                Some(prev) => {
+                                    let combined = program.reduce(prev, msg);
+                                    if track && combined == msg && msg != prev {
+                                        witness[dst as usize] = src;
+                                    }
+                                    combined
+                                }
                                 None => {
                                     touched.push(dst);
+                                    if track {
+                                        witness[dst as usize] = src;
+                                    }
                                     msg
                                 }
                             });
@@ -489,7 +619,7 @@ impl<P: GasProgram> Engine<P> {
                                         if let Some(m) =
                                             program.process_edge(values[src as usize], dst, w)
                                         {
-                                            deposit(dst, m);
+                                            deposit(src, dst, m);
                                         }
                                     }
                                 });
@@ -500,7 +630,7 @@ impl<P: GasProgram> Engine<P> {
                                     store.for_each_out_edge(v, |dst, w| {
                                         edges += 1;
                                         if let Some(m) = program.process_edge(sv, dst, w) {
-                                            deposit(dst, m);
+                                            deposit(v, dst, m);
                                         }
                                     });
                                 }
@@ -526,9 +656,18 @@ impl<P: GasProgram> Engine<P> {
                 if let Some(msg) = scratch.temp[d as usize].take() {
                     let slot = &mut self.temp[d as usize];
                     *slot = Some(match slot.take() {
-                        Some(prev) => self.program.reduce(prev, msg),
+                        Some(prev) => {
+                            let combined = self.program.reduce(prev, msg);
+                            if track && combined == msg && msg != prev {
+                                self.witness_temp[d as usize] = scratch.witness[d as usize];
+                            }
+                            combined
+                        }
                         None => {
                             self.touched.push(d);
+                            if track {
+                                self.witness_temp[d as usize] = scratch.witness[d as usize];
+                            }
                             msg
                         }
                     });

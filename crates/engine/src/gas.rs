@@ -145,6 +145,48 @@ pub trait GasProgram: Sync {
     }
 }
 
+/// Witness-aware extension of [`GasProgram`] enabling invalidate-and-repair
+/// incremental processing — the delta-driven model that stays sound under
+/// *deletions*, not just monotone insertions.
+///
+/// The engine attributes a **witness** to every committed property: the
+/// source vertex of the message that last changed it. Across a run the
+/// witnesses form a forest (each commit strictly improves the property, so
+/// no witness cycle can close), and at fixpoint every reached vertex
+/// satisfies the *witness invariant*: its value is exactly what
+/// [`process_edge`](GasProgram::process_edge) produces from its witness's
+/// value over the (live) witness edge. Deleting an edge therefore
+/// invalidates precisely the vertices whose witness path used it — the
+/// subtree of the deletion's target in the witness forest — and repair
+/// re-seeds that cone from its still-valid in-boundary.
+///
+/// Both methods have reduce-derived defaults that are correct for any
+/// *selective* reduce (min/max — all of BFS/SSSP/CC); a program whose
+/// reduce blends its inputs must override them or stay off this trait.
+pub trait IncrementalState: GasProgram {
+    /// Whether `candidate` strictly improves on `current`, i.e. the reduce
+    /// would pick `candidate` over it. This is the order the engine uses
+    /// to attribute witnesses.
+    fn improves(&self, candidate: Self::Value, current: Self::Value) -> bool {
+        self.reduce(current, candidate) == candidate && candidate != current
+    }
+
+    /// The witness invariant: whether `child_value` is still justified by
+    /// `parent_value` across an edge of weight `weight` into `child`.
+    /// Checked when a batch *re-inserts* (weight-updates) a witness edge:
+    /// BFS/CC are weight-insensitive and always hold; an SSSP weight raise
+    /// breaks the invariant and invalidates the child's subtree.
+    fn witness_holds(
+        &self,
+        parent_value: Self::Value,
+        child: VertexId,
+        child_value: Self::Value,
+        weight: Weight,
+    ) -> bool {
+        self.process_edge(parent_value, child, weight) == Some(child_value)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

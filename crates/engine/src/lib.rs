@@ -52,7 +52,7 @@ pub mod vc;
 
 pub use csr::CsrSnapshot;
 pub use dynamic::{DynamicRunner, RestartPolicy};
-pub use engine::{Engine, IterationStats, RunReport};
-pub use gas::{ExecMode, GasProgram, ModePolicy};
+pub use engine::{Engine, IterationStats, RunReport, NO_WITNESS};
+pub use gas::{ExecMode, GasProgram, IncrementalState, ModePolicy};
 pub use store::GraphStore;
 pub use vc::VertexCentricEngine;

@@ -11,6 +11,9 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> incremental oracle suite (repair == cold fixpoint after every batch)"
+cargo test -q -p gtinker-integration --test incremental_oracle
+
 echo "==> metrics-off build (compile-time no-op path of the metrics feature)"
 cargo test -q -p gtinker-core --no-default-features
 
@@ -74,6 +77,25 @@ ADAPTIVE_EDGES=$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$SMOKE/stats
 "$GT" stats "$SMOKE/skew.txt" --format json > "$SMOKE/stats_fixed.json"
 FIXED_EDGES=$(sed -n 's/.*"live_edges": \([0-9][0-9]*\).*/\1/p' "$SMOKE/stats_fixed.json" | head -1)
 test "$ADAPTIVE_EDGES" = "$FIXED_EDGES"
+
+echo "==> incremental smoke test (churned incremental CC == cold fixpoint; recover parity)"
+"$GT" cc "$SMOKE/g.txt" --restart incremental --churn-every 5 --batch 512 --verify | tee "$SMOKE/cc_churn.out"
+grep -q "verify: PASS" "$SMOKE/cc_churn.out"
+"$GT" cc "$SMOKE/g.txt" | tee "$SMOKE/cc_cold.out"
+COLD_CC=$(sed -n 's/CC: \([0-9][0-9]*\) components.*/\1/p' "$SMOKE/cc_cold.out")
+test -n "$COLD_CC"
+"$GT" cc "$SMOKE/g.txt" --restart incremental --batch 1024 --verify | tee "$SMOKE/cc_incr.out"
+grep -q "verify: PASS" "$SMOKE/cc_incr.out"
+INCR_CC=$(sed -n 's/CC: \([0-9][0-9]*\) components.*/\1/p' "$SMOKE/cc_incr.out")
+test "$COLD_CC" = "$INCR_CC"
+# Recover-and-cold-compute parity: the recovery smoke above already
+# round-tripped this graph through the WAL; its BFS reach must match the
+# incremental solve of the same file.
+RECOVER_REACH=$(sed -n 's/BFS from 0: \([0-9][0-9]*\) reached.*/\1/p' "$SMOKE/recover.out")
+test -n "$RECOVER_REACH"
+"$GT" bfs "$SMOKE/g.txt" --root 0 --restart incremental --batch 1024 | tee "$SMOKE/bfs_incr.out"
+INCR_REACH=$(sed -n 's/BFS from 0: \([0-9][0-9]*\) reached.*/\1/p' "$SMOKE/bfs_incr.out")
+test "$RECOVER_REACH" = "$INCR_REACH"
 
 echo "==> trace smoke test (traced pooled ingest -> Perfetto-loadable timeline with live shard tracks)"
 # The append/apply overlap is a timing property: with --sync never an append
@@ -231,6 +253,25 @@ grep -q '"writer_pinned_meps"' "$SMOKE/bench_serve/BENCH_serve_concurrent.json"
 grep -q '"read_p99_us"' "$SMOKE/bench_serve/BENCH_serve_concurrent.json"
 # Self-comparison: the emitted file must parse through the regression gate.
 "$BD" "$SMOKE/bench_serve/BENCH_serve_concurrent.json" "$SMOKE/bench_serve/BENCH_serve_concurrent.json"
+
+echo "==> incremental bench gate (fig_incremental emits BENCH_incremental.json; repair >= 10x cold)"
+target/release/fig_incremental --scale-factor 128 --batches 8 --out-dir "$SMOKE/bench_incremental"
+test -f "$SMOKE/bench_incremental/BENCH_incremental.json"
+grep -q '"cold_bfs_batch_p99_us"' "$SMOKE/bench_incremental/BENCH_incremental.json"
+grep -q '"repair_cc_batch_p99_us"' "$SMOKE/bench_incremental/BENCH_incremental.json"
+grep -q '"bfs_mean_cone"' "$SMOKE/bench_incremental/BENCH_incremental.json"
+# The acceptance bar: steady-state incremental BFS and CC each >= 10x
+# over the cold per-batch re-solve on 1k-op churn batches.
+for algo in bfs cc; do
+    SPEEDUP=$(sed -n "s/.*\"${algo}_speedup_vs_cold\": \([0-9][0-9]*\)\..*/\1/p" \
+        "$SMOKE/bench_incremental/BENCH_incremental.json" | head -1)
+    test -n "$SPEEDUP"
+    test "$SPEEDUP" -ge 10 || {
+        echo "incremental bench: $algo repair speedup ${SPEEDUP}x < 10x over cold" >&2; exit 1; }
+done
+# Self-comparison: the emitted file (cold + repair latency gates) must
+# parse through the regression gate.
+"$BD" "$SMOKE/bench_incremental/BENCH_incremental.json" "$SMOKE/bench_incremental/BENCH_incremental.json"
 
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

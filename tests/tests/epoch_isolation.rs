@@ -208,6 +208,80 @@ fn concurrent_readers_sync_apply_delete_and_compact() {
     concurrent_readers_scenario(DeleteMode::DeleteAndCompact, false, 0xD06);
 }
 
+/// Incremental repair over epoch-pinned views: a reader that pins a view
+/// after each acked batch and feeds the *delta since its previous pin*
+/// (skipped boundaries concatenated into one combined batch) to an
+/// invalidate-and-repair runner must land on exactly the cold fixpoint of
+/// a settled store holding the same boundary edge set. This is the repair
+/// loop running mid-ingest: the store underneath keeps moving, the pinned
+/// view does not.
+fn incremental_repair_over_pins(pipelined: bool) {
+    use gtinker_engine::{DynamicRunner, RestartPolicy};
+
+    let (batches, boundaries) = workload(0x1CEB);
+    let g = ParallelTinker::new_with_views(config(DeleteMode::DeleteOnly), 3).unwrap();
+    let mut runner =
+        DynamicRunner::new(Bfs::new(0), ModePolicy::hybrid(), RestartPolicy::Incremental);
+    let mut applied = 0usize; // batches the runner has absorbed so far
+    for b in &batches {
+        if pipelined {
+            g.submit(b.clone());
+        } else {
+            g.apply_batch(b);
+        }
+    }
+    // Pin repeatedly while (under `pipelined`) the writer may still be
+    // draining; each pin advances the runner by the missed delta.
+    loop {
+        let view = g.pin_view().expect("views enabled");
+        let epoch = view.epoch() as usize;
+        if epoch > applied {
+            // The combined delta between the runner's boundary and the
+            // pinned one: net effect equals the view's edge set.
+            let mut delta = EdgeBatch::new();
+            for b in &batches[applied..epoch] {
+                for op in b.iter() {
+                    match *op {
+                        UpdateOp::Insert(e) => delta.push_insert(e),
+                        UpdateOp::Delete { src, dst } => delta.push_delete(src, dst),
+                    }
+                }
+            }
+            runner.after_batch(&view, &delta);
+            applied = epoch;
+            // Batch-boundary equality against a settled store of the same
+            // boundary, computed cold.
+            let mut settled = GraphTinker::with_defaults();
+            let edges: Vec<Edge> =
+                boundaries[epoch].iter().map(|&(s, d, w)| Edge::new(s, d, w)).collect();
+            settled.apply_batch(&EdgeBatch::inserts(&edges));
+            let mut want_engine = Engine::new(Bfs::new(0), ModePolicy::hybrid());
+            want_engine.run_from_roots(&settled);
+            let mut want = want_engine.values().to_vec();
+            let mut got = runner.engine().values().to_vec();
+            let n = want.len().max(got.len());
+            want.resize(n, u32::MAX);
+            got.resize(n, u32::MAX);
+            assert_eq!(got, want, "repair over pinned view diverged at epoch {epoch}");
+        }
+        if epoch == BATCHES {
+            break;
+        }
+        drop(view);
+        g.flush();
+    }
+}
+
+#[test]
+fn incremental_repair_over_pins_sync() {
+    incremental_repair_over_pins(false);
+}
+
+#[test]
+fn incremental_repair_over_pins_pipelined() {
+    incremental_repair_over_pins(true);
+}
+
 /// Overlapping pins from many threads share one frozen epoch: while any
 /// guard is alive the replicas may not advance, even as the writer keeps
 /// acking new batches underneath.
