@@ -1,0 +1,10 @@
+//! Log-overhead benchmark: pooled ingest throughput with the per-batch
+//! structured log record at debug level vs the logger runtime-disabled.
+fn main() {
+    let args = gtinker_bench::Args::parse();
+    let table = gtinker_bench::experiments::fig_log_overhead::run(&args);
+    table.print();
+    if let Err(e) = table.write_tsv(&args.out_dir) {
+        eprintln!("warning: could not write TSV: {e}");
+    }
+}

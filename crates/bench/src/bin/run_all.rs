@@ -35,6 +35,7 @@ fn main() {
         ("Ingest pipeline", Box::new(experiments::fig_ingest_pipeline::run)),
         ("Metrics overhead", Box::new(experiments::fig_metrics_overhead::run)),
         ("Trace overhead", Box::new(experiments::fig_trace_overhead::run)),
+        ("Log overhead", Box::new(experiments::fig_log_overhead::run)),
         ("Adaptive tiers", Box::new(experiments::fig_adaptive::run)),
         ("SWAR probe", Box::new(experiments::fig_probe_swar::run)),
         ("Serve concurrent", Box::new(experiments::fig_serve_concurrent::run)),

@@ -1,0 +1,232 @@
+//! Overhead of the structured logging layer (no paper counterpart;
+//! acceptance gate for the request-scoped observability PR): pooled
+//! 4-shard ingest throughput with the per-batch debug log record enabled
+//! vs the logger runtime-disabled.
+//!
+//! The log site under test is [`gtinker_core::ShardPool`]'s dispatch
+//! record (`msg="batch dispatched" seq=.. ops=..`), the densest record
+//! the ingest path produces: one formatted key=value line per batch. The
+//! batch size here is deliberately small so records fire often relative
+//! to the work they describe. The enabled side runs at `debug` level
+//! with the in-memory capture sink on (drained every trial), so the
+//! measurement covers the level check, formatting, and sink handoff
+//! without timing a terminal; the disabled side sets the level to `off`,
+//! reducing every site to one relaxed atomic load. The compile-time
+//! `log` feature gate — whose off state is an empty inline body — is
+//! proven separately by the log-off build check in CI.
+//!
+//! Each rep times the two configurations back to back and alternates
+//! which side goes first, so allocator warm-up and frequency drift hit
+//! both sides equally; the gated number is the **median per-pair
+//! overhead**, which a single slow trial cannot move. Alongside the TSV
+//! the run emits `BENCH_log_overhead.json` with an `overhead_pct` field;
+//! the acceptance criterion is < 5 % on the pooled ingest path, and
+//! `lines_captured` must be nonzero (proof the instrumentation actually
+//! fired on the enabled side).
+
+use std::time::Instant;
+
+use gtinker_core::{log, ParallelTinker};
+use gtinker_types::{Edge, EdgeBatch, TinkerConfig};
+
+use crate::cli::Args;
+use crate::experiments::common::hollywood;
+use crate::report::{f3, meps, Table};
+
+/// Batch size for the ingest stream: small enough that the per-batch log
+/// record fires often relative to the work it brackets (a deliberately
+/// adversarial setting for the logger).
+const OPS_PER_BATCH: usize = 1_000;
+
+/// Back-to-back (enabled, disabled) pairs; the median pair overhead is
+/// the gated number. Generous because the acceptance box is small (a
+/// single CPU time-slices the five pool threads, so individual trials
+/// are scheduler-noisy).
+const REPS: usize = 15;
+
+/// Shard count for the pooled path (matches the acceptance workload).
+const SHARDS: usize = 4;
+
+struct Sample {
+    /// Best enabled-side throughput across the pairs (reporting only).
+    enabled_meps: f64,
+    /// Best disabled-side throughput across the pairs (reporting only).
+    disabled_meps: f64,
+    /// Median of the per-pair `(off - on) / off` ratios, in percent.
+    /// Negative values are measurement noise (enabled ran faster).
+    overhead_pct: f64,
+}
+
+/// Median of an unsorted slice (mean of the middle two when even).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN overheads"));
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+fn slice_batches(edges: &[Edge]) -> Vec<EdgeBatch> {
+    edges.chunks(OPS_PER_BATCH).map(EdgeBatch::inserts).collect()
+}
+
+fn measure_pooled(batches: &[EdgeBatch], ops: u64) -> f64 {
+    let g = ParallelTinker::new(TinkerConfig::default(), SHARDS).expect("parallel store");
+    let t0 = Instant::now();
+    for b in batches {
+        g.apply_batch(b);
+    }
+    meps(ops, t0.elapsed())
+}
+
+/// Runs [`REPS`] back-to-back (logger-off, debug-level) pairs after one
+/// untimed warm-up, alternating which side goes first so monotonic
+/// machine drift cancels within each pair; the gated overhead is the
+/// median of the per-pair ratios. Returns the sample plus the record
+/// count from the last enabled trial. Restores the default level (warn)
+/// and turns the capture sink off.
+fn sample(mut measure: impl FnMut() -> f64) -> (Sample, u64) {
+    fn enabled(measure: &mut impl FnMut() -> f64, lines: &mut u64) -> f64 {
+        log::set_max_level(Some(log::Level::Debug));
+        log::set_capture(true);
+        let meps = measure();
+        *lines = log::drain_capture().len() as u64;
+        meps
+    }
+    fn disabled(measure: &mut impl FnMut() -> f64) -> f64 {
+        log::set_max_level(None);
+        measure()
+    }
+
+    let mut lines = 0u64;
+    let _warmup = disabled(&mut measure);
+    let mut s = Sample { enabled_meps: 0.0, disabled_meps: 0.0, overhead_pct: 0.0 };
+    let mut pairs = [0.0f64; REPS];
+    for (rep, pair) in pairs.iter_mut().enumerate() {
+        let (off, on) = if rep % 2 == 0 {
+            let off = disabled(&mut measure);
+            (off, enabled(&mut measure, &mut lines))
+        } else {
+            let on = enabled(&mut measure, &mut lines);
+            (disabled(&mut measure), on)
+        };
+        s.disabled_meps = s.disabled_meps.max(off);
+        s.enabled_meps = s.enabled_meps.max(on);
+        *pair = (off - on) / off.max(1e-9) * 100.0;
+    }
+    s.overhead_pct = median(&mut pairs);
+    log::set_capture(false);
+    log::set_max_level(Some(log::Level::Warn));
+    (s, lines)
+}
+
+fn to_json(ops: u64, s: &Sample, lines_captured: u64) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"log_overhead\",\n");
+    out.push_str(&format!("  \"ops\": {ops},\n"));
+    out.push_str(&format!("  \"ops_per_batch\": {OPS_PER_BATCH},\n"));
+    out.push_str(&format!("  \"reps\": {REPS},\n"));
+    out.push_str(&format!("  \"enabled_meps\": {:.3},\n", s.enabled_meps));
+    out.push_str(&format!("  \"disabled_meps\": {:.3},\n", s.disabled_meps));
+    out.push_str(&format!("  \"overhead_pct\": {:.3},\n", s.overhead_pct));
+    out.push_str(&format!("  \"lines_captured\": {lines_captured}\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// Runs the log-overhead benchmark; also writes
+/// `<out-dir>/BENCH_log_overhead.json`.
+pub fn run(args: &Args) -> Table {
+    let spec = hollywood(args.scale_factor);
+    let edges = spec.generate();
+    let batches = slice_batches(&edges);
+    let ops = edges.len() as u64;
+
+    let mut t = Table::new(
+        "fig_log_overhead",
+        &format!(
+            "Structured-log overhead: pooled {SHARDS}-shard ingest Medges/s at debug \
+             level vs logger off ({}, {} ops, median of {REPS} paired trials)",
+            spec.name, ops
+        ),
+        &["path", "enabled_meps", "disabled_meps", "overhead_pct", "lines_captured"],
+    );
+
+    let (s, lines_captured) = sample(|| measure_pooled(&batches, ops));
+
+    t.push_row(vec![
+        format!("pooled{SHARDS}"),
+        f3(s.enabled_meps),
+        f3(s.disabled_meps),
+        format!("{:.2}%", s.overhead_pct),
+        lines_captured.to_string(),
+    ]);
+
+    let json = to_json(ops, &s, lines_captured);
+    let path = std::path::Path::new(&args.out_dir).join("BENCH_log_overhead.json");
+    if let Err(e) =
+        std::fs::create_dir_all(&args.out_dir).and_then(|()| std::fs::write(&path, json))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let sample = Sample { enabled_meps: 9.5, disabled_meps: 10.0, overhead_pct: 5.0 };
+        let s = to_json(80_000, &sample, 80);
+        assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
+        assert!(s.contains("\"benchmark\": \"log_overhead\""));
+        assert!(s.contains("\"overhead_pct\": 5.000"));
+        assert!(s.contains("\"lines_captured\": 80"));
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut odd = [1.0, 50.0, -2.0, 0.5, 1.5];
+        assert_eq!(median(&mut odd), 1.0);
+        let mut even = [4.0, 2.0];
+        assert_eq!(median(&mut even), 3.0);
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn tiny_end_to_end_run() {
+        let _g = crate::experiments::common::OBS_TEST_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("gtinker_fig_log_out_{}", std::process::id()));
+        let args = Args {
+            scale_factor: 4096,
+            batches: 4,
+            threads: vec![1],
+            out_dir: dir.to_string_lossy().into_owned(),
+        };
+        let t = run(&args);
+        assert_eq!(log::max_level(), Some(log::Level::Warn), "run must restore the level");
+        let rendered = t.render();
+        assert!(rendered.contains("pooled4"), "got: {rendered}");
+        assert!(dir.join("BENCH_log_overhead.json").exists());
+        // The pooled ingest dispatches at least one batch per shard, so
+        // the enabled side must have captured records.
+        let json = std::fs::read_to_string(dir.join("BENCH_log_overhead.json")).unwrap();
+        let lines: u64 = json
+            .split("\"lines_captured\": ")
+            .nth(1)
+            .unwrap()
+            .split(char::is_whitespace)
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(lines > 0, "enabled trial must capture log records: {json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

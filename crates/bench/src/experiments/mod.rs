@@ -20,6 +20,7 @@ pub mod fig19;
 pub mod fig_adaptive;
 pub mod fig_incremental;
 pub mod fig_ingest_pipeline;
+pub mod fig_log_overhead;
 pub mod fig_metrics_overhead;
 pub mod fig_persist;
 pub mod fig_probe_swar;

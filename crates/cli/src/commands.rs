@@ -41,10 +41,11 @@ USAGE:
   gtinker ingest FILE --wal DIR [--batch N] [--sync never|always|N]
                  [--snapshot-every K] [--final-snapshot] [--pipeline]
                  [--pool N] [--stats] [--serve HOST:PORT] [--hold]
-                 [--workers N]
+                 [--workers N] [--slow-query-ms N]
   gtinker trace FILE --wal DIR [--out TRACE.json] [--analytics]
                 [--batch N] [--pool N] [--pipeline] [--sync never|always|N]
   gtinker serve [FILE|WALDIR] [--addr HOST:PORT] [--shards N] [--workers N]
+                [--slow-query-ms N]
   gtinker snapshot FILE --dir DIR [--baseline]
   gtinker recover DIR [--baseline] [--root R] [--validate]
   gtinker help
@@ -93,20 +94,34 @@ driver is its own track (--analytics appends a traced BFS plus a
 delete/re-insert churn round through the incremental repair engine, so
 'repair' spans carry per-batch cone sizes). 'serve'
 (optionally after loading FILE or recovering WALDIR into --shards N
-epoch-view shards) exposes /metrics (Prometheus), /healthz (live
-gauges), /trace (timeline JSON) and — when a store is loaded — the query
-API /neighbors?v= /degree?v= /query/{bfs,sssp}?src= /query/cc
-/query/pagerank over HTTP on --addr (default 127.0.0.1:0, port printed
-at startup), answered by --workers N request threads (default 4) from
-epoch-pinned snapshot views; GET /quitquitquit from loopback shuts the
-server down cleanly. 'ingest --serve' runs the same endpoint in-process
-against the live pooled store while batches apply (snapshots
-unsupported, like --pool); --hold keeps serving after the ingest
-finishes until /quitquitquit.
+epoch-view shards) exposes /metrics (Prometheus), /healthz (build info +
+live gauges), /trace (timeline JSON), /debug/vars (per-endpoint RED
+windows with p50/p95/p99), /debug/requests (last completed requests with
+phase timings) and — when a store is loaded — the query API /neighbors?v=
+/degree?v= /query/{bfs,sssp}?src= /query/cc /query/pagerank over HTTP on
+--addr (default 127.0.0.1:0, port printed at startup), answered by
+--workers N request threads (default 4) from epoch-pinned snapshot
+views; GET /quitquitquit from loopback shuts the server down cleanly.
+Every response carries an X-Request-Id header; with tracing on, the
+request's pin/engine/serialize spans in /trace carry that id as their
+arg. --slow-query-ms N logs a structured warn record with a per-phase
+breakdown (queue/pin/engine/serialize) for any request slower than N ms.
+'ingest --serve' runs the same endpoint in-process against the live
+pooled store while batches apply (snapshots unsupported, like --pool);
+--hold keeps serving after the ingest finishes until /quitquitquit.
+
+--log LEVEL (any command) sets the structured key=value log level on
+stderr: error|warn|info|debug|off (default warn). Records are
+line-oriented 'ts=... level=... target=... msg=\"...\" k=v' pairs.
 ";
 
 /// Runs a parsed command; returns an error message on failure.
 pub fn run(parsed: &Parsed) -> Result<(), String> {
+    if let Some(level) = parsed.get("log") {
+        if !gtinker_core::log::set_level_by_name(level) {
+            return Err(format!("unknown --log level '{level}' (error|warn|info|debug|off)"));
+        }
+    }
     match parsed.command.as_str() {
         "generate" => generate(parsed),
         "stats" => stats(parsed),
@@ -873,8 +888,13 @@ fn ingest_pooled(
         .map_err(|e| e.to_string())?,
     );
     let workers = parsed.num("workers", crate::serve::DEFAULT_WORKERS)?.max(1);
+    let slow_query_ms = slow_query_ms(parsed)?;
     let server = serve_listener.map(|listener| {
-        let ctx = crate::serve::ServeCtx::with_store(Instant::now(), std::sync::Arc::clone(&g));
+        let ctx = crate::serve::ServeCtx::with_options(
+            Instant::now(),
+            Some(std::sync::Arc::clone(&g)),
+            slow_query_ms,
+        );
         crate::serve::spawn(listener, ctx, workers)
     });
     let pipelined = parsed.flag("pipeline");
@@ -982,6 +1002,18 @@ fn trace_cmd(parsed: &Parsed) -> Result<(), String> {
 
 /// `gtinker serve [FILE|WALDIR]`: loads/recovers a store (if given) into
 /// an epoch-view-enabled parallel store (`--shards N`), then serves the
+/// Parses `--slow-query-ms` (None = slow-query log disabled; 0 logs
+/// every request, handy for smoke tests).
+fn slow_query_ms(parsed: &Parsed) -> Result<Option<u64>, String> {
+    match parsed.get("slow-query-ms") {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("bad --slow-query-ms: '{v}' (expected milliseconds)")),
+    }
+}
+
 /// telemetry routes plus the `/query/*` API over HTTP until SIGTERM or a
 /// loopback `GET /quitquitquit`.
 fn serve_cmd(parsed: &Parsed) -> Result<(), String> {
@@ -1016,10 +1048,7 @@ fn serve_cmd(parsed: &Parsed) -> Result<(), String> {
         }
     };
     let listener = crate::serve::bind(parsed.get("addr").unwrap_or("127.0.0.1:0"))?;
-    let ctx = match store {
-        Some(s) => crate::serve::ServeCtx::with_store(started, s),
-        None => crate::serve::ServeCtx::telemetry(started),
-    };
+    let ctx = crate::serve::ServeCtx::with_options(started, store, slow_query_ms(parsed)?);
     crate::serve::serve_until_shutdown(listener, ctx, workers);
     eprintln!("serve: shut down cleanly");
     Ok(())
@@ -1448,6 +1477,9 @@ mod tests {
 
     #[test]
     fn traced_pooled_ingest_writes_chrome_json() {
+        // The trace command toggles the process-global trace flag and
+        // clears the rings; serialize against serve tests that do too.
+        let _g = crate::serve::OBS_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let dir = std::env::temp_dir().join("gtinker_cli_trace");
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();

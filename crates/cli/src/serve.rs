@@ -5,8 +5,10 @@
 //! | route              | payload                                          |
 //! |--------------------|--------------------------------------------------|
 //! | `/metrics`         | the metric registry in Prometheus text format    |
-//! | `/healthz`         | JSON liveness: uptime, live edges, pinned epoch  |
+//! | `/healthz`         | JSON liveness: build info, uptime, acked seq     |
 //! | `/trace`           | the span-trace rings as Chrome trace-event JSON  |
+//! | `/debug/vars`      | live server vars + per-endpoint RED windows      |
+//! | `/debug/requests`  | ring of the last completed request summaries     |
 //! | `/neighbors?v=`    | out-edges of one vertex                          |
 //! | `/degree?v=`       | out-degree of one vertex                         |
 //! | `/query/bfs?src=`  | BFS from a root: reached count, eccentricity     |
@@ -22,20 +24,44 @@
 //! readers traverse a consistent acked-batch-boundary snapshot. Telemetry
 //! routes read lock-free global state and never touch the store at all.
 //!
-//! HTTP support is deliberately minimal: one request per connection
-//! (`Connection: close` on every response), request bodies ignored,
-//! `GET`/`HEAD` only (anything else draws `405` with an `Allow` header).
-//! That is enough for `curl`, Prometheus scrapes, and Perfetto downloads,
-//! and keeps the whole server dependency-free and small enough to audit.
+//! # Request-scoped observability
+//!
+//! Every request is minted a process-unique `RequestId`, echoed in the
+//! `X-Request-Id` response header. The id rides the thread context
+//! ([`trace::set_thread_ctx`]) for the duration of the request, so the
+//! trace spans recorded underneath it — `serve_request`, `epoch_pin`,
+//! `engine_process`/`engine_apply`, `serve_serialize` — all carry the id
+//! as their `args.v` payload: grep the `/trace` dump for one id and you
+//! have that request's full timeline. On top of that the server keeps
+//! per-endpoint RED stats (request/error counters plus a sliding-window
+//! latency histogram, surfaced with p50/p95/p99 at `/debug/vars`), a ring
+//! of completed request summaries (`/debug/requests`), and a
+//! threshold-gated slow-query log record with a per-phase breakdown
+//! (queue-wait / pin / engine / serialize) in the structured key=value
+//! format of [`gtinker_core::log`].
+//!
+//! # HTTP support
+//!
+//! Deliberately minimal: `GET`/`HEAD` only (anything else draws `405`
+//! with an `Allow` header and closes), request bodies ignored. A client
+//! that sends `Connection: keep-alive` may reuse the connection for up to
+//! [`MAX_KEEPALIVE_REQUESTS`] requests with a [`KEEPALIVE_IDLE`] idle
+//! timeout between them; everyone else gets the classic
+//! one-request-per-connection `Connection: close` behaviour. That is
+//! enough for `curl`, Prometheus scrapes, and Perfetto downloads, and
+//! keeps the whole server dependency-free and small enough to audit.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use gtinker_core::log;
+use gtinker_core::metrics::{Counter, WindowedHistogram};
 use gtinker_core::trace::{self, SpanId};
 use gtinker_core::{ParallelTinker, StoreView};
 use gtinker_engine::{
@@ -43,12 +69,14 @@ use gtinker_engine::{
     Engine, ModePolicy,
 };
 
-/// Route catalogue, also used as the [`SpanId::ServeRequest`] payload so
-/// traced servers show *which* endpoint was hit.
+/// Route catalogue; each entry owns one [`EndpointStats`] slot (the extra
+/// trailing slot aggregates unmatched paths as `other`).
 const ROUTES: &[&str] = &[
     "/healthz",
     "/metrics",
     "/trace",
+    "/debug/vars",
+    "/debug/requests",
     "/neighbors",
     "/degree",
     "/query/bfs",
@@ -64,29 +92,152 @@ pub const DEFAULT_WORKERS: usize = 4;
 /// never reads the response) cannot wedge a worker forever.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Idle timeout between requests on a kept-alive connection (shorter than
+/// [`IO_TIMEOUT`]: an idle client holds no interesting state).
+const KEEPALIVE_IDLE: Duration = Duration::from_secs(5);
+
+/// Requests served on one connection before the server forces a close (a
+/// fairness valve: one chatty client cannot monopolise a worker forever).
+pub const MAX_KEEPALIVE_REQUESTS: u64 = 100;
+
+/// How many completed request summaries `/debug/requests` retains.
+const REQUEST_RING: usize = 64;
+
+/// Sliding-window rotation cadence for the per-endpoint latency
+/// histograms; with [`gtinker_core::metrics::WINDOW_SLOTS`] baselines the
+/// `/debug/vars` quantiles cover roughly the last minute.
+const WINDOW_ROTATE_SECS: u64 = 10;
+
+/// Crate version, baked in at compile time.
+const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Git hash injected via the `GTINKER_GIT_HASH` env var at compile time
+/// (ci.sh exports it); "unknown" for plain `cargo build`.
+const GIT_HASH: &str = match option_env!("GTINKER_GIT_HASH") {
+    Some(h) => h,
+    None => "unknown",
+};
+
+/// Process-unique request id source (starts at 1 so 0 means "no request"
+/// in the trace thread context).
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// RED (rate / errors / duration) stats for one endpoint.
+struct EndpointStats {
+    requests: Counter,
+    errors: Counter,
+    latency_ns: WindowedHistogram,
+}
+
+impl EndpointStats {
+    const fn new() -> Self {
+        EndpointStats {
+            requests: Counter::new(),
+            errors: Counter::new(),
+            latency_ns: WindowedHistogram::new(),
+        }
+    }
+}
+
+/// Stats slot for paths not in [`ROUTES`] (404s, `/`, `/quitquitquit`).
+const OTHER_ENDPOINT: usize = ROUTES.len();
+
+static ENDPOINT_STATS: [EndpointStats; ROUTES.len() + 1] =
+    [const { EndpointStats::new() }; ROUTES.len() + 1];
+
+/// Uptime period (in [`WINDOW_ROTATE_SECS`] units) of the last window
+/// rotation; requests compare-and-swap it forward so exactly one request
+/// per period pays the rotation.
+static LAST_ROTATION: AtomicU64 = AtomicU64::new(0);
+
+fn endpoint_index(path: &str) -> usize {
+    ROUTES.iter().position(|&r| r == path).unwrap_or(OTHER_ENDPOINT)
+}
+
+fn endpoint_name(i: usize) -> &'static str {
+    ROUTES.get(i).copied().unwrap_or("other")
+}
+
+/// Rotates every endpoint's latency window when a new
+/// [`WINDOW_ROTATE_SECS`] period of uptime has begun. Driven lazily from
+/// the request path (no timer thread); one CAS winner per period rotates.
+fn maybe_rotate_windows(ctx: &ServeCtx) {
+    let period = ctx.start.elapsed().as_secs() / WINDOW_ROTATE_SECS;
+    let prev = LAST_ROTATION.load(Ordering::Relaxed);
+    if period > prev
+        && LAST_ROTATION
+            .compare_exchange(prev, period, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    {
+        for s in &ENDPOINT_STATS {
+            s.latency_ns.rotate();
+        }
+    }
+}
+
+/// One completed request, as shown by `/debug/requests`.
+#[derive(Debug, Clone)]
+struct RequestSummary {
+    id: u64,
+    path: String,
+    status: u16,
+    queue_us: u64,
+    pin_us: u64,
+    engine_us: u64,
+    serialize_us: u64,
+    total_us: u64,
+}
+
 /// Shared server state: the optional store queries run against, the
-/// process start time for uptime, and the shutdown latch.
+/// process start time for uptime, the shutdown latch, the slow-query
+/// threshold, and the completed-request ring.
 pub struct ServeCtx {
     store: Option<Arc<ParallelTinker>>,
     start: Instant,
     shutdown: AtomicBool,
+    /// Requests slower than this (total, ns) emit a warn-level slow-query
+    /// record; `u64::MAX` disables the log.
+    slow_query_ns: u64,
+    completed: Mutex<VecDeque<RequestSummary>>,
 }
 
 impl ServeCtx {
     /// Telemetry-only context (no store: query routes answer 503).
+    #[cfg(test)]
     pub fn telemetry(start: Instant) -> Arc<Self> {
-        Arc::new(ServeCtx { store: None, start, shutdown: AtomicBool::new(false) })
+        Self::with_options(start, None, None)
     }
 
-    /// Context with a live store; queries are served from pinned views.
-    /// The store must be built with views ([`ParallelTinker::new_with_views`]).
-    pub fn with_store(start: Instant, store: Arc<ParallelTinker>) -> Arc<Self> {
-        Arc::new(ServeCtx { store: Some(store), start, shutdown: AtomicBool::new(false) })
+    /// Builds a context: an optional store queries run against (`None`
+    /// serves telemetry only; a store must be built with views,
+    /// [`ParallelTinker::new_with_views`]) plus the slow-query log
+    /// threshold in milliseconds (`None` disables; `Some(0)` logs every
+    /// request — handy for smoke tests).
+    pub fn with_options(
+        start: Instant,
+        store: Option<Arc<ParallelTinker>>,
+        slow_query_ms: Option<u64>,
+    ) -> Arc<Self> {
+        Arc::new(ServeCtx {
+            store,
+            start,
+            shutdown: AtomicBool::new(false),
+            slow_query_ns: slow_query_ms.map(|ms| ms.saturating_mul(1_000_000)).unwrap_or(u64::MAX),
+            completed: Mutex::new(VecDeque::new()),
+        })
     }
 
     /// Whether graceful shutdown has been requested.
     pub fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn push_summary(&self, s: RequestSummary) {
+        let mut ring = self.completed.lock().expect("request ring poisoned");
+        ring.push_back(s);
+        while ring.len() > REQUEST_RING {
+            ring.pop_front();
+        }
     }
 }
 
@@ -97,7 +248,7 @@ pub fn bind(addr: &str) -> Result<TcpListener, String> {
     let listener =
         TcpListener::bind(addr).map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| format!("serve: {e}"))?;
-    println!("serving on http://{local} (/healthz /metrics /trace /query/*)");
+    println!("serving on http://{local} (/healthz /metrics /trace /debug/* /query/*)");
     std::io::stdout().flush().ok();
     Ok(listener)
 }
@@ -142,13 +293,20 @@ pub fn spawn(listener: TcpListener, ctx: Arc<ServeCtx>, workers: usize) -> Serve
     ServeHandle { addr, ctx, thread }
 }
 
+/// A freshly accepted connection, stamped so the first request can report
+/// its queue wait (accept to worker pickup).
+struct Conn {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
 /// Accept loop: distributes connections to `workers` handler threads and
 /// serves until shutdown is requested (`/quitquitquit` from a loopback
 /// client, or [`ServeHandle::shutdown`]). Per-connection errors are
 /// logged and skipped — a dropped scrape must not kill the server.
 pub fn serve_until_shutdown(listener: TcpListener, ctx: Arc<ServeCtx>, workers: usize) {
     let addr = listener.local_addr().expect("bound listener has an address");
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let (tx, rx) = mpsc::channel::<Conn>();
     let rx = Arc::new(Mutex::new(rx));
     let mut handles = Vec::with_capacity(workers.max(1));
     for w in 0..workers.max(1) {
@@ -168,7 +326,7 @@ pub fn serve_until_shutdown(listener: TcpListener, ctx: Arc<ServeCtx>, workers: 
                 }
                 // A send can only fail if every worker panicked; drop the
                 // connection rather than poisoning the acceptor.
-                if tx.send(stream).is_err() {
+                if tx.send(Conn { stream, accepted: Instant::now() }).is_err() {
                     break;
                 }
             }
@@ -176,7 +334,7 @@ pub fn serve_until_shutdown(listener: TcpListener, ctx: Arc<ServeCtx>, workers: 
                 if ctx.is_shutdown() {
                     break;
                 }
-                eprintln!("serve: accept failed: {e}");
+                log::error("serve").msg("accept failed").field_str("error", &e.to_string()).emit();
             }
         }
     }
@@ -188,33 +346,109 @@ pub fn serve_until_shutdown(listener: TcpListener, ctx: Arc<ServeCtx>, workers: 
 
 /// Request-worker body: pull connections off the shared queue until the
 /// acceptor hangs up.
-fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, ctx: Arc<ServeCtx>, addr: SocketAddr) {
+fn worker_loop(rx: Arc<Mutex<Receiver<Conn>>>, ctx: Arc<ServeCtx>, addr: SocketAddr) {
     loop {
-        let stream = match rx.lock().expect("serve queue poisoned").recv() {
-            Ok(s) => s,
+        let conn = match rx.lock().expect("serve queue poisoned").recv() {
+            Ok(c) => c,
             Err(_) => return,
         };
-        if let Err(e) = handle_connection(stream, &ctx, addr) {
-            eprintln!("serve: request failed: {e}");
+        if let Err(e) = handle_connection(conn, &ctx, addr) {
+            log::error("serve").msg("connection failed").field_str("error", &e.to_string()).emit();
         }
     }
 }
 
-/// Reads one request, writes one response, closes the connection.
-fn handle_connection(stream: TcpStream, ctx: &ServeCtx, addr: SocketAddr) -> std::io::Result<()> {
+/// Serves one connection: a single request/response by default, or a
+/// bounded request loop when the client asked for keep-alive.
+fn handle_connection(conn: Conn, ctx: &ServeCtx, addr: SocketAddr) -> std::io::Result<()> {
+    let Conn { stream, accepted } = conn;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let peer = stream.peer_addr().ok();
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain the remaining headers so well-behaved clients see a clean
-    // close instead of a reset mid-send.
-    let mut line = String::new();
-    while reader.read_line(&mut line)? > 2 {
-        line.clear();
-    }
-    let mut stream = reader.into_inner();
+    let mut served: u64 = 0;
+    // Only the first request on a connection waited in the accept queue.
+    let mut queue_wait = accepted.elapsed();
+    let result = loop {
+        let mut request_line = String::new();
+        match reader.read_line(&mut request_line) {
+            Ok(0) => break Ok(()), // client closed between requests
+            Ok(_) => {}
+            // An expired keep-alive idle timeout is a normal close.
+            Err(e)
+                if served > 0
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                break Ok(());
+            }
+            Err(e) => break Err(e),
+        }
+        if request_line.trim().is_empty() {
+            break Ok(());
+        }
+        // Drain the remaining headers, noting the Connection request.
+        let mut wants_keep_alive = false;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? <= 2 {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                if k.eq_ignore_ascii_case("connection") {
+                    wants_keep_alive = v.trim().eq_ignore_ascii_case("keep-alive");
+                }
+            }
+        }
+        served += 1;
+        match handle_request(
+            reader.get_mut(),
+            ctx,
+            addr,
+            peer,
+            &request_line,
+            wants_keep_alive && served < MAX_KEEPALIVE_REQUESTS,
+            queue_wait,
+        ) {
+            Ok(true) => {
+                queue_wait = Duration::ZERO;
+                // Between kept-alive requests, idle out faster than the
+                // in-request IO timeout.
+                reader.get_ref().set_read_timeout(Some(KEEPALIVE_IDLE))?;
+            }
+            Ok(false) => break Ok(()),
+            Err(e) => break Err(e),
+        }
+    };
+    log::debug("serve")
+        .msg("connection closed")
+        .field("requests", served)
+        .field_str("peer", &peer.map(|p| p.to_string()).unwrap_or_default())
+        .emit();
+    result
+}
+
+/// Handles one already-parsed-headers request on `stream`. Returns
+/// whether the connection should stay open for another request.
+#[allow(clippy::too_many_arguments)]
+fn handle_request(
+    stream: &mut TcpStream,
+    ctx: &ServeCtx,
+    addr: SocketAddr,
+    peer: Option<SocketAddr>,
+    request_line: &str,
+    keep_alive_wanted: bool,
+    queue_wait: Duration,
+) -> std::io::Result<bool> {
+    let started = Instant::now();
+    let id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+    // From here until the response is written, every trace span recorded
+    // on this thread (pin, engine, serialize, ...) carries this id.
+    trace::set_thread_ctx(id);
+    trace::instant(SpanId::ServeRequest, id);
 
     let mut words = request_line.split_whitespace();
     let method = words.next().unwrap_or("");
@@ -224,75 +458,132 @@ fn handle_connection(stream: TcpStream, ctx: &ServeCtx, addr: SocketAddr) -> std
         None => (target, ""),
     };
     let head_only = method == "HEAD";
-    if !head_only && method != "GET" {
-        return respond(
-            &mut stream,
-            405,
-            "text/plain; charset=utf-8",
-            "method not allowed\n",
-            false,
-        );
-    }
+    let ep = endpoint_index(path);
+    ENDPOINT_STATS[ep].requests.inc();
+    maybe_rotate_windows(ctx);
 
-    trace::instant(
-        SpanId::ServeRequest,
-        ROUTES.iter().position(|&r| r == path).map(|i| i as u64 + 1).unwrap_or(0),
-    );
-
-    if path == "/quitquitquit" {
+    let mut shutdown_after = false;
+    // Non-GET methods may carry a body this server never parses, so the
+    // connection position would be unknown afterwards: always close.
+    let mut keep_alive = keep_alive_wanted && !ctx.is_shutdown() && (head_only || method == "GET");
+    let (status, ctype, body, pin_ns) = if !head_only && method != "GET" {
+        keep_alive = false;
+        (405, "text/plain; charset=utf-8", "method not allowed\n".to_string(), 0)
+    } else if path == "/quitquitquit" {
+        keep_alive = false;
         // Shutdown is local-only: refuse anything not from loopback.
-        if !peer.is_some_and(|p| p.ip().is_loopback()) {
-            return respond(
-                &mut stream,
-                403,
-                "text/plain; charset=utf-8",
-                "shutdown is loopback-only\n",
-                head_only,
-            );
+        if peer.is_some_and(|p| p.ip().is_loopback()) {
+            shutdown_after = true;
+            (200, "text/plain; charset=utf-8", "shutting down\n".to_string(), 0)
+        } else {
+            (403, "text/plain; charset=utf-8", "shutdown is loopback-only\n".to_string(), 0)
         }
-        let r =
-            respond(&mut stream, 200, "text/plain; charset=utf-8", "shutting down\n", head_only);
+    } else {
+        route(path, query, ctx)
+    };
+    // Handler time minus the pin wait = the engine/render phase.
+    let engine_ns = (started.elapsed().as_nanos() as u64).saturating_sub(pin_ns);
+
+    let serialize_start = Instant::now();
+    let write_result = {
+        let _s = trace::span_arg(SpanId::ServeSerialize, id);
+        respond(stream, status, ctype, &body, head_only, id, keep_alive)
+    };
+    let serialize_ns = serialize_start.elapsed().as_nanos() as u64;
+    let queue_ns = queue_wait.as_nanos() as u64;
+    let total_ns = queue_ns + started.elapsed().as_nanos() as u64;
+
+    ENDPOINT_STATS[ep].latency_ns.record(total_ns);
+    if status >= 400 {
+        // RED "E": count it per endpoint and attribute it in the log.
+        ENDPOINT_STATS[ep].errors.inc();
+        let level = if status >= 500 { log::Level::Error } else { log::Level::Warn };
+        log::record(level, "serve")
+            .msg("request failed")
+            .field("id", id)
+            .field_str("route", path)
+            .field("status", status)
+            .emit();
+    }
+    if total_ns >= ctx.slow_query_ns {
+        log::warn("serve")
+            .msg("slow query")
+            .field("id", id)
+            .field_str("route", path)
+            .field("status", status)
+            .field("queue_us", queue_ns / 1_000)
+            .field("pin_us", pin_ns / 1_000)
+            .field("engine_us", engine_ns / 1_000)
+            .field("serialize_us", serialize_ns / 1_000)
+            .field("total_us", total_ns / 1_000)
+            .emit();
+    }
+    log::info("serve")
+        .msg("request")
+        .field("id", id)
+        .field_str("route", path)
+        .field("status", status)
+        .field("total_us", total_ns / 1_000)
+        .emit();
+    ctx.push_summary(RequestSummary {
+        id,
+        path: path.to_string(),
+        status,
+        queue_us: queue_ns / 1_000,
+        pin_us: pin_ns / 1_000,
+        engine_us: engine_ns / 1_000,
+        serialize_us: serialize_ns / 1_000,
+        total_us: total_ns / 1_000,
+    });
+    trace::set_thread_ctx(0);
+
+    if shutdown_after {
         ctx.shutdown.store(true, Ordering::Release);
         // Wake the acceptor so it notices the latch.
         let _ = TcpStream::connect(addr);
-        return r;
     }
-
-    let (status, ctype, body) = route(path, query, ctx);
-    respond(&mut stream, status, ctype, &body, head_only)
+    write_result.map(|()| keep_alive && !shutdown_after)
 }
 
-/// Computes the response for one path (pure, easily testable).
-fn route(path: &str, query: &str, ctx: &ServeCtx) -> (u16, &'static str, String) {
+/// Computes the response for one path. The fourth element is the epoch
+/// pin wait in nanoseconds (nonzero only for store-backed routes), kept
+/// separate so the slow-query log can break the phases apart.
+fn route(path: &str, query: &str, ctx: &ServeCtx) -> (u16, &'static str, String, u64) {
     match path {
-        "/healthz" => (200, "application/json", healthz_json(ctx)),
+        "/healthz" => (200, "application/json", healthz_json(ctx), 0),
         "/metrics" => (
             200,
             "text/plain; version=0.0.4; charset=utf-8",
             gtinker_core::metrics::global().snapshot().to_prometheus(),
+            0,
         ),
-        "/trace" => (200, "application/json", trace::dump().to_chrome_json()),
+        "/trace" => (200, "application/json", trace::dump().to_chrome_json(), 0),
+        "/debug/vars" => (200, "application/json", debug_vars_json(ctx), 0),
+        "/debug/requests" => (200, "application/json", debug_requests_json(ctx), 0),
         "/neighbors" | "/degree" | "/query/bfs" | "/query/sssp" | "/query/cc"
         | "/query/pagerank" => query_route(path, query, ctx),
         "/" => (
             200,
             "text/plain; charset=utf-8",
-            "gtinker: /healthz /metrics /trace /neighbors?v= /degree?v= \
-             /query/{bfs,sssp}?src= /query/cc /query/pagerank\n"
+            "gtinker: /healthz /metrics /trace /debug/vars /debug/requests \
+             /neighbors?v= /degree?v= /query/{bfs,sssp}?src= /query/cc /query/pagerank\n"
                 .to_string(),
+            0,
         ),
-        _ => (404, "text/plain; charset=utf-8", "not found (try / for the route list)\n".into()),
+        _ => (404, "text/plain; charset=utf-8", "not found (try / for the route list)\n".into(), 0),
     }
 }
 
 /// Dispatches one store-backed query against a freshly pinned epoch view.
-fn query_route(path: &str, query: &str, ctx: &ServeCtx) -> (u16, &'static str, String) {
+fn query_route(path: &str, query: &str, ctx: &ServeCtx) -> (u16, &'static str, String, u64) {
     let Some(store) = ctx.store.as_deref() else {
-        return (503, "application/json", "{\"error\":\"no store attached\"}\n".into());
+        return (503, "application/json", "{\"error\":\"no store attached\"}\n".into(), 0);
     };
+    let pin_start = Instant::now();
     let Some(view) = store.pin_view() else {
-        return (503, "application/json", "{\"error\":\"store built without views\"}\n".into());
+        return (503, "application/json", "{\"error\":\"store built without views\"}\n".into(), 0);
     };
+    let pin_ns = pin_start.elapsed().as_nanos() as u64;
     let m = gtinker_core::metrics::global();
     m.serve_queries.inc();
     let t = gtinker_core::metrics::timer();
@@ -307,8 +598,8 @@ fn query_route(path: &str, query: &str, ctx: &ServeCtx) -> (u16, &'static str, S
     };
     m.serve_query_ns.record_since(t);
     match out {
-        Ok(body) => (200, "application/json", body),
-        Err(msg) => (400, "application/json", format!("{{\"error\":\"{msg}\"}}\n")),
+        Ok(body) => (200, "application/json", body, pin_ns),
+        Err(msg) => (400, "application/json", format!("{{\"error\":\"{msg}\"}}\n"), pin_ns),
     }
 }
 
@@ -410,11 +701,24 @@ fn pagerank_json(view: &StoreView<'_>, query: &str) -> Result<String, String> {
     ))
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_str(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
 /// Liveness JSON. With a store attached, live edges and the epoch come
 /// from a pinned view (exact, barrier-free). Without one, live edges fall
 /// back to the hot-path counters (inserts − deletes) — NOT `num_edges()`,
 /// which is a pipeline barrier on a pooled store, and a health probe must
-/// never stall ingest.
+/// never stall ingest. Build info, acked seq and backlog depth are plain
+/// loads, preserving the barrier-free guarantee.
 fn healthz_json(ctx: &ServeCtx) -> String {
     let m = gtinker_core::metrics::global();
     let (live_edges, epoch) = match ctx.store.as_deref().and_then(|s| s.pin_view()) {
@@ -422,14 +726,83 @@ fn healthz_json(ctx: &ServeCtx) -> String {
         None => (m.tinker_inserts.get().saturating_sub(m.tinker_deletes.get()), -1),
     };
     format!(
-        "{{\"status\":\"ok\",\"uptime_s\":{:.3},\"live_edges\":{},\"live_vertices\":{},\
-         \"epoch\":{},\"trace_enabled\":{}}}\n",
+        "{{\"status\":\"ok\",\"version\":\"{}\",\"git_hash\":\"{}\",\"uptime_s\":{:.3},\
+         \"live_edges\":{},\"live_vertices\":{},\"epoch\":{},\"acked_batches\":{},\
+         \"backlog_depth\":{},\"trace_enabled\":{}}}\n",
+        json_str(VERSION),
+        json_str(GIT_HASH),
         ctx.start.elapsed().as_secs_f64(),
         live_edges,
         m.sgh_sources.get().max(0),
         epoch,
+        ctx.store.as_deref().map(|s| s.acked_batches()).unwrap_or(0),
+        m.epoch_backlog_depth.get().max(0),
         trace::enabled(),
     )
+}
+
+/// Live server variables: build info, ingest progress, pin/backlog state,
+/// and the per-endpoint RED windows (sliding-window p50/p95/p99 over the
+/// last ~[`WINDOW_ROTATE_SECS`]×[`gtinker_core::metrics::WINDOW_SLOTS`]
+/// seconds). Everything here is atomic loads plus per-endpoint ring
+/// locks; no store barrier, no pin.
+fn debug_vars_json(ctx: &ServeCtx) -> String {
+    let m = gtinker_core::metrics::global();
+    let store = ctx.store.as_deref();
+    let mut endpoints = Vec::with_capacity(ENDPOINT_STATS.len());
+    for (i, s) in ENDPOINT_STATS.iter().enumerate() {
+        let w = s.latency_ns.window();
+        let (p50, p95, p99) = w.quantiles();
+        endpoints.push(format!(
+            "\"{}\":{{\"requests\":{},\"errors\":{},\"window\":{{\"count\":{},\
+             \"p50_ns\":{p50},\"p95_ns\":{p95},\"p99_ns\":{p99}}}}}",
+            json_str(endpoint_name(i)),
+            s.requests.get(),
+            s.errors.get(),
+            w.count(),
+        ));
+    }
+    format!(
+        "{{\"version\":\"{}\",\"git_hash\":\"{}\",\"uptime_s\":{:.3},\
+         \"acked_batches\":{},\"pending_batches\":{},\"backlog_depth\":{},\
+         \"active_pins\":{},\"epoch_pins\":{},\"trace_enabled\":{},\"log_level\":\"{}\",\
+         \"window_rotate_s\":{WINDOW_ROTATE_SECS},\"endpoints\":{{{}}}}}\n",
+        json_str(VERSION),
+        json_str(GIT_HASH),
+        ctx.start.elapsed().as_secs_f64(),
+        store.map(|s| s.acked_batches()).unwrap_or(0),
+        store.map(|s| s.pending_batches()).unwrap_or(0),
+        m.epoch_backlog_depth.get().max(0),
+        m.epoch_active_pins.get().max(0),
+        m.epoch_pins.get(),
+        trace::enabled(),
+        log::max_level().map(|l| l.name()).unwrap_or("off"),
+        endpoints.join(","),
+    )
+}
+
+/// The last-N completed request summaries, newest first.
+fn debug_requests_json(ctx: &ServeCtx) -> String {
+    let ring = ctx.completed.lock().expect("request ring poisoned");
+    let rows: Vec<String> = ring
+        .iter()
+        .rev()
+        .map(|r| {
+            format!(
+                "{{\"id\":{},\"route\":\"{}\",\"status\":{},\"queue_us\":{},\"pin_us\":{},\
+                 \"engine_us\":{},\"serialize_us\":{},\"total_us\":{}}}",
+                r.id,
+                json_str(&r.path),
+                r.status,
+                r.queue_us,
+                r.pin_us,
+                r.engine_us,
+                r.serialize_us,
+                r.total_us,
+            )
+        })
+        .collect();
+    format!("{{\"count\":{},\"requests\":[{}]}}\n", rows.len(), rows.join(","))
 }
 
 fn respond(
@@ -438,6 +811,8 @@ fn respond(
     ctype: &str,
     body: &str,
     head_only: bool,
+    req_id: u64,
+    keep_alive: bool,
 ) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
@@ -450,9 +825,10 @@ fn respond(
     };
     // 405 advertises what IS allowed, per RFC 9110 §15.5.6.
     let allow = if status == 405 { "Allow: GET, HEAD\r\n" } else { "" };
+    let conn = if keep_alive { "keep-alive" } else { "close" };
     let header = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\n\
-         Content-Length: {}\r\n{allow}Connection: close\r\n\r\n",
+         Content-Length: {}\r\nX-Request-Id: {req_id}\r\n{allow}Connection: {conn}\r\n\r\n",
         body.len()
     );
     stream.write_all(header.as_bytes())?;
@@ -461,6 +837,11 @@ fn respond(
     }
     stream.flush()
 }
+
+/// Serialises tests (across this crate's test binary) that toggle the
+/// process-global trace flag or the log capture sink.
+#[cfg(test)]
+pub(crate) static OBS_TEST_LOCK: Mutex<()> = Mutex::new(());
 
 #[cfg(test)]
 mod tests {
@@ -499,17 +880,55 @@ mod tests {
     }
 
     fn store_ctx() -> Arc<ServeCtx> {
+        store_ctx_with(None)
+    }
+
+    fn store_ctx_with(slow_query_ms: Option<u64>) -> Arc<ServeCtx> {
         let store = ParallelTinker::new_with_views(Default::default(), 2).unwrap();
         store.apply_batch(&EdgeBatch::inserts(&[
             Edge::new(0, 1, 5),
             Edge::new(1, 2, 3),
             Edge::new(0, 2, 7),
         ]));
-        ServeCtx::with_store(Instant::now(), Arc::new(store))
+        ServeCtx::with_options(Instant::now(), Some(Arc::new(store)), slow_query_ms)
+    }
+
+    fn request_id(response: &str) -> u64 {
+        response
+            .lines()
+            .find_map(|l| l.strip_prefix("X-Request-Id: "))
+            .expect("response carries X-Request-Id")
+            .trim()
+            .parse()
+            .expect("request id is decimal")
+    }
+
+    /// Reads one full HTTP response (headers + Content-Length body) off a
+    /// possibly kept-alive connection.
+    fn read_response(r: &mut BufReader<TcpStream>) -> String {
+        let mut out = String::new();
+        let mut len = 0usize;
+        loop {
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            assert!(!line.is_empty(), "connection closed mid-response: {out}");
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                len = v.trim().parse().unwrap();
+            }
+            let done = line == "\r\n" || line == "\n";
+            out.push_str(&line);
+            if done {
+                break;
+            }
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body).unwrap();
+        out.push_str(&String::from_utf8(body).unwrap());
+        out
     }
 
     #[test]
-    fn healthz_is_json_with_gauges() {
+    fn healthz_is_json_with_gauges_and_build_info() {
         let r = get("/healthz");
         assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
         assert!(r.contains("Content-Type: application/json"));
@@ -517,6 +936,10 @@ mod tests {
         assert!(r.contains("\"live_edges\":"));
         assert!(r.contains("\"live_vertices\":"));
         assert!(r.contains("\"uptime_s\":"));
+        assert!(r.contains(&format!("\"version\":\"{VERSION}\"")), "got: {r}");
+        assert!(r.contains("\"git_hash\":\""), "got: {r}");
+        assert!(r.contains("\"acked_batches\":"), "got: {r}");
+        assert!(r.contains("\"backlog_depth\":"), "got: {r}");
     }
 
     #[test]
@@ -536,11 +959,70 @@ mod tests {
     }
 
     #[test]
+    fn every_response_carries_a_request_id() {
+        with_server(ServeCtx::telemetry(Instant::now()), |addr| {
+            let a = request_id(&get_at(addr, "/healthz"));
+            let b = request_id(&get_at(addr, "/metrics"));
+            let c = request_id(&get_at(addr, "/nope"));
+            assert!(a > 0 && b > 0 && c > 0);
+            assert!(a != b && b != c && a != c, "ids must be unique: {a} {b} {c}");
+        });
+    }
+
+    #[test]
+    fn debug_vars_reports_endpoint_windows() {
+        with_server(store_ctx(), |addr| {
+            // Generate traffic: two queries and one error.
+            get_at(addr, "/degree?v=0");
+            get_at(addr, "/degree?v=0");
+            get_at(addr, "/query/bfs");
+            let r = get_at(addr, "/debug/vars");
+            assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
+            assert!(r.contains(&format!("\"version\":\"{VERSION}\"")), "got: {r}");
+            assert!(r.contains("\"acked_batches\":1"), "got: {r}");
+            assert!(r.contains("\"endpoints\":{"), "got: {r}");
+            assert!(r.contains("\"/degree\":{\"requests\":"), "got: {r}");
+            assert!(r.contains("\"p50_ns\":"), "got: {r}");
+            assert!(r.contains("\"p95_ns\":"), "got: {r}");
+            assert!(r.contains("\"p99_ns\":"), "got: {r}");
+            // /query/bfs without ?src= is a 400: the error counter moved.
+            assert!(r.contains("\"/query/bfs\":{\"requests\":"), "got: {r}");
+            let bfs = r.split("\"/query/bfs\":").nth(1).unwrap();
+            let errors: u64 = bfs
+                .split("\"errors\":")
+                .nth(1)
+                .unwrap()
+                .split(',')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(errors >= 1, "bad bfs request must count as an error: {r}");
+        });
+    }
+
+    #[test]
+    fn debug_requests_lists_completed_summaries() {
+        with_server(store_ctx(), |addr| {
+            let first = request_id(&get_at(addr, "/degree?v=0"));
+            let r = get_at(addr, "/debug/requests");
+            assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
+            assert!(r.contains(&format!("\"id\":{first}")), "got: {r}");
+            assert!(r.contains("\"route\":\"/degree\""), "got: {r}");
+            assert!(r.contains("\"queue_us\":"), "got: {r}");
+            assert!(r.contains("\"pin_us\":"), "got: {r}");
+            assert!(r.contains("\"engine_us\":"), "got: {r}");
+            assert!(r.contains("\"serialize_us\":"), "got: {r}");
+        });
+    }
+
+    #[test]
     fn unknown_route_is_404_and_root_lists_routes() {
         assert!(get("/nope").starts_with("HTTP/1.1 404"));
         let r = get("/");
         assert!(r.starts_with("HTTP/1.1 200"));
         assert!(r.contains("/query/"));
+        assert!(r.contains("/debug/vars"));
     }
 
     #[test]
@@ -565,6 +1047,123 @@ mod tests {
                 "HEAD must omit the body: {out}"
             );
         });
+    }
+
+    #[test]
+    fn keep_alive_reuses_the_connection() {
+        with_server(store_ctx(), |addr| {
+            let c = TcpStream::connect(addr).unwrap();
+            let mut w = c.try_clone().unwrap();
+            let mut r = BufReader::new(c);
+            w.write_all(b"GET /degree?v=0 HTTP/1.1\r\nHost: x\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap();
+            let first = read_response(&mut r);
+            assert!(first.starts_with("HTTP/1.1 200"), "got: {first}");
+            assert!(first.contains("Connection: keep-alive"), "got: {first}");
+            assert!(first.contains("\"degree\":2"), "got: {first}");
+            // Same socket, second request: without keep-alive it closes.
+            w.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let second = read_response(&mut r);
+            assert!(second.starts_with("HTTP/1.1 200"), "reuse failed: {second}");
+            assert!(second.contains("Connection: close"), "got: {second}");
+            assert!(second.contains("\"status\":\"ok\""), "got: {second}");
+            assert!(
+                request_id(&second) > request_id(&first),
+                "each request on the connection gets its own id"
+            );
+            // The server closed after the non-keep-alive response.
+            let mut rest = String::new();
+            r.read_to_string(&mut rest).unwrap();
+            assert!(rest.is_empty(), "expected EOF, got: {rest}");
+        });
+    }
+
+    #[test]
+    fn slow_query_log_fires_above_threshold_and_stays_silent_below() {
+        let _g = OBS_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        if !log::enabled(log::Level::Warn) {
+            return; // log feature compiled out
+        }
+        // Threshold 0: every request is "slow" and must produce a record
+        // with the full phase breakdown.
+        log::set_capture(true);
+        with_server(store_ctx_with(Some(0)), |addr| {
+            let r = get_at(addr, "/query/bfs?src=0");
+            assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
+            let id = request_id(&r);
+            let lines = log::drain_capture();
+            let slow: Vec<&String> =
+                lines.iter().filter(|l| l.contains("msg=\"slow query\"")).collect();
+            assert!(!slow.is_empty(), "expected a slow-query record, got: {lines:?}");
+            let line = slow
+                .iter()
+                .find(|l| l.contains(&format!(" id={id} ")))
+                .unwrap_or_else(|| panic!("no slow-query record for id {id} in {slow:?}"));
+            for key in ["queue_us=", "pin_us=", "engine_us=", "serialize_us=", "total_us="] {
+                assert!(line.contains(key), "missing {key} in: {line}");
+            }
+            assert!(line.contains("route=\"/query/bfs\""), "got: {line}");
+        });
+        // Threshold far above anything local: silent.
+        log::drain_capture();
+        with_server(store_ctx_with(Some(3_600_000)), |addr| {
+            let r = get_at(addr, "/query/bfs?src=0");
+            assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
+            let lines = log::drain_capture();
+            assert!(
+                !lines.iter().any(|l| l.contains("msg=\"slow query\"")),
+                "sub-threshold request must not log: {lines:?}"
+            );
+        });
+        log::set_capture(false);
+    }
+
+    #[test]
+    fn request_errors_emit_structured_records_with_ids() {
+        let _g = OBS_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        if !log::enabled(log::Level::Warn) {
+            return; // log feature compiled out
+        }
+        log::set_capture(true);
+        with_server(store_ctx(), |addr| {
+            let r = get_at(addr, "/query/bfs?src=banana");
+            assert!(r.starts_with("HTTP/1.1 400"), "got: {r}");
+            let id = request_id(&r);
+            let lines = log::drain_capture();
+            let hit = lines.iter().find(|l| {
+                l.contains("msg=\"request failed\"") && l.contains(&format!(" id={id} "))
+            });
+            assert!(hit.is_some(), "expected an error record for id {id}, got: {lines:?}");
+            assert!(hit.unwrap().contains("status=400"), "got: {}", hit.unwrap());
+        });
+        log::set_capture(false);
+    }
+
+    #[test]
+    fn request_id_locates_its_spans_in_the_trace_dump() {
+        let _g = OBS_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        trace::set_enabled(true);
+        if !trace::enabled() {
+            return; // trace feature compiled out
+        }
+        let mut id = 0u64;
+        with_server(store_ctx(), |addr| {
+            let r = get_at(addr, "/query/bfs?src=0");
+            assert!(r.starts_with("HTTP/1.1 200"), "got: {r}");
+            id = request_id(&r);
+        });
+        trace::set_enabled(false);
+        let d = trace::dump();
+        let spans: std::collections::HashSet<SpanId> =
+            d.events.iter().filter(|e| e.arg == id).map(|e| e.span).collect();
+        for want in
+            [SpanId::ServeRequest, SpanId::EpochPin, SpanId::EngineProcess, SpanId::ServeSerialize]
+        {
+            assert!(
+                spans.contains(&want),
+                "span {want:?} for request {id} missing from dump: {spans:?}"
+            );
+        }
     }
 
     #[test]
@@ -631,6 +1230,7 @@ mod tests {
             let r = get_at(addr, "/healthz");
             assert!(r.contains("\"live_edges\":3"), "got: {r}");
             assert!(r.contains("\"epoch\":1"), "got: {r}");
+            assert!(r.contains("\"acked_batches\":1"), "got: {r}");
         });
     }
 

@@ -163,6 +163,11 @@ impl<S: ShardStore> ViewLayer<S> {
         if !self.enabled() {
             return None;
         }
+        // Covers the gate wait plus any first-pin fold; the arg carries
+        // the serving request id (0 outside a request) so a slow pin can
+        // be attributed to the query that paid for the fold.
+        let _span =
+            crate::trace::span_arg(crate::trace::SpanId::EpochPin, crate::trace::thread_ctx());
         let mut gate = self.gate.lock().expect("gate poisoned");
         if gate.pins == 0 {
             let target = self.acked();

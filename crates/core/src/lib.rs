@@ -49,6 +49,7 @@ pub mod edgeblock;
 pub mod epoch;
 pub mod hash;
 pub mod hubseg;
+pub mod log;
 pub mod metrics;
 pub mod parallel;
 pub mod pool;

@@ -38,6 +38,7 @@
 
 #[cfg(feature = "metrics")]
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Number of buckets in every [`Histogram`].
@@ -416,6 +417,86 @@ impl HistogramSnapshot {
             sum += c as f64 * (lo + hi) / 2.0;
         }
         sum / count as f64
+    }
+
+    /// Per-bucket saturating subtraction: the observations present in
+    /// `self` but not in `baseline`. With a cumulative snapshot and an
+    /// earlier baseline of the same histogram this is exact (buckets only
+    /// grow), which is what gives [`WindowedHistogram`] its sliding
+    /// window.
+    pub fn saturating_diff(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c.saturating_sub(baseline.buckets.get(i).copied().unwrap_or(0)))
+            .collect();
+        HistogramSnapshot { buckets }
+    }
+}
+
+/// Number of baseline snapshots a [`WindowedHistogram`] retains; together
+/// with the caller's rotation cadence this bounds the window span (e.g.
+/// rotating every 10 s keeps roughly the last minute of observations).
+pub const WINDOW_SLOTS: usize = 6;
+
+/// A [`Histogram`] paired with a ring of baseline [`HistogramSnapshot`]s
+/// so quantiles can be reported over a sliding window instead of
+/// process-lifetime.
+///
+/// [`record`](Self::record) stays the single relaxed `fetch_add` of the
+/// underlying histogram — the ring is touched only by the (caller-paced,
+/// coarse) [`rotate`](Self::rotate) and the read-side
+/// [`window`](Self::window), both behind a `Mutex` that is never on the
+/// hot path. `rotate()` pushes the current cumulative snapshot as a new
+/// baseline and evicts beyond [`WINDOW_SLOTS`]; `window()` subtracts the
+/// oldest retained baseline from the current cumulative counts, so
+/// observations older than `WINDOW_SLOTS` rotations age out.
+#[derive(Debug, Default)]
+pub struct WindowedHistogram {
+    hist: Histogram,
+    baselines: Mutex<Vec<HistogramSnapshot>>,
+}
+
+impl WindowedHistogram {
+    /// Creates an empty windowed histogram (const so it can live in a
+    /// static).
+    pub const fn new() -> Self {
+        WindowedHistogram { hist: Histogram::new(), baselines: Mutex::new(Vec::new()) }
+    }
+
+    /// Records one observation of `v` (single relaxed `fetch_add`).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.hist.record(v);
+    }
+
+    /// Closes the current slot: the cumulative counts become the newest
+    /// baseline and baselines older than [`WINDOW_SLOTS`] rotations are
+    /// evicted, sliding the window forward.
+    pub fn rotate(&self) {
+        let snap = self.hist.snapshot();
+        let mut ring = self.baselines.lock().expect("window baselines poisoned");
+        ring.push(snap);
+        while ring.len() > WINDOW_SLOTS {
+            ring.remove(0);
+        }
+    }
+
+    /// The observations recorded within the last [`WINDOW_SLOTS`]
+    /// rotations (everything since startup until the first rotation).
+    pub fn window(&self) -> HistogramSnapshot {
+        let snap = self.hist.snapshot();
+        let ring = self.baselines.lock().expect("window baselines poisoned");
+        match ring.first() {
+            Some(oldest) => snap.saturating_diff(oldest),
+            None => snap,
+        }
+    }
+
+    /// The process-lifetime cumulative snapshot (ignores the window).
+    pub fn cumulative(&self) -> HistogramSnapshot {
+        self.hist.snapshot()
     }
 }
 
@@ -800,6 +881,53 @@ mod tests {
         assert_eq!(m.snapshot().tinker_inserts, 0);
         assert_eq!(m.snapshot().pool_queue_depth, 0);
         assert_eq!(m.snapshot().rhh_probe.count(), 0);
+    }
+
+    #[test]
+    fn saturating_diff_subtracts_per_bucket() {
+        let mut now = vec![0u64; HIST_BUCKETS];
+        let mut base = vec![0u64; HIST_BUCKETS];
+        now[3] = 10;
+        now[7] = 2;
+        base[3] = 4;
+        base[9] = 5; // never shrinks below zero
+        let d = HistogramSnapshot { buckets: now }
+            .saturating_diff(&HistogramSnapshot { buckets: base });
+        assert_eq!(d.buckets[3], 6);
+        assert_eq!(d.buckets[7], 2);
+        assert_eq!(d.buckets[9], 0);
+        assert_eq!(d.count(), 8);
+    }
+
+    #[test]
+    #[cfg(feature = "metrics")]
+    fn windowed_histogram_evicts_old_observations() {
+        let _g = LOCK.lock().unwrap();
+        set_enabled(true);
+        let w = WindowedHistogram::new();
+        // Before any rotation the window is the cumulative view.
+        for _ in 0..10 {
+            w.record(2);
+        }
+        assert_eq!(w.window().count(), 10);
+        // One rotation: those 10 become the oldest baseline and drop out.
+        w.rotate();
+        assert_eq!(w.window().count(), 0);
+        for _ in 0..5 {
+            w.record(40);
+        }
+        let win = w.window();
+        assert_eq!(win.count(), 5);
+        assert_eq!(win.quantile_approx(0.5), 63, "old value-2 samples must not drag p50 down");
+        assert_eq!(w.cumulative().count(), 15, "cumulative view keeps everything");
+        // The 40s stay visible while their baseline is retained...
+        for _ in 0..WINDOW_SLOTS - 1 {
+            w.rotate();
+            assert_eq!(w.window().count(), 5);
+        }
+        // ...and age out once WINDOW_SLOTS further rotations evict it.
+        w.rotate();
+        assert_eq!(w.window().count(), 0, "observations older than WINDOW_SLOTS rotations evict");
     }
 
     #[test]

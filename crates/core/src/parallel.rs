@@ -83,6 +83,20 @@ impl ParallelTinker {
         self.pool.num_shards()
     }
 
+    /// One past the highest fully-applied batch seq (single atomic load —
+    /// safe on barrier-free paths like `/healthz` and `/debug/vars`).
+    #[inline]
+    pub fn acked_batches(&self) -> u64 {
+        self.pool.acked_batches()
+    }
+
+    /// Number of submitted-but-unreaped batches (racy diagnostic; see
+    /// [`ShardPool::pending_batches`]).
+    #[inline]
+    pub fn pending_batches(&self) -> usize {
+        self.pool.pending_batches()
+    }
+
     #[inline]
     fn shard(&self, src: VertexId) -> usize {
         partition_of(src, self.num_instances())

@@ -249,11 +249,23 @@ impl<S: ShardStore> ShardPool<S> {
         self.pending.load(Ordering::Acquire)
     }
 
+    /// One past the highest fully-applied batch seq (a single atomic
+    /// load; valid whether or not the pool maintains read replicas).
+    #[inline]
+    pub fn acked_batches(&self) -> u64 {
+        self.views.acked()
+    }
+
     /// Hands `batch` to every worker under a fresh ticket.
     fn dispatch(&self, batch: Arc<EdgeBatch>) -> Arc<Ticket> {
         crate::metrics::global().pool_batches.inc();
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         trace::instant(SpanId::PoolDispatch, seq);
+        crate::log::debug("pool")
+            .msg("batch dispatched")
+            .field("seq", seq)
+            .field("ops", batch.len())
+            .emit();
         let ticket = Arc::new(Ticket::new(self.txs.len()));
         for tx in &self.txs {
             let job = Job { batch: Arc::clone(&batch), ticket: Arc::clone(&ticket), seq };
@@ -273,7 +285,9 @@ impl<S: ShardStore> ShardPool<S> {
             if !waited {
                 waited = true;
                 crate::metrics::global().pool_settle_waits.inc();
-                barrier = Some(trace::span(SpanId::PoolSettle));
+                // Arg = the serving request id when a query path pays for
+                // this barrier (0 on the ingest path).
+                barrier = Some(trace::span_arg(SpanId::PoolSettle, trace::thread_ctx()));
             }
             let next = self.inflight.lock().expect("inflight poisoned").queue.pop_front();
             match next {

@@ -101,10 +101,16 @@ pub enum SpanId {
     /// (arg = size of the invalidated cone). Covers the witness sweep,
     /// boundary re-seeding, and the repair fixpoint.
     Repair = 16,
+    /// Epoch pin: acquiring a read guard, including any first-pin backlog
+    /// fold (arg = requesting thread's [`thread_ctx`], i.e. the serving
+    /// request id, or 0 outside a request).
+    EpochPin = 17,
+    /// Serializing + writing one HTTP response (arg = request id).
+    ServeSerialize = 18,
 }
 
 /// Every catalogue entry, for iteration in exports and tests.
-pub const ALL_SPANS: [SpanId; 17] = [
+pub const ALL_SPANS: [SpanId; 19] = [
     SpanId::PoolClaim,
     SpanId::PoolApply,
     SpanId::PoolSettle,
@@ -122,6 +128,8 @@ pub const ALL_SPANS: [SpanId; 17] = [
     SpanId::ServeRequest,
     SpanId::TierPromote,
     SpanId::Repair,
+    SpanId::EpochPin,
+    SpanId::ServeSerialize,
 ];
 
 impl SpanId {
@@ -145,6 +153,8 @@ impl SpanId {
             SpanId::ServeRequest => "serve_request",
             SpanId::TierPromote => "tier_promote",
             SpanId::Repair => "repair",
+            SpanId::EpochPin => "epoch_pin",
+            SpanId::ServeSerialize => "serve_serialize",
         }
     }
 
@@ -268,6 +278,25 @@ pub fn span_arg(id: SpanId, arg: u64) -> SpanGuard {
 #[inline]
 pub fn instant(id: SpanId, arg: u64) {
     imp::record(EventKind::Instant, id, arg, false);
+}
+
+/// Tags the calling thread with a request context id (0 = none). The
+/// serving path sets this to the per-request `RequestId` before doing any
+/// work, and instrumentation sites deep in the stack (epoch pin, pool
+/// settle, engine iterations) read it back via [`thread_ctx`] to stamp
+/// their span args — so every span a request touches carries the same id
+/// without threading a parameter through every API. A no-op when the
+/// `trace` feature is compiled out.
+#[inline]
+pub fn set_thread_ctx(id: u64) {
+    imp::set_thread_ctx(id);
+}
+
+/// The calling thread's request context id (0 when unset, outside a
+/// request, or with the `trace` feature compiled out).
+#[inline]
+pub fn thread_ctx() -> u64 {
+    imp::thread_ctx()
 }
 
 /// Merges every registered ring into one time-sorted dump. Concurrent
@@ -455,6 +484,17 @@ mod imp {
     thread_local! {
         static RING: std::cell::OnceCell<Arc<ThreadRing>> =
             const { std::cell::OnceCell::new() };
+        static CTX: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+
+    #[inline]
+    pub(super) fn set_thread_ctx(id: u64) {
+        CTX.with(|c| c.set(id));
+    }
+
+    #[inline]
+    pub(super) fn thread_ctx() -> u64 {
+        CTX.with(|c| c.get())
     }
 
     fn register_current_thread() -> Arc<ThreadRing> {
@@ -538,6 +578,14 @@ mod imp {
     #[inline]
     pub(super) fn record(_kind: EventKind, _span: SpanId, _arg: u64, _force: bool) -> bool {
         false
+    }
+
+    #[inline]
+    pub(super) fn set_thread_ctx(_id: u64) {}
+
+    #[inline]
+    pub(super) fn thread_ctx() -> u64 {
+        0
     }
 
     pub(super) fn dump() -> TraceDump {
@@ -672,6 +720,18 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "trace")]
+    fn thread_ctx_is_per_thread_and_resettable() {
+        assert_eq!(thread_ctx(), 0);
+        set_thread_ctx(42);
+        assert_eq!(thread_ctx(), 42);
+        let other = std::thread::spawn(thread_ctx).join().unwrap();
+        assert_eq!(other, 0, "ctx must not leak across threads");
+        set_thread_ctx(0);
+        assert_eq!(thread_ctx(), 0);
+    }
+
+    #[test]
     #[cfg(not(feature = "trace"))]
     fn feature_off_is_inert() {
         set_enabled(true);
@@ -681,6 +741,8 @@ mod tests {
         let d = dump();
         assert!(d.events.is_empty() && d.threads.is_empty());
         assert!(timer().is_none());
+        set_thread_ctx(9);
+        assert_eq!(thread_ctx(), 0);
     }
 
     #[test]

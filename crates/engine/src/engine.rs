@@ -411,11 +411,16 @@ impl<P: GasProgram> Engine<P> {
             // Spans are recorded on the calling thread only: the scoped
             // per-iteration workers are short-lived, and giving each a
             // trace ring would exhaust the ring registry over a long run.
+            // Inside a serving request (nonzero thread ctx) the span arg
+            // carries the request id so the iteration groups under its
+            // timeline; otherwise it stays the iteration index.
             let iter_idx = report.iterations.len() as u64;
+            let ctx = gtinker_core::trace::thread_ctx();
+            let span_tag = if ctx != 0 { ctx } else { iter_idx };
             let process_start = Instant::now();
             let (edges_processed, messages, shard_times) = {
                 let _t =
-                    gtinker_core::trace::span_arg(gtinker_core::SpanId::EngineProcess, iter_idx);
+                    gtinker_core::trace::span_arg(gtinker_core::SpanId::EngineProcess, span_tag);
                 if num_shards > 1 {
                     self.process_sharded(store, mode, num_shards)
                 } else {
@@ -426,7 +431,7 @@ impl<P: GasProgram> Engine<P> {
 
             // --- Apply phase -------------------------------------------
             let apply_span =
-                gtinker_core::trace::span_arg(gtinker_core::SpanId::EngineApply, iter_idx);
+                gtinker_core::trace::span_arg(gtinker_core::SpanId::EngineApply, span_tag);
             let apply_start = Instant::now();
             let active_vertices = self.active.len();
             for &v in &self.active {

@@ -5,6 +5,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Bake the commit into /healthz and /debug/vars build info.
+GTINKER_GIT_HASH=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+export GTINKER_GIT_HASH
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -19,6 +23,9 @@ cargo test -q -p gtinker-core --no-default-features
 
 echo "==> trace-off build (compile-time no-op path of the trace feature, metrics kept on)"
 cargo test -q -p gtinker-core --no-default-features --features metrics
+
+echo "==> log-off build (compile-time no-op path of the log feature, metrics+trace kept on)"
+cargo test -q -p gtinker-core --no-default-features --features metrics,trace
 
 echo "==> recovery smoke test (ingest -> crash-free recover round-trip)"
 GT=target/release/gtinker
@@ -150,8 +157,9 @@ PYEOF
 done
 test "$TRACE_OK" = 1
 
-echo "==> serve smoke test (telemetry endpoints answer; clean /quitquitquit shutdown)"
-"$GT" serve "$SMOKE/g.txt" --addr 127.0.0.1:0 > "$SMOKE/serve.out" 2> "$SMOKE/serve.err" &
+echo "==> serve smoke test (telemetry + debug endpoints answer; clean /quitquitquit shutdown)"
+"$GT" serve "$SMOKE/g.txt" --addr 127.0.0.1:0 --slow-query-ms 0 \
+    > "$SMOKE/serve.out" 2> "$SMOKE/serve.err" &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKE"' EXIT
 ADDR=""
@@ -168,12 +176,60 @@ curl -fsS "http://$ADDR/metrics" -o "$SMOKE/metrics.prom"
 grep -q "gtinker_tinker_inserts" "$SMOKE/metrics.prom"
 curl -fsS "http://$ADDR/trace" -o "$SMOKE/trace_live.json"
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))["traceEvents"]' "$SMOKE/trace_live.json"
+# Every response carries a request id; a query is attributable end to end.
+curl -fsSD "$SMOKE/q_headers.txt" "http://$ADDR/query/bfs?src=0" -o /dev/null
+grep -qi '^X-Request-Id: [0-9]' "$SMOKE/q_headers.txt"
+# /debug/vars: build info plus per-endpoint sliding-window quantiles.
+curl -fsS "http://$ADDR/debug/vars" | tee "$SMOKE/debug_vars.json"
+python3 - "$SMOKE/debug_vars.json" <<'PYEOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["version"], "missing build version"
+assert "git_hash" in d and d["git_hash"], "missing git hash"
+eps = d["endpoints"]
+for ep in ("/healthz", "/query/bfs"):
+    w = eps[ep]["window"]
+    assert eps[ep]["requests"] >= 1, f"{ep} saw no requests: {eps[ep]}"
+    for q in ("p50_ns", "p95_ns", "p99_ns"):
+        assert q in w, f"{ep} window missing {q}: {w}"
+print(f"debug vars ok: {len(eps)} endpoints, git {d['git_hash']}")
+PYEOF
+# /debug/requests: the completed-request ring has phase timings.
+curl -fsS "http://$ADDR/debug/requests" | tee "$SMOKE/debug_requests.json"
+python3 - "$SMOKE/debug_requests.json" <<'PYEOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["count"] >= 1 and d["requests"], f"empty request ring: {d}"
+r = next(r for r in d["requests"] if r["route"] == "/query/bfs")
+for k in ("id", "status", "queue_us", "pin_us", "engine_us", "serialize_us", "total_us"):
+    assert k in r, f"summary missing {k}: {r}"
+print(f"debug requests ok: {d['count']} summaries")
+PYEOF
 # Non-GET methods get a 405 with an Allow header, never a hang or a 404.
 test "$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/healthz")" = 405
 # Graceful shutdown: ask the server to stop instead of killing the process.
 curl -fsS "http://$ADDR/quitquitquit" | grep -q "shutting down"
 wait "$SERVE_PID"
 grep -q "shut down cleanly" "$SMOKE/serve.err"
+# --slow-query-ms 0 made every request emit a structured slow-query record
+# on stderr; validate the key=value line grammar and the phase fields.
+python3 - "$SMOKE/serve.err" <<'PYEOF'
+import re, sys
+pair = r'[a-z0-9_]+=(?:"(?:[^"\\]|\\.)*"|[^ "]+)'
+grammar = re.compile(rf'^{pair}(?: {pair})*$')
+records = [l.rstrip("\n") for l in open(sys.argv[1]) if l.startswith("ts=")]
+assert records, "no structured log records on stderr"
+slow = [l for l in records if 'msg="slow query"' in l]
+assert slow, f"no slow-query records among {len(records)} records"
+for l in records:
+    assert grammar.match(l), f"malformed record: {l!r}"
+    for key in ("ts=", "level=", "target=", 'msg="'):
+        assert key in l, f"record missing {key}: {l!r}"
+for l in slow:
+    for key in ("id=", "queue_us=", "pin_us=", "engine_us=", "serialize_us=", "total_us="):
+        assert key in l, f"slow-query record missing {key}: {l!r}"
+print(f"log format ok: {len(records)} records, {len(slow)} slow-query")
+PYEOF
 trap 'rm -rf "$SMOKE"' EXIT
 
 echo "==> serve-query smoke test (ingest --serve answers epoch-pinned queries)"
@@ -253,6 +309,32 @@ grep -q '"writer_pinned_meps"' "$SMOKE/bench_serve/BENCH_serve_concurrent.json"
 grep -q '"read_p99_us"' "$SMOKE/bench_serve/BENCH_serve_concurrent.json"
 # Self-comparison: the emitted file must parse through the regression gate.
 "$BD" "$SMOKE/bench_serve/BENCH_serve_concurrent.json" "$SMOKE/bench_serve/BENCH_serve_concurrent.json"
+
+echo "==> log bench gate (fig_log_overhead emits BENCH_log_overhead.json; overhead < 5%)"
+# The gated number is already a median of paired trials, but on a small
+# (single-CPU) box the multi-threaded pool makes individual runs
+# scheduler-noisy, so allow up to three attempts. A genuinely expensive
+# log site — the failure this gate exists to catch — blows the bar on
+# every attempt.
+LOG_GATE_OK=0
+for LOG_ATTEMPT in 1 2 3; do
+    target/release/fig_log_overhead --scale-factor 2048 --out-dir "$SMOKE/bench_log"
+    test -f "$SMOKE/bench_log/BENCH_log_overhead.json"
+    grep -q '"enabled_meps"' "$SMOKE/bench_log/BENCH_log_overhead.json"
+    grep -q '"disabled_meps"' "$SMOKE/bench_log/BENCH_log_overhead.json"
+    if python3 - "$SMOKE/bench_log/BENCH_log_overhead.json" <<'PYEOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["lines_captured"] > 0, "enabled side captured no log records (site dead?)"
+assert d["overhead_pct"] < 5.0, f"log overhead {d['overhead_pct']}% >= 5%"
+print(f"log overhead ok: {d['overhead_pct']}% ({d['lines_captured']} records)")
+PYEOF
+    then LOG_GATE_OK=1; break; fi
+    echo "log bench gate: attempt $LOG_ATTEMPT over threshold (scheduling noise); retrying" >&2
+done
+test "$LOG_GATE_OK" -eq 1
+# Self-comparison: the emitted file must parse through the regression gate.
+"$BD" "$SMOKE/bench_log/BENCH_log_overhead.json" "$SMOKE/bench_log/BENCH_log_overhead.json"
 
 echo "==> incremental bench gate (fig_incremental emits BENCH_incremental.json; repair >= 10x cold)"
 target/release/fig_incremental --scale-factor 128 --batches 8 --out-dir "$SMOKE/bench_incremental"
